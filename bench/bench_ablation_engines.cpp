@@ -1,0 +1,112 @@
+// Cross-engine matrix: all four architectures on one graph and equal memory.
+//   G-Store     — symmetric SNB tiles, proactive caching, rewind
+//   GridGraph   — full-matrix 8B grid, LRU (page-cache-like) caching  [§VIII]
+//   FlashGraph  — semi-external CSR, selective vertex I/O, LRU pages  [Fig 9]
+//   X-Stream    — fully external edge streaming with update files     [§VII-B]
+// This is the summary view behind the paper's separate comparisons; bytes
+// moved per run explains most of the ordering.
+#include "algo/bfs.h"
+#include "algo/cc.h"
+#include "algo/pagerank.h"
+#include "baseline/flashgraph.h"
+#include "baseline/graphchi.h"
+#include "baseline/gridgraph.h"
+#include "baseline/xstream.h"
+#include "bench_common.h"
+
+int main() {
+  using namespace gstore;
+  bench::banner("Ablation: engine architecture matrix (PageRank, 5 iterations)",
+                "summary of Fig 9 + §VII-B + §VIII comparisons");
+
+  auto g = bench::make_kron(bench::scale(), bench::edge_factor(),
+                            graph::GraphKind::kUndirected);
+  g.el.normalize();
+  constexpr std::uint32_t kIters = 5;
+
+  io::TempDir dir("matrix");
+  bench::Table t({"engine", "on-disk", "PR time (s)", "bytes read", "vs G-Store"});
+  double gstore_secs = 0;
+
+  // G-Store
+  {
+    auto store =
+        bench::open_store(dir, g.el, bench::default_tile_opts(), bench::one_ssd());
+    store::EngineConfig cfg = bench::engine_config_fraction(store, 0.25);
+    const std::uint64_t mem = cfg.stream_memory_bytes;
+    algo::TilePageRank pr(algo::PageRankOptions{0.85, kIters, 0.0});
+    Timer timer;
+    const auto stats = store::ScrEngine(store, cfg).run(pr);
+    gstore_secs = timer.seconds();
+    t.row({"G-Store", bench::fmt_bytes(store.data_bytes()),
+           bench::fmt(gstore_secs), bench::fmt_bytes(stats.bytes_read), "1.00x"});
+
+    // GridGraph-like (same memory budget)
+    {
+      baseline::GridGraphConfig gcfg;
+      gcfg.tile_bits = bench::default_tile_opts().tile_bits;
+      gcfg.group_side = bench::default_tile_opts().group_side;
+      gcfg.memory_bytes = mem;
+      gcfg.device = bench::one_ssd();
+      baseline::convert_to_gridgraph(g.el, dir.file("gg"), gcfg);
+      baseline::GridGraphEngine eng(dir.file("gg"), gcfg);
+      algo::TilePageRank pr2(algo::PageRankOptions{0.85, kIters, 0.0});
+      Timer timer2;
+      const auto s = eng.run(pr2);
+      t.row({"GridGraph-like", bench::fmt_bytes(eng.tile_store().data_bytes()),
+             bench::fmt(timer2.seconds()), bench::fmt_bytes(s.bytes_read),
+             bench::fmt(timer2.seconds() / gstore_secs) + "x"});
+    }
+    // FlashGraph-like
+    {
+      tile::convert_to_csr_file(g.el, dir.file("csr"));
+      baseline::FlashGraphConfig fcfg;
+      fcfg.cache_bytes = mem;
+      fcfg.device = bench::one_ssd();
+      baseline::FlashGraphEngine eng(dir.file("csr"), fcfg);
+      std::vector<float> rank;
+      Timer timer2;
+      const auto s = eng.run_pagerank(kIters, 0.85, rank);
+      t.row({"FlashGraph-like",
+             bench::fmt_bytes(io::File::file_size(dir.file("csr") + ".adj") +
+                              io::File::file_size(dir.file("csr") + ".beg")),
+             bench::fmt(timer2.seconds()), bench::fmt_bytes(s.bytes_read),
+             bench::fmt(timer2.seconds() / gstore_secs) + "x"});
+    }
+    // GraphChi-like (PSW)
+    {
+      baseline::GraphChiConfig ccfg;
+      ccfg.shards = 8;
+      ccfg.device = bench::one_ssd();
+      const std::uint64_t psw_bytes =
+          baseline::build_graphchi_shards(g.el, dir.file("psw"), ccfg);
+      baseline::GraphChiEngine eng(dir.file("psw"), ccfg);
+      std::vector<float> rank;
+      Timer timer2;
+      const auto s = eng.run_pagerank(kIters, 0.85, g.el.degrees(), rank);
+      t.row({"GraphChi-like", bench::fmt_bytes(psw_bytes),
+             bench::fmt(timer2.seconds()), bench::fmt_bytes(s.bytes_read),
+             bench::fmt(timer2.seconds() / gstore_secs) + "x"});
+    }
+    // X-Stream-like
+    {
+      const std::uint64_t xbytes =
+          baseline::write_xstream_edges(dir.file("xs"), g.el, 8);
+      baseline::XStreamConfig xcfg;
+      xcfg.device = bench::one_ssd();
+      xcfg.partitions = 4;
+      baseline::XStreamEngine eng(dir.file("xs"), dir.path(),
+                                  g.el.vertex_count(), xbytes / 8, xcfg);
+      std::vector<float> rank;
+      Timer timer2;
+      const auto s = eng.run_pagerank(kIters, 0.85, g.el.degrees(), rank);
+      t.row({"X-Stream-like", bench::fmt_bytes(xbytes),
+             bench::fmt(timer2.seconds()),
+             bench::fmt_bytes(s.edge_bytes_read + s.update_bytes_read +
+                              s.update_bytes_written),
+             bench::fmt(timer2.seconds() / gstore_secs) + "x"});
+    }
+  }
+  t.print();
+  return 0;
+}

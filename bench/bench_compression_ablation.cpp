@@ -1,0 +1,69 @@
+// Compression ablation — the paper's §VIII future-work item ("compression
+// can be applied to the data present in tiles to provide further space
+// saving"). Measures the varint-delta intra-tile codec on each graph: bytes
+// before/after, ratio, and encode/decode throughput, per tile-occupancy
+// class (dense hub tiles compress well; sparse tiles stay raw).
+#include "bench_common.h"
+#include "tile/compress.h"
+
+int main() {
+  using namespace gstore;
+  bench::banner("Extension: intra-tile compression ablation",
+                "paper §VIII future work — delta compression inside tiles");
+
+  const unsigned s = bench::scale();
+  const unsigned tb = s > 10 ? s - 8 : 2;
+  struct Case {
+    std::string name;
+    bench::NamedGraph g;
+  };
+  std::vector<Case> cases;
+  cases.push_back({"Kron", bench::make_kron(s, bench::edge_factor(),
+                                            graph::GraphKind::kUndirected)});
+  cases.push_back({"Twitter-like",
+                   bench::make_twitterish(s, bench::edge_factor(),
+                                          graph::GraphKind::kDirected)});
+
+  bench::Table t({"graph", "raw tiles", "compressed", "ratio", "encode MB/s",
+                  "decode MB/s", "tiles raw-fallback"});
+  for (auto& c : cases) {
+    io::TempDir dir("compress");
+    tile::ConvertOptions copt;
+    copt.tile_bits = tb;
+    auto store = bench::open_store(dir, c.g.el, copt);
+
+    std::uint64_t raw_bytes = 0, comp_bytes = 0, fallback = 0;
+    double encode_secs = 0, decode_secs = 0;
+    std::vector<std::uint8_t> buf;
+    for (std::uint64_t k = 0; k < store.grid().tile_count(); ++k) {
+      const std::uint64_t bytes = store.tile_bytes(k);
+      if (bytes == 0) continue;
+      buf.resize(bytes);
+      store.read_range(k, k + 1, buf.data());
+      std::vector<tile::SnbEdge> edges(
+          reinterpret_cast<const tile::SnbEdge*>(buf.data()),
+          reinterpret_cast<const tile::SnbEdge*>(buf.data()) + bytes / 4);
+      Timer te;
+      auto payload = tile::compress_tile(edges);
+      encode_secs += te.seconds();
+      raw_bytes += bytes;
+      comp_bytes += payload.size();
+      if (static_cast<tile::TileCodec>(payload[0]) == tile::TileCodec::kRaw)
+        ++fallback;
+      Timer td;
+      auto back = tile::decompress_tile(payload);
+      decode_secs += td.seconds();
+      if (back.size() != edges.size()) {
+        std::fprintf(stderr, "roundtrip mismatch!\n");
+        return 1;
+      }
+    }
+    t.row({c.name, bench::fmt_bytes(raw_bytes), bench::fmt_bytes(comp_bytes),
+           bench::fmt(double(raw_bytes) / comp_bytes) + "x",
+           bench::fmt(raw_bytes / encode_secs / (1 << 20), 0),
+           bench::fmt(raw_bytes / decode_secs / (1 << 20), 0),
+           std::to_string(fallback)});
+  }
+  t.print();
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Figure 7 — range of edge counts across physical groups for the
+// Twitter(-like) graph, group ids sorted by edge count. The paper (q = 256)
+// reports 364,227 edges in the smallest non-trivial group and over a billion
+// in the largest — i.e. groups span ~4 orders of magnitude, mostly tens to
+// hundreds of MB.
+#include <algorithm>
+
+#include "bench_common.h"
+#include "tile/grouping.h"
+
+int main() {
+  using namespace gstore;
+  bench::banner("Fig 7: physical-group edge counts (Twitter-like)",
+                "paper Fig 7 — group sizes span orders of magnitude");
+
+  const unsigned s = bench::scale();
+  const unsigned tb = s > 10 ? s - 8 : 2;  // ~256 tiles per side
+  auto g = bench::make_twitterish(s, bench::edge_factor(),
+                                  graph::GraphKind::kDirected);
+
+  io::TempDir dir("fig7");
+  tile::ConvertOptions copt;
+  copt.tile_bits = tb;
+  copt.group_side = 16;  // scaled analogue of the paper's q=256
+  auto store = bench::open_store(dir, g.el, copt);
+
+  auto stats = tile::group_stats(store);
+  std::sort(stats.begin(), stats.end(),
+            [](const auto& a, const auto& b) { return a.edges < b.edges; });
+
+  bench::Table t({"group rank", "tiles", "edges", "size"});
+  const std::size_t n = stats.size();
+  for (const int pct : {0, 10, 25, 50, 75, 90, 100}) {
+    const std::size_t idx =
+        std::min(n - 1, static_cast<std::size_t>(pct / 100.0 * n));
+    t.row({"p" + std::to_string(pct), std::to_string(stats[idx].tiles),
+           std::to_string(stats[idx].edges), bench::fmt_bytes(stats[idx].bytes)});
+  }
+  t.print();
+
+  const auto& smallest = stats.front();
+  const auto& largest = stats.back();
+  std::printf("\n%zu groups; smallest %llu edges, largest %llu edges (%.0fx)\n",
+              n, static_cast<unsigned long long>(smallest.edges),
+              static_cast<unsigned long long>(largest.edges),
+              smallest.edges ? double(largest.edges) / smallest.edges : 0.0);
+  std::printf("paper: smallest 364,227, largest >1B (~3000x) for Twitter q=256\n");
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Figure 12 — LLC operations and misses for various grouping sizes. The
+// paper reads hardware counters; this container has none, so the engine's
+// PageRank metadata access stream (one read of contrib[src] + one
+// read-modify-write of incoming[dst] per edge, in tile layout order) is
+// replayed through the set-associative cache model in src/cachesim. The
+// paper finds the 256x256 grouping minimizes both transactions and misses
+// (up to 21% fewer transactions, 35% fewer misses).
+#include "bench_common.h"
+#include "cachesim/cache_model.h"
+#include "tile/grouping.h"
+
+int main() {
+  using namespace gstore;
+  bench::banner("Fig 12: LLC operations and misses vs grouping (cache model)",
+                "paper Fig 12 — best grouping cuts LLC ops ~21%, misses ~35%");
+
+  const unsigned s = std::min(bench::scale(), 17u);  // replay is per-access
+  auto g = bench::make_kron(s, bench::edge_factor(),
+                            graph::GraphKind::kUndirected);
+  const unsigned tb = s > 12 ? s - 10 : 2;
+
+  // Model the paper's Xeon: 256K L2, 16M LLC... scaled to the metadata size
+  // of this graph so the working-set-vs-LLC crossover lands mid-sweep.
+  const std::uint64_t rank_bytes = std::uint64_t{g.el.vertex_count()} * 4;
+  const std::uint64_t llc_bytes = std::max<std::uint64_t>(rank_bytes / 8, 64 << 10);
+  const std::uint64_t l2_bytes = std::max<std::uint64_t>(llc_bytes / 64, 8 << 10);
+  std::printf("metadata %s, modeled L2 %s, LLC %s\n",
+              bench::fmt_bytes(rank_bytes).c_str(),
+              bench::fmt_bytes(l2_bytes).c_str(),
+              bench::fmt_bytes(llc_bytes).c_str());
+
+  bench::Table t({"group (tiles)", "LLC ops (M)", "LLC misses (M)",
+                  "ops vs worst", "misses vs worst"});
+  struct Sample {
+    std::uint32_t q;
+    std::uint64_t ops, misses;
+  };
+  std::vector<Sample> samples;
+  for (const std::uint32_t q : {1u, 2u, 4u, 8u, 16u, 32u, 64u, 128u, 256u}) {
+    io::TempDir dir("fig12");
+    tile::ConvertOptions copt;
+    copt.tile_bits = tb;
+    copt.group_side = q;
+    auto store = bench::open_store(dir, g.el, copt);
+
+    cachesim::CacheHierarchy cache(l2_bytes, llc_bytes);
+    // Replay: contiguous tile buffer, metadata arrays at fixed virtual bases.
+    constexpr std::uint64_t kContribBase = 0x100000000ull;
+    constexpr std::uint64_t kIncomingBase = 0x200000000ull;
+    std::vector<std::uint8_t> buf;
+    for (std::uint64_t k = 0; k < store.grid().tile_count(); ++k) {
+      const std::uint64_t bytes = store.tile_bytes(k);
+      if (bytes == 0) continue;
+      buf.resize(bytes);
+      store.read_range(k, k + 1, buf.data());
+      const tile::TileView v = store.view(k, buf.data());
+      tile::visit_edges(v, [&](graph::vid_t a, graph::vid_t b) {
+        cache.access(kContribBase + 4ull * a);
+        cache.access(kIncomingBase + 4ull * b);
+        cache.access(kContribBase + 4ull * b);   // symmetric store: both
+        cache.access(kIncomingBase + 4ull * a);  // directions per tuple
+      });
+    }
+    samples.push_back({q, cache.llc_operations(), cache.llc_misses()});
+  }
+  std::uint64_t worst_ops = 0, worst_miss = 0;
+  for (const auto& smp : samples) {
+    worst_ops = std::max(worst_ops, smp.ops);
+    worst_miss = std::max(worst_miss, smp.misses);
+  }
+  for (const auto& smp : samples) {
+    t.row({std::to_string(smp.q) + "x" + std::to_string(smp.q),
+           bench::fmt(smp.ops / 1e6), bench::fmt(smp.misses / 1e6),
+           bench::fmt(100.0 * (1.0 - double(smp.ops) / worst_ops), 1) + "% fewer",
+           bench::fmt(100.0 * (1.0 - double(smp.misses) / worst_miss), 1) +
+               "% fewer"});
+  }
+  t.print();
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Figure 14 — effect of different cache sizes: total streaming+caching
+// memory swept from 1/8 to ~1x of the graph size (the paper sweeps 1-8GB on
+// Kron-28-16 and 1-4GB on Twitter, with ~30-46% gains at the top end).
+#include "algo/bfs.h"
+#include "algo/cc.h"
+#include "algo/pagerank.h"
+#include "bench_common.h"
+
+namespace gstore {
+namespace {
+
+void sweep(const std::string& graph_name, tile::TileStore& store,
+           graph::vid_t root, bench::Table& t) {
+  const std::uint64_t data = store.data_bytes();
+  double bfs_base = 0, pr_base = 0, wcc_base = 0;
+  for (const int denom : {8, 4, 2, 1}) {
+    store::EngineConfig cfg;
+    cfg.stream_memory_bytes = std::max<std::uint64_t>(data / denom, 128 << 10);
+    cfg.segment_bytes = std::max<std::uint64_t>(cfg.stream_memory_bytes / 16,
+                                                32 << 10);
+    algo::TileBfs bfs(root);
+    Timer tb;
+    store::ScrEngine(store, cfg).run(bfs);
+    const double bfs_secs = tb.seconds();
+    if (bfs_base == 0) bfs_base = bfs_secs;
+
+    algo::TilePageRank pr(algo::PageRankOptions{0.85, 5, 0.0});
+    Timer tp;
+    store::ScrEngine(store, cfg).run(pr);
+    const double pr_secs = tp.seconds();
+    if (pr_base == 0) pr_base = pr_secs;
+
+    algo::TileWcc wcc;
+    Timer tw;
+    store::ScrEngine(store, cfg).run(wcc);
+    const double wcc_secs = tw.seconds();
+    if (wcc_base == 0) wcc_base = wcc_secs;
+
+    t.row({graph_name, "graph/" + std::to_string(denom),
+           bench::fmt(bfs_secs) + " (" + bench::fmt(bfs_base / bfs_secs) + "x)",
+           bench::fmt(pr_secs) + " (" + bench::fmt(pr_base / pr_secs) + "x)",
+           bench::fmt(wcc_secs) + " (" + bench::fmt(wcc_base / wcc_secs) + "x)"});
+  }
+}
+
+}  // namespace
+}  // namespace gstore
+
+int main() {
+  using namespace gstore;
+  bench::banner("Fig 14: effect of cache size",
+                "paper Fig 14 — 30-46% gains from 1GB to 8GB memory");
+
+  bench::Table t({"graph", "memory", "BFS s (speedup)", "PR s (speedup)",
+                  "WCC s (speedup)"});
+  {
+    auto g = bench::make_kron(bench::scale(), bench::edge_factor(),
+                              graph::GraphKind::kUndirected);
+    io::TempDir dir("fig14");
+    auto store = bench::open_store(dir, g.el, bench::default_tile_opts(), bench::one_ssd());
+    sweep(g.name, store, bench::hub_root(g.el), t);
+  }
+  {
+    auto g = bench::make_twitterish(bench::scale(), bench::edge_factor(),
+                                    graph::GraphKind::kUndirected);
+    g.el.normalize();
+    io::TempDir dir("fig14b");
+    auto store = bench::open_store(dir, g.el, bench::default_tile_opts(), bench::one_ssd());
+    sweep(g.name, store, bench::hub_root(g.el), t);
+  }
+  t.print();
+  return 0;
+}

@@ -1,0 +1,151 @@
+// Microbenchmarks (google-benchmark) for the hot kernels underneath the
+// per-figure harnesses: SNB encode/decode, tile edge visitation in both
+// tuple formats, the intra-tile compression codec (the paper's future-work
+// extension), the cache model, and the degree-array representations.
+#include <benchmark/benchmark.h>
+
+#include <numeric>
+#include <vector>
+
+#include "cachesim/cache_model.h"
+#include "graph/degree.h"
+#include "graph/generator.h"
+#include "tile/compress.h"
+#include "tile/snb.h"
+#include "tile/tile_file.h"
+#include "util/rng.h"
+
+namespace gstore {
+namespace {
+
+std::vector<tile::SnbEdge> random_tile(std::size_t n, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<tile::SnbEdge> edges(n);
+  for (auto& e : edges) {
+    e.src16 = static_cast<std::uint16_t>(rng.next_below(1 << 16));
+    e.dst16 = static_cast<std::uint16_t>(rng.next_below(1 << 16));
+  }
+  return edges;
+}
+
+// Hub-shaped tile (few sources, sorted destinations) — the compressible case.
+std::vector<tile::SnbEdge> hub_tile(std::size_t n) {
+  std::vector<tile::SnbEdge> edges(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    edges[i].src16 = static_cast<std::uint16_t>(i / 1024);
+    edges[i].dst16 = static_cast<std::uint16_t>((i % 1024) * 7);
+  }
+  return edges;
+}
+
+void BM_SnbDecode(benchmark::State& state) {
+  const auto edges = random_tile(static_cast<std::size_t>(state.range(0)), 1);
+  std::uint64_t sink = 0;
+  for (auto _ : state) {
+    for (const auto& e : edges) {
+      const graph::Edge g = tile::snb_decode(e, 1 << 16, 2 << 16);
+      sink += g.src + g.dst;
+    }
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * edges.size());
+}
+BENCHMARK(BM_SnbDecode)->Arg(1 << 12)->Arg(1 << 16);
+
+void BM_VisitEdgesSnb(benchmark::State& state) {
+  const auto edges = random_tile(static_cast<std::size_t>(state.range(0)), 2);
+  tile::TileView v;
+  v.src_base = 0;
+  v.dst_base = 0;
+  v.edges = edges;
+  std::uint64_t sink = 0;
+  for (auto _ : state) {
+    tile::visit_edges(v, [&](graph::vid_t a, graph::vid_t b) { sink += a + b; });
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * edges.size());
+}
+BENCHMARK(BM_VisitEdgesSnb)->Arg(1 << 16);
+
+void BM_VisitEdgesFat(benchmark::State& state) {
+  std::vector<graph::Edge> edges(static_cast<std::size_t>(state.range(0)));
+  Xoshiro256 rng(3);
+  for (auto& e : edges) {
+    e.src = static_cast<graph::vid_t>(rng.next_below(1 << 20));
+    e.dst = static_cast<graph::vid_t>(rng.next_below(1 << 20));
+  }
+  tile::TileView v;
+  v.fat = true;
+  v.fat_edges = edges;
+  std::uint64_t sink = 0;
+  for (auto _ : state) {
+    tile::visit_edges(v, [&](graph::vid_t a, graph::vid_t b) { sink += a + b; });
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * edges.size());
+}
+BENCHMARK(BM_VisitEdgesFat)->Arg(1 << 16);
+
+void BM_CompressHubTile(benchmark::State& state) {
+  const auto edges = hub_tile(static_cast<std::size_t>(state.range(0)));
+  std::size_t compressed = 0;
+  for (auto _ : state) {
+    auto payload = tile::compress_tile(edges);
+    compressed = payload.size();
+    benchmark::DoNotOptimize(payload);
+  }
+  state.SetItemsProcessed(state.iterations() * edges.size());
+  state.counters["ratio"] =
+      double(edges.size() * sizeof(tile::SnbEdge)) / double(compressed);
+}
+BENCHMARK(BM_CompressHubTile)->Arg(1 << 14);
+
+void BM_DecompressHubTile(benchmark::State& state) {
+  const auto payload =
+      tile::compress_tile(hub_tile(static_cast<std::size_t>(state.range(0))));
+  for (auto _ : state) {
+    auto edges = tile::decompress_tile(payload);
+    benchmark::DoNotOptimize(edges);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_DecompressHubTile)->Arg(1 << 14);
+
+void BM_CacheModelAccess(benchmark::State& state) {
+  cachesim::CacheHierarchy cache(256 << 10, 16 << 20);
+  Xoshiro256 rng(4);
+  for (auto _ : state) {
+    cache.access(rng.next_below(64ull << 20));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheModelAccess);
+
+void BM_CompressedDegreeLookup(benchmark::State& state) {
+  std::vector<graph::degree_t> deg(1 << 20, 9);
+  for (int i = 0; i < 1000; ++i) deg[i * 1000] = 100000;
+  const auto cd = graph::CompressedDegrees::build(deg);
+  Xoshiro256 rng(5);
+  std::uint64_t sink = 0;
+  for (auto _ : state) {
+    sink += cd[static_cast<graph::vid_t>(rng.next_below(deg.size()))];
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CompressedDegreeLookup);
+
+void BM_KroneckerGeneration(benchmark::State& state) {
+  for (auto _ : state) {
+    auto el = graph::kronecker(static_cast<unsigned>(state.range(0)), 8,
+                               graph::GraphKind::kUndirected);
+    benchmark::DoNotOptimize(el);
+  }
+  state.SetItemsProcessed(state.iterations() * (8ll << state.range(0)));
+}
+BENCHMARK(BM_KroneckerGeneration)->Arg(14)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace gstore
+
+BENCHMARK_MAIN();

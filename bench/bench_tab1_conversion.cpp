@@ -1,0 +1,37 @@
+// Table I — conversion time (seconds): CSR vs G-Store tile format, for the
+// paper's four graphs (Kron-28-16, Twitter, Friendster, Subdomain → offline
+// stand-ins at bench scale). The paper finds tile conversion *faster* than
+// CSR for most graphs, with Twitter slower due to tile skew.
+#include "bench_common.h"
+
+int main() {
+  using namespace gstore;
+  bench::banner("Table I: conversion time (seconds)",
+                "paper Table I — G-Store conversion is competitive with CSR");
+
+  const unsigned s = bench::scale();
+  const unsigned ef = bench::edge_factor();
+  std::vector<bench::NamedGraph> graphs;
+  graphs.push_back(bench::make_kron(s, ef, graph::GraphKind::kUndirected));
+  graphs.push_back(bench::make_twitterish(s, ef, graph::GraphKind::kDirected));
+  graphs.push_back(bench::make_friendsterish(s, ef, graph::GraphKind::kDirected));
+  graphs.push_back(bench::make_subdomainish(s, ef, graph::GraphKind::kDirected));
+
+  bench::Table t({"graph", "CSR (s)", "G-Store (s)", "pass1 (s)", "pass2 (s)",
+                  "G-Store/CSR"});
+  for (auto& g : graphs) {
+    io::TempDir dir("tab1");
+    const auto csr = tile::convert_to_csr_file(g.el, dir.file("csr"));
+    tile::ConvertOptions copt;
+    copt.tile_bits = s > 10 ? s - 8 : 2;
+    copt.group_side = 16;
+    const auto gs = tile::convert_to_tiles(g.el, dir.file("g"), copt);
+    t.row({g.name, bench::fmt(csr.total_seconds), bench::fmt(gs.total_seconds),
+           bench::fmt(gs.pass1_seconds), bench::fmt(gs.pass2_seconds),
+           bench::fmt(gs.total_seconds / csr.total_seconds) + "x"});
+  }
+  t.print();
+  std::printf("\npaper: Kron-28-16 57s vs 89s CSR; Twitter slower (25s vs 16s)\n");
+  std::printf("       due to tile skew — the same ordering should appear above\n");
+  return 0;
+}

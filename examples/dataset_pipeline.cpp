@@ -1,0 +1,120 @@
+// Real-dataset ingestion pipeline: everything between "I downloaded an edge
+// list from SNAP/KONECT" and "G-Store is answering queries on it".
+//
+//   1. parse a text edge list (here: synthesized to a temp file, standing in
+//      for a downloaded dataset),
+//   2. normalize (drop self loops / duplicate edges),
+//   3. relabel hubs-first (degree order) to concentrate the power-law mass
+//      into few tiles — the locality real crawls exhibit,
+//   4. convert to the tile store and deep-verify it,
+//   5. stripe the data file RAID-0 style across 4 members (the paper's
+//      testbed layout),
+//   6. run PageRank + WCC on the striped store.
+//
+//   ./dataset_pipeline --scale=15 --edge-factor=10
+#include <cstdio>
+
+#include "algo/cc.h"
+#include "algo/pagerank.h"
+#include "graph/generator.h"
+#include "graph/relabel.h"
+#include "graph/text_io.h"
+#include "io/file.h"
+#include "io/striped.h"
+#include "store/scr_engine.h"
+#include "tile/convert.h"
+#include "tile/grouping.h"
+#include "tile/tile_file.h"
+#include "tile/verify.h"
+#include "util/options.h"
+#include "util/timer.h"
+
+int main(int argc, char** argv) {
+  using namespace gstore;
+  Options opts;
+  opts.add("scale", "15", "log2 vertex count of the synthesized dataset");
+  opts.add("edge-factor", "10", "edges per vertex");
+  opts.add("stripes", "4", "RAID-0 members for the tile data");
+  opts.parse(argc, argv);
+  if (opts.help_requested()) {
+    std::fputs(opts.usage("dataset_pipeline").c_str(), stdout);
+    return 0;
+  }
+  const unsigned scale = static_cast<unsigned>(opts.get_int("scale"));
+  const unsigned ef = static_cast<unsigned>(opts.get_int("edge-factor"));
+  io::TempDir dir("gstore-pipeline");
+
+  // 1. The "downloaded" dataset: a skewed follow graph as a text edge list.
+  {
+    auto raw = graph::twitter_like(scale, ef, graph::GraphKind::kDirected);
+    graph::write_text_edges(dir.file("dataset.txt"), raw);
+    std::printf("dataset: %s (%.1f MiB of text)\n", dir.file("dataset.txt").c_str(),
+                io::File::file_size(dir.file("dataset.txt")) / double(1 << 20));
+  }
+
+  // 2. Parse + normalize.
+  Timer t_parse;
+  graph::TextReadOptions topt;
+  topt.kind = graph::GraphKind::kDirected;
+  auto el = graph::read_text_edges(dir.file("dataset.txt"), topt);
+  const auto removed = el.normalize();
+  std::printf("parsed %u vertices, %llu edges (%llu dups/loops dropped, %.2fs)\n",
+              el.vertex_count(), static_cast<unsigned long long>(el.edge_count()),
+              static_cast<unsigned long long>(removed), t_parse.seconds());
+
+  // 3. Hubs-first relabeling: show the tile-concentration effect.
+  auto count_occupied = [](const graph::EdgeList& g, const io::TempDir& d,
+                           const std::string& name) {
+    tile::ConvertOptions o;
+    o.tile_bits = 10;
+    tile::convert_to_tiles(g, d.file(name), o);
+    auto s = tile::TileStore::open(d.file(name));
+    std::uint64_t occupied = 0;
+    for (std::uint64_t k = 0; k < s.grid().tile_count(); ++k)
+      if (s.tile_edge_count(k) > 0) ++occupied;
+    return occupied;
+  };
+  auto relabeled = graph::relabel_by_degree(el);
+  std::printf("relabeling: %llu occupied tiles as-is → %llu hubs-first\n",
+              static_cast<unsigned long long>(count_occupied(el, dir, "asis")),
+              static_cast<unsigned long long>(
+                  count_occupied(relabeled, dir, "hubs")));
+
+  // 4. Convert the relabeled graph (the "hubs" store) and verify it.
+  const auto report = tile::verify_store(dir.file("hubs"));
+  std::printf("verify: %s (%llu tiles, %llu edges)\n",
+              report.ok ? "OK" : report.problems[0].c_str(),
+              static_cast<unsigned long long>(report.tiles_checked),
+              static_cast<unsigned long long>(report.edges_checked));
+  if (!report.ok) return 1;
+
+  // 5. Stripe the data file RAID-0 style.
+  const unsigned stripes = static_cast<unsigned>(opts.get_int("stripes"));
+  const std::string tiles = tile::TileStore::tiles_path(dir.file("hubs"));
+  io::stripe_file(tiles, tiles, stripes);
+  std::printf("striped %s over %u members (64KB stripes)\n", tiles.c_str(),
+              stripes);
+
+  // 6. Query the striped store.
+  io::DeviceConfig dev;
+  dev.stripe_files = stripes;
+  auto store = tile::TileStore::open(dir.file("hubs"), dev);
+  {
+    algo::TilePageRank pr(algo::PageRankOptions{0.85, 10, 1e-6});
+    Timer t;
+    store::ScrEngine(store).run(pr);
+    const auto top =
+        std::max_element(pr.ranks().begin(), pr.ranks().end()) - pr.ranks().begin();
+    std::printf("pagerank: %.3fs, top vertex %lld (hubs-first relabeling "
+                "puts the biggest hub near id 0)\n",
+                t.seconds(), static_cast<long long>(top));
+  }
+  {
+    algo::TileWcc wcc;
+    Timer t;
+    store::ScrEngine(store).run(wcc);
+    std::printf("wcc: %.3fs, %llu weakly connected components\n", t.seconds(),
+                static_cast<unsigned long long>(wcc.component_count()));
+  }
+  return 0;
+}

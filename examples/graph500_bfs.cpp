@@ -1,0 +1,83 @@
+// Graph500-style BFS harness: the benchmark the paper's BFS discussion is
+// anchored to (it cites Graph500 and reports MTEPS for the trillion-edge
+// runs). Runs BFS from several random roots and reports per-root and
+// harmonic-mean MTEPS, plus I/O statistics from the SCR engine.
+//
+//   ./graph500_bfs --scale=18 --edge-factor=16 --roots=8
+#include <cstdio>
+#include <vector>
+
+#include "algo/bfs.h"
+#include "graph/generator.h"
+#include "io/file.h"
+#include "store/scr_engine.h"
+#include "tile/convert.h"
+#include "tile/tile_file.h"
+#include "util/options.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+int main(int argc, char** argv) {
+  using namespace gstore;
+  Options opts;
+  opts.add("scale", "17", "log2 of the vertex count");
+  opts.add("edge-factor", "16", "edges per vertex");
+  opts.add("roots", "8", "number of search roots");
+  opts.add("memory-mb", "32", "stream+cache memory (MiB)");
+  opts.parse(argc, argv);
+  if (opts.help_requested()) {
+    std::fputs(opts.usage("graph500_bfs").c_str(), stdout);
+    return 0;
+  }
+
+  const unsigned scale = static_cast<unsigned>(opts.get_int("scale"));
+  const unsigned ef = static_cast<unsigned>(opts.get_int("edge-factor"));
+
+  std::printf("Kron-%u-%u: generating + converting...\n", scale, ef);
+  auto el = graph::kronecker(scale, ef, graph::GraphKind::kUndirected);
+  io::TempDir dir("gstore-g500");
+  tile::convert_to_tiles(el, dir.file("g"));
+  auto store = tile::TileStore::open(dir.file("g"));
+  const auto deg = el.degrees();
+
+  store::EngineConfig cfg;
+  cfg.stream_memory_bytes = static_cast<std::uint64_t>(opts.get_int("memory-mb"))
+                            << 20;
+  cfg.segment_bytes = cfg.stream_memory_bytes / 8;
+
+  Xoshiro256 rng(2016);
+  const int roots = static_cast<int>(opts.get_int("roots"));
+  double sum_inv_teps = 0;
+  int counted = 0;
+  std::printf("%-8s %-10s %-12s %-10s %-12s %-10s\n", "root", "time(s)",
+              "edges", "levels", "MTEPS", "MiB read");
+  for (int k = 0; k < roots; ++k) {
+    graph::vid_t root;
+    do {
+      root = static_cast<graph::vid_t>(rng.next_below(el.vertex_count()));
+    } while (deg[root] == 0);
+
+    algo::TileBfs bfs(root);
+    store::ScrEngine engine(store, cfg);
+    Timer t;
+    const auto stats = engine.run(bfs);
+    const double secs = t.seconds();
+    // Graph500 counts each input edge of the traversed component once.
+    std::uint64_t traversed = 0;
+    for (graph::vid_t v = 0; v < el.vertex_count(); ++v)
+      if (bfs.depth()[v] >= 0) traversed += deg[v];
+    traversed /= 2;  // undirected: each edge counted at both endpoints
+    const double mteps = traversed / secs / 1e6;
+    std::printf("%-8u %-10.3f %-12llu %-10d %-12.1f %-10.1f\n", root, secs,
+                static_cast<unsigned long long>(traversed), bfs.max_depth(),
+                mteps, stats.bytes_read / double(1 << 20));
+    if (traversed > 0) {
+      sum_inv_teps += 1.0 / mteps;
+      ++counted;
+    }
+  }
+  if (counted > 0)
+    std::printf("harmonic-mean MTEPS over %d roots: %.1f\n", counted,
+                counted / sum_inv_teps);
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Lock-free update helpers for algorithm metadata. process_tile() runs
+// concurrently across tiles (OpenMP), so metadata writes go through these.
+// When the process runs single-threaded (this is detected once at startup),
+// the helpers take plain non-atomic paths — a CAS loop per edge would
+// otherwise dominate single-core runs and distort engine comparisons.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+namespace gstore::algo {
+
+inline bool concurrent_execution() noexcept {
+#ifdef _OPENMP
+  static const bool multi = omp_get_max_threads() > 1;
+  return multi;
+#else
+  return false;  // engine parallelism comes from OpenMP only
+#endif
+}
+
+// Atomically sets *p to min(*p, val); returns true if it lowered the value.
+template <typename T>
+inline bool atomic_min(T* p, T val) noexcept {
+  if (!concurrent_execution()) {
+    if (val < *p) {
+      *p = val;
+      return true;
+    }
+    return false;
+  }
+  std::atomic_ref<T> ref(*p);
+  T cur = ref.load(std::memory_order_relaxed);
+  while (val < cur) {
+    if (ref.compare_exchange_weak(cur, val, std::memory_order_relaxed))
+      return true;
+  }
+  return false;
+}
+
+// Atomically: if (*p == expected) *p = desired. Returns true on success.
+template <typename T>
+inline bool atomic_cas(T* p, T expected, T desired) noexcept {
+  if (!concurrent_execution()) {
+    if (*p == expected) {
+      *p = desired;
+      return true;
+    }
+    return false;
+  }
+  std::atomic_ref<T> ref(*p);
+  return ref.compare_exchange_strong(expected, desired,
+                                     std::memory_order_relaxed);
+}
+
+// Atomic floating-point accumulate.
+template <typename T>
+inline void atomic_add(T* p, T val) noexcept {
+  if (!concurrent_execution()) {
+    *p += val;
+    return;
+  }
+  std::atomic_ref<T> ref(*p);
+  T cur = ref.load(std::memory_order_relaxed);
+  while (!ref.compare_exchange_weak(cur, cur + val, std::memory_order_relaxed)) {
+  }
+}
+
+// Relaxed atomic flag set on a byte array.
+inline void atomic_set_flag(std::uint8_t* p) noexcept {
+  if (!concurrent_execution()) {
+    *p = 1;
+    return;
+  }
+  std::atomic_ref<std::uint8_t> ref(*p);
+  ref.store(1, std::memory_order_relaxed);
+}
+
+}  // namespace gstore::algo

@@ -1,0 +1,70 @@
+#include "algo/bfs.h"
+
+#include "algo/atomics.h"
+#include "util/status.h"
+
+namespace gstore::algo {
+
+void TileBfs::init(const tile::TileStore& store) {
+  const auto& meta = store.meta();
+  symmetric_ = meta.symmetric();
+  in_edges_ = meta.in_edges();
+  tile_bits_ = meta.tile_bits;
+  GS_CHECK_MSG(root_ < store.vertex_count(), "BFS root out of range");
+
+  depth_.assign(store.vertex_count(), kUnvisited);
+  frontier_row_cur_.assign(store.grid().p(), 0);
+  frontier_row_next_.assign(store.grid().p(), 0);
+
+  level_ = 0;
+  visited_ = 1;
+  newly_visited_ = 0;
+  depth_[root_] = 0;
+  frontier_row_cur_[root_ >> tile_bits_] = 1;
+}
+
+void TileBfs::begin_iteration(std::uint32_t) { newly_visited_ = 0; }
+
+void TileBfs::visit(graph::vid_t v, std::int32_t next_level) {
+  if (atomic_cas(&depth_[v], kUnvisited, next_level)) {
+    atomic_set_flag(&frontier_row_next_[v >> tile_bits_]);
+    std::atomic_ref<std::uint64_t>(newly_visited_)
+        .fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void TileBfs::process_tile(const tile::TileView& view) {
+  const std::int32_t next_level = level_ + 1;
+  tile::visit_edges(view, [&](graph::vid_t a, graph::vid_t b) {
+    // For in-edge stores the tuple is (dst, src): `a` is then the head of
+    // the original edge and `b` its tail, so the frontier test flips.
+    const graph::vid_t from = in_edges_ ? b : a;
+    const graph::vid_t to = in_edges_ ? a : b;
+    if (depth_[from] == level_ && depth_[to] == kUnvisited)
+      visit(to, next_level);
+    if (symmetric_ && depth_[to] == level_ && depth_[from] == kUnvisited)
+      visit(from, next_level);  // Algorithm 1 lines 8-10
+  });
+}
+
+bool TileBfs::end_iteration(std::uint32_t) {
+  visited_ += newly_visited_;
+  ++level_;
+  frontier_row_cur_.swap(frontier_row_next_);
+  std::fill(frontier_row_next_.begin(), frontier_row_next_.end(), 0);
+  return newly_visited_ > 0;
+}
+
+bool TileBfs::tile_needed(std::uint32_t i, std::uint32_t j) const {
+  // A tile can generate visits only if a frontier vertex lies in its source
+  // range — or, on symmetric stores, its destination range.
+  if (frontier_row_cur_[in_edges_ ? j : i]) return true;
+  return symmetric_ && frontier_row_cur_[j];
+}
+
+bool TileBfs::tile_useful_next(std::uint32_t i, std::uint32_t j) const {
+  if (frontier_row_next_[in_edges_ ? j : i]) return true;
+  return symmetric_ && frontier_row_next_[j];
+}
+
+}  // namespace gstore::algo

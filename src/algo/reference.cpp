@@ -1,0 +1,110 @@
+#include "algo/reference.h"
+
+#include <limits>
+#include <numeric>
+#include <queue>
+
+#include "algo/sssp.h"
+
+namespace gstore::algo {
+
+std::vector<std::int32_t> ref_bfs(const graph::EdgeList& el, graph::vid_t root) {
+  const graph::Csr csr = graph::Csr::build(el);
+  std::vector<std::int32_t> depth(el.vertex_count(), -1);
+  std::queue<graph::vid_t> q;
+  depth[root] = 0;
+  q.push(root);
+  while (!q.empty()) {
+    const graph::vid_t v = q.front();
+    q.pop();
+    for (graph::vid_t w : csr.neighbors(v)) {
+      if (depth[w] == -1) {
+        depth[w] = depth[v] + 1;
+        q.push(w);
+      }
+    }
+  }
+  return depth;
+}
+
+std::vector<double> ref_pagerank(const graph::EdgeList& el,
+                                 std::uint32_t iterations, double damping) {
+  const graph::vid_t n = el.vertex_count();
+  const std::vector<graph::degree_t> deg = el.degrees();
+  std::vector<double> rank(n, 1.0 / n);
+  std::vector<double> next(n);
+  for (std::uint32_t it = 0; it < iterations; ++it) {
+    std::fill(next.begin(), next.end(), 0.0);
+    for (const graph::Edge& e : el.edges()) {
+      if (e.src == e.dst) continue;  // converter drops self loops
+      if (deg[e.src] > 0) next[e.dst] += rank[e.src] / deg[e.src];
+      if (el.kind() == graph::GraphKind::kUndirected && deg[e.dst] > 0)
+        next[e.src] += rank[e.dst] / deg[e.dst];
+    }
+    const double base = (1.0 - damping) / n;
+    for (graph::vid_t v = 0; v < n; ++v) rank[v] = base + damping * next[v];
+  }
+  return rank;
+}
+
+namespace {
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), graph::vid_t{0});
+  }
+  graph::vid_t find(graph::vid_t v) {
+    while (parent_[v] != v) {
+      parent_[v] = parent_[parent_[v]];
+      v = parent_[v];
+    }
+    return v;
+  }
+  void unite(graph::vid_t a, graph::vid_t b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return;
+    if (a > b) std::swap(a, b);  // keep the smaller id as root
+    parent_[b] = a;
+  }
+
+ private:
+  std::vector<graph::vid_t> parent_;
+};
+}  // namespace
+
+std::vector<graph::vid_t> ref_wcc(const graph::EdgeList& el) {
+  UnionFind uf(el.vertex_count());
+  for (const graph::Edge& e : el.edges()) uf.unite(e.src, e.dst);
+  // Because unite() always roots at the smaller id, find() yields the
+  // component's minimum vertex id.
+  std::vector<graph::vid_t> label(el.vertex_count());
+  for (graph::vid_t v = 0; v < el.vertex_count(); ++v) label[v] = uf.find(v);
+  return label;
+}
+
+std::vector<float> ref_sssp(const graph::EdgeList& el, graph::vid_t root) {
+  const graph::Csr csr = graph::Csr::build(el);
+  constexpr float kInf = std::numeric_limits<float>::infinity();
+  std::vector<float> dist(el.vertex_count(), kInf);
+  using Item = std::pair<float, graph::vid_t>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+  dist[root] = 0.0f;
+  pq.emplace(0.0f, root);
+  while (!pq.empty()) {
+    const auto [d, v] = pq.top();
+    pq.pop();
+    if (d > dist[v]) continue;
+    for (graph::vid_t w : csr.neighbors(v)) {
+      if (v == w) continue;  // self loops carry no useful weight
+      const float nd = d + edge_weight(v, w);
+      if (nd < dist[w]) {
+        dist[w] = nd;
+        pq.emplace(nd, w);
+      }
+    }
+  }
+  return dist;
+}
+
+}  // namespace gstore::algo

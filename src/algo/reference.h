@@ -1,0 +1,33 @@
+// In-memory reference implementations used to validate the tile engine and
+// the baseline engines. Deliberately simple textbook algorithms over CSR.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.h"
+#include "graph/edge_list.h"
+#include "graph/types.h"
+
+namespace gstore::algo {
+
+// BFS depths from `root`; unreachable = -1. For directed graphs follows
+// out-edges.
+std::vector<std::int32_t> ref_bfs(const graph::EdgeList& el, graph::vid_t root);
+
+// PageRank with exactly `iterations` synchronous iterations in double
+// precision (tight bound for the float tile engine). Directed graphs use
+// out-degree push, matching TilePageRank.
+std::vector<double> ref_pagerank(const graph::EdgeList& el,
+                                 std::uint32_t iterations,
+                                 double damping = 0.85);
+
+// Weakly-connected components: label = smallest vertex id in the component
+// (union-find under the hood).
+std::vector<graph::vid_t> ref_wcc(const graph::EdgeList& el);
+
+// Dijkstra distances using algo::edge_weight() (see sssp.h); unreachable =
+// +inf. Directed graphs follow out-edges.
+std::vector<float> ref_sssp(const graph::EdgeList& el, graph::vid_t root);
+
+}  // namespace gstore::algo

@@ -1,0 +1,65 @@
+#include "algo/sssp.h"
+
+#include <algorithm>
+
+#include "algo/atomics.h"
+#include "util/status.h"
+
+namespace gstore::algo {
+
+void TileSssp::init(const tile::TileStore& store) {
+  const auto& meta = store.meta();
+  symmetric_ = meta.symmetric();
+  in_edges_ = meta.in_edges();
+  tile_bits_ = meta.tile_bits;
+  GS_CHECK_MSG(root_ < store.vertex_count(), "SSSP root out of range");
+
+  dist_.assign(store.vertex_count(), kInf);
+  active_row_cur_.assign(store.grid().p(), 0);
+  active_row_next_.assign(store.grid().p(), 0);
+  dist_[root_] = 0.0f;
+  active_row_cur_[root_ >> tile_bits_] = 1;
+  relaxed_ = 0;
+}
+
+void TileSssp::begin_iteration(std::uint32_t) { relaxed_ = 0; }
+
+void TileSssp::relax(graph::vid_t to, float cand) {
+  if (atomic_min(&dist_[to], cand)) {
+    atomic_set_flag(&active_row_next_[to >> tile_bits_]);
+    std::atomic_ref<std::uint64_t>(relaxed_).fetch_add(
+        1, std::memory_order_relaxed);
+  }
+}
+
+void TileSssp::process_tile(const tile::TileView& view) {
+  tile::visit_edges(view, [&](graph::vid_t a, graph::vid_t b) {
+    const graph::vid_t from = in_edges_ ? b : a;
+    const graph::vid_t to = in_edges_ ? a : b;
+    const float w = edge_weight(a, b);
+    const float df = dist_[from];
+    if (df != kInf) relax(to, df + w);
+    if (symmetric_) {
+      const float dt = dist_[to];
+      if (dt != kInf) relax(from, dt + w);
+    }
+  });
+}
+
+bool TileSssp::end_iteration(std::uint32_t) {
+  active_row_cur_.swap(active_row_next_);
+  std::fill(active_row_next_.begin(), active_row_next_.end(), 0);
+  return relaxed_ > 0;
+}
+
+bool TileSssp::tile_needed(std::uint32_t i, std::uint32_t j) const {
+  if (active_row_cur_[in_edges_ ? j : i]) return true;
+  return symmetric_ && active_row_cur_[j];
+}
+
+bool TileSssp::tile_useful_next(std::uint32_t i, std::uint32_t j) const {
+  if (active_row_next_[in_edges_ ? j : i]) return true;
+  return symmetric_ && active_row_next_[j];
+}
+
+}  // namespace gstore::algo

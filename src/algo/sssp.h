@@ -1,0 +1,59 @@
+// Single-source shortest paths — the extension algorithm (paper §IX plans
+// broader algorithm support; SSSP exercises frontier-driven selective fetch
+// with non-monotone metadata, unlike BFS).
+//
+// The 4-byte tile tuple has no room for weights, so weights are derived
+// deterministically from the endpoint pair (hash → [1, 16]); the in-memory
+// Dijkstra reference uses the same function, keeping validation exact.
+// Relaxation is Bellman-Ford style with per-tile-row activity flags.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "graph/types.h"
+#include "store/algorithm.h"
+
+namespace gstore::algo {
+
+// Deterministic pseudo-weight in [1,16], symmetric in its arguments.
+inline float edge_weight(graph::vid_t u, graph::vid_t v) noexcept {
+  const graph::vid_t lo = u < v ? u : v;
+  const graph::vid_t hi = u < v ? v : u;
+  std::uint64_t x = (static_cast<std::uint64_t>(lo) << 32) | hi;
+  x *= 0x9e3779b97f4a7c15ULL;
+  x ^= x >> 33;
+  return 1.0f + static_cast<float>(x % 16);
+}
+
+class TileSssp final : public store::TileAlgorithm {
+ public:
+  static constexpr float kInf = std::numeric_limits<float>::infinity();
+
+  explicit TileSssp(graph::vid_t root) : root_(root) {}
+
+  std::string name() const override { return "sssp"; }
+  void init(const tile::TileStore& store) override;
+  void begin_iteration(std::uint32_t iter) override;
+  void process_tile(const tile::TileView& view) override;
+  bool end_iteration(std::uint32_t iter) override;
+  bool tile_needed(std::uint32_t i, std::uint32_t j) const override;
+  bool tile_useful_next(std::uint32_t i, std::uint32_t j) const override;
+
+  const std::vector<float>& distances() const noexcept { return dist_; }
+
+ private:
+  void relax(graph::vid_t to, float cand);
+
+  graph::vid_t root_;
+  bool symmetric_ = true;
+  bool in_edges_ = false;
+  unsigned tile_bits_ = 16;
+  std::uint64_t relaxed_ = 0;
+  std::vector<float> dist_;
+  std::vector<std::uint8_t> active_row_cur_;   // row had a distance drop last iter
+  std::vector<std::uint8_t> active_row_next_;
+};
+
+}  // namespace gstore::algo

@@ -1,0 +1,230 @@
+#include "baseline/graphchi.h"
+
+#include <algorithm>
+
+#include "io/file.h"
+#include "util/status.h"
+#include "util/timer.h"
+
+namespace gstore::baseline {
+
+namespace {
+
+constexpr std::uint64_t kPswMagic = 0x4753434849505357ULL;  // "GSCHIPSW"
+
+struct PswHeader {
+  std::uint64_t magic = kPswMagic;
+  std::uint32_t version = 1;
+  std::uint32_t shards = 0;
+  std::uint64_t vertex_count = 0;
+  std::uint64_t edge_count = 0;
+  std::uint64_t reserved[4] = {0, 0, 0, 0};
+};
+static_assert(sizeof(PswHeader) == 64);
+
+std::string shard_path(const std::string& base, std::uint32_t s) {
+  return base + ".shard" + std::to_string(s);
+}
+std::string index_path(const std::string& base) { return base + ".psw"; }
+
+}  // namespace
+
+std::uint64_t build_graphchi_shards(const graph::EdgeList& el,
+                                    const std::string& base_path,
+                                    const GraphChiConfig& config) {
+  GS_CHECK_MSG(config.shards >= 1, "need at least one shard");
+  GS_CHECK_MSG(el.vertex_count() > 0, "empty graph");
+  const std::uint32_t P = config.shards;
+  const graph::vid_t n = el.vertex_count();
+  auto interval_of = [&](graph::vid_t v) {
+    return static_cast<std::uint32_t>((static_cast<std::uint64_t>(v) * P) / n);
+  };
+
+  // Materialize the directed edge set (both orientations for undirected),
+  // bucket by destination interval, sort each shard by source.
+  std::vector<std::vector<graph::Edge>> shards(P);
+  auto add = [&](graph::vid_t s, graph::vid_t d) {
+    shards[interval_of(d)].push_back(graph::Edge{s, d});
+  };
+  for (const graph::Edge& e : el.edges()) {
+    if (e.src == e.dst) continue;
+    add(e.src, e.dst);
+    if (el.kind() == graph::GraphKind::kUndirected) add(e.dst, e.src);
+  }
+  std::uint64_t total_edges = 0;
+  for (auto& shard : shards) {
+    std::stable_sort(shard.begin(), shard.end(),
+                     [](const graph::Edge& a, const graph::Edge& b) {
+                       return a.src < b.src;
+                     });
+    total_edges += shard.size();
+  }
+
+  // Window index: for each shard, where each source interval begins.
+  std::uint64_t bytes = 0;
+  {
+    io::File idx(index_path(base_path), io::OpenMode::kWrite);
+    PswHeader h;
+    h.shards = P;
+    h.vertex_count = n;
+    h.edge_count = total_edges;
+    idx.append(&h, sizeof(h));
+    for (std::uint32_t s = 0; s < P; ++s) {
+      std::vector<std::uint64_t> starts(P + 1, 0);
+      for (const graph::Edge& e : shards[s]) ++starts[interval_of(e.src) + 1];
+      for (std::uint32_t p = 0; p < P; ++p) starts[p + 1] += starts[p];
+      idx.append(starts.data(), starts.size() * sizeof(std::uint64_t));
+      bytes += starts.size() * sizeof(std::uint64_t);
+    }
+    idx.sync();
+    bytes += sizeof(h);
+  }
+  for (std::uint32_t s = 0; s < P; ++s) {
+    io::File f(shard_path(base_path, s), io::OpenMode::kWrite);
+    if (!shards[s].empty())
+      f.append(shards[s].data(), shards[s].size() * sizeof(graph::Edge));
+    f.sync();
+    bytes += shards[s].size() * sizeof(graph::Edge);
+  }
+  return bytes;
+}
+
+GraphChiEngine::GraphChiEngine(const std::string& base_path,
+                               GraphChiConfig config)
+    : config_(config) {
+  io::File idx(index_path(base_path), io::OpenMode::kRead);
+  PswHeader h;
+  idx.pread_full(&h, sizeof(h), 0);
+  if (h.magic != kPswMagic)
+    throw FormatError("bad magic in " + index_path(base_path));
+  if (h.shards != config.shards)
+    throw FormatError("psw index built with " + std::to_string(h.shards) +
+                      " shards, engine configured for " +
+                      std::to_string(config.shards));
+  vertex_count_ = static_cast<graph::vid_t>(h.vertex_count);
+  edge_count_ = h.edge_count;
+
+  const std::uint32_t P = config_.shards;
+  window_start_.resize(P);
+  std::uint64_t off = sizeof(h);
+  for (std::uint32_t s = 0; s < P; ++s) {
+    window_start_[s].resize(P + 1);
+    idx.pread_full(window_start_[s].data(),
+                   window_start_[s].size() * sizeof(std::uint64_t), off);
+    off += window_start_[s].size() * sizeof(std::uint64_t);
+  }
+  for (std::uint32_t s = 0; s < P; ++s)
+    shard_devices_.push_back(
+        std::make_unique<io::Device>(shard_path(base_path, s), config.device));
+}
+
+void GraphChiEngine::for_interval(
+    std::uint32_t p, const std::function<void(graph::vid_t, graph::vid_t)>& fn) {
+  const std::uint32_t P = config_.shards;
+  std::vector<graph::Edge> buf;
+  auto read_edges = [&](std::uint32_t shard, std::uint64_t first,
+                        std::uint64_t last) {
+    if (first >= last) return;
+    buf.resize(last - first);
+    shard_devices_[shard]->read(buf.data(),
+                                (last - first) * sizeof(graph::Edge),
+                                first * sizeof(graph::Edge));
+    stats_.bytes_read += (last - first) * sizeof(graph::Edge);
+    ++stats_.window_reads;
+    for (const graph::Edge& e : buf) fn(e.src, e.dst);
+  };
+
+  // Memory shard: all in-edges of interval p (one sequential read).
+  read_edges(p, 0, window_start_[p].back());
+  // Sliding windows: out-edges of interval p living in the other shards.
+  for (std::uint32_t s = 0; s < P; ++s) {
+    if (s == p) continue;
+    read_edges(s, window_start_[s][p], window_start_[s][p + 1]);
+  }
+}
+
+GraphChiStats GraphChiEngine::run_bfs(graph::vid_t root,
+                                      std::vector<std::int32_t>& depth_out) {
+  stats_ = GraphChiStats{};
+  Timer t;
+  depth_out.assign(vertex_count_, -1);
+  depth_out[root] = 0;
+  std::int32_t level = 0;
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    for (std::uint32_t p = 0; p < config_.shards; ++p) {
+      for_interval(p, [&](graph::vid_t s, graph::vid_t d) {
+        if (depth_out[s] == level && depth_out[d] == -1) {
+          depth_out[d] = level + 1;
+          progressed = true;
+        }
+      });
+    }
+    ++level;
+    ++stats_.iterations;
+  }
+  stats_.elapsed_seconds = t.seconds();
+  return stats_;
+}
+
+GraphChiStats GraphChiEngine::run_pagerank(
+    std::uint32_t iterations, double damping,
+    const std::vector<graph::degree_t>& out_degrees,
+    std::vector<float>& rank_out) {
+  GS_CHECK_MSG(out_degrees.size() == vertex_count_, "degree size mismatch");
+  stats_ = GraphChiStats{};
+  Timer t;
+  rank_out.assign(vertex_count_, 1.0f / static_cast<float>(vertex_count_));
+  std::vector<float> incoming(vertex_count_);
+  for (std::uint32_t it = 0; it < iterations; ++it) {
+    std::fill(incoming.begin(), incoming.end(), 0.0f);
+    for (std::uint32_t p = 0; p < config_.shards; ++p) {
+      // Only the memory shard's in-edges accumulate (each edge is also seen
+      // through a window when its source interval is processed; counting it
+      // there would double-add).
+      const std::uint32_t interval = p;
+      for_interval(p, [&](graph::vid_t s, graph::vid_t d) {
+        if (interval_of(d) != interval) return;  // window view: skip
+        if (out_degrees[s] > 0)
+          incoming[d] += rank_out[s] / static_cast<float>(out_degrees[s]);
+      });
+      (void)interval;
+    }
+    const float base = static_cast<float>((1.0 - damping) / vertex_count_);
+    for (graph::vid_t v = 0; v < vertex_count_; ++v)
+      rank_out[v] = base + static_cast<float>(damping) * incoming[v];
+    ++stats_.iterations;
+  }
+  stats_.elapsed_seconds = t.seconds();
+  return stats_;
+}
+
+GraphChiStats GraphChiEngine::run_wcc(std::vector<graph::vid_t>& label_out) {
+  stats_ = GraphChiStats{};
+  Timer t;
+  label_out.resize(vertex_count_);
+  for (graph::vid_t v = 0; v < vertex_count_; ++v) label_out[v] = v;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::uint32_t p = 0; p < config_.shards; ++p) {
+      for_interval(p, [&](graph::vid_t s, graph::vid_t d) {
+        const graph::vid_t m = std::min(label_out[s], label_out[d]);
+        if (label_out[s] != m) {
+          label_out[s] = m;
+          changed = true;
+        }
+        if (label_out[d] != m) {
+          label_out[d] = m;
+          changed = true;
+        }
+      });
+    }
+    ++stats_.iterations;
+  }
+  stats_.elapsed_seconds = t.seconds();
+  return stats_;
+}
+
+}  // namespace gstore::baseline

@@ -1,0 +1,71 @@
+#include "cachesim/cache_model.h"
+
+#include "util/bitops.h"
+#include "util/status.h"
+
+namespace gstore::cachesim {
+
+CacheLevel::CacheLevel(std::uint64_t size_bytes, unsigned line_bytes,
+                       unsigned ways)
+    : size_(size_bytes), line_(line_bytes), ways_(ways) {
+  GS_CHECK_MSG(gstore::is_pow2(line_bytes), "cache line size must be pow2");
+  GS_CHECK_MSG(ways >= 1, "cache needs at least one way");
+  GS_CHECK_MSG(size_bytes % (static_cast<std::uint64_t>(line_bytes) * ways) == 0,
+               "cache size must be a multiple of line*ways");
+  sets_ = size_bytes / (static_cast<std::uint64_t>(line_bytes) * ways);
+  GS_CHECK_MSG(gstore::is_pow2(sets_), "cache set count must be pow2");
+  line_shift_ = gstore::bits_for(line_bytes);
+  table_.resize(sets_ * ways_);
+}
+
+bool CacheLevel::access(std::uint64_t addr) {
+  ++stats_.accesses;
+  const std::uint64_t line_addr = addr >> line_shift_;
+  const std::uint64_t set = line_addr & (sets_ - 1);
+  const std::uint64_t tag = line_addr >> gstore::bits_for(sets_);
+  Way* base = &table_[set * ways_];
+
+  for (unsigned w = 0; w < ways_; ++w) {
+    Way& way = base[w];
+    if (way.valid && way.tag == tag) {
+      way.stamp = ++clock_;
+      ++stats_.hits;
+      return true;
+    }
+  }
+  // Miss: victim is the first invalid way, else the LRU way.
+  Way* victim = base;
+  for (unsigned w = 0; w < ways_; ++w) {
+    if (!base[w].valid) {
+      victim = &base[w];
+      break;
+    }
+    if (base[w].stamp < victim->stamp) victim = &base[w];
+  }
+  ++stats_.misses;
+  victim->valid = true;
+  victim->tag = tag;
+  victim->stamp = ++clock_;
+  return false;
+}
+
+void CacheLevel::reset() {
+  for (auto& w : table_) w = Way{};
+  stats_ = CacheStats{};
+  clock_ = 0;
+}
+
+CacheHierarchy::CacheHierarchy(std::uint64_t l2_bytes, std::uint64_t llc_bytes,
+                               unsigned line_bytes)
+    : l2_(l2_bytes, line_bytes, 8), llc_(llc_bytes, line_bytes, 16) {}
+
+void CacheHierarchy::access(std::uint64_t addr) {
+  if (!l2_.access(addr)) llc_.access(addr);
+}
+
+void CacheHierarchy::reset() {
+  l2_.reset();
+  llc_.reset();
+}
+
+}  // namespace gstore::cachesim

@@ -1,0 +1,39 @@
+#include "graph/csr.h"
+
+#include <numeric>
+
+namespace gstore::graph {
+
+Csr Csr::build(const EdgeList& el, bool out_edges) {
+  const vid_t n = el.vertex_count();
+  Csr csr;
+  csr.beg_pos_.assign(static_cast<std::size_t>(n) + 1, 0);
+
+  // Pass 1: counts.
+  for (const Edge& e : el.edges()) {
+    if (el.kind() == GraphKind::kUndirected) {
+      ++csr.beg_pos_[e.src + 1];
+      if (e.src != e.dst) ++csr.beg_pos_[e.dst + 1];
+    } else {
+      ++csr.beg_pos_[(out_edges ? e.src : e.dst) + 1];
+    }
+  }
+  std::partial_sum(csr.beg_pos_.begin(), csr.beg_pos_.end(), csr.beg_pos_.begin());
+  csr.adj_.resize(csr.beg_pos_.back());
+
+  // Pass 2: fill (cursor per vertex).
+  std::vector<std::uint64_t> cursor(csr.beg_pos_.begin(), csr.beg_pos_.end() - 1);
+  for (const Edge& e : el.edges()) {
+    if (el.kind() == GraphKind::kUndirected) {
+      csr.adj_[cursor[e.src]++] = e.dst;
+      if (e.src != e.dst) csr.adj_[cursor[e.dst]++] = e.src;
+    } else if (out_edges) {
+      csr.adj_[cursor[e.src]++] = e.dst;
+    } else {
+      csr.adj_[cursor[e.dst]++] = e.src;
+    }
+  }
+  return csr;
+}
+
+}  // namespace gstore::graph

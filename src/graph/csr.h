@@ -1,0 +1,54 @@
+// Compressed Sparse Row representation (paper §II-A, Figure 1c).
+//
+// Used by the FlashGraph-like baseline and by the in-memory reference
+// algorithms that validate the tile engine.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/edge_list.h"
+#include "graph/types.h"
+
+namespace gstore::graph {
+
+class Csr {
+ public:
+  Csr() = default;
+
+  // Builds adjacency from an edge list. For undirected graphs each edge
+  // appears in both endpoints' lists (the traditional, non-symmetric CSR
+  // the paper compares against). For directed graphs `out_edges` selects
+  // which direction is stored.
+  static Csr build(const EdgeList& el, bool out_edges = true);
+
+  vid_t vertex_count() const noexcept {
+    return beg_pos_.empty() ? 0 : static_cast<vid_t>(beg_pos_.size() - 1);
+  }
+  std::uint64_t adjacency_size() const noexcept { return adj_.size(); }
+
+  std::span<const vid_t> neighbors(vid_t v) const {
+    return std::span<const vid_t>(adj_.data() + beg_pos_[v],
+                                  beg_pos_[v + 1] - beg_pos_[v]);
+  }
+  degree_t degree(vid_t v) const noexcept {
+    return static_cast<degree_t>(beg_pos_[v + 1] - beg_pos_[v]);
+  }
+
+  const std::vector<std::uint64_t>& beg_pos() const noexcept { return beg_pos_; }
+  const std::vector<vid_t>& adj_list() const noexcept { return adj_; }
+
+  // On-disk size of the CSR representation: |E| ids + |V|+1 offsets
+  // (paper Table II column "CSR Size" — offsets stored as 8B, ids as 4B,
+  // undirected edges stored twice).
+  std::uint64_t storage_bytes() const noexcept {
+    return adj_.size() * sizeof(vid_t) + beg_pos_.size() * sizeof(std::uint64_t);
+  }
+
+ private:
+  std::vector<std::uint64_t> beg_pos_;  // size |V|+1
+  std::vector<vid_t> adj_;              // size = stored edge slots
+};
+
+}  // namespace gstore::graph

@@ -1,0 +1,32 @@
+#include "graph/degree.h"
+
+namespace gstore::graph {
+
+CompressedDegrees CompressedDegrees::build(std::span<const degree_t> degrees) {
+  CompressedDegrees out;
+
+  std::size_t big = 0;
+  for (degree_t d : degrees)
+    if (d > kInlineMax) ++big;
+
+  if (big > kMaxOverflow) {
+    out.compressed_ = false;
+    out.plain_.assign(degrees.begin(), degrees.end());
+    return out;
+  }
+
+  out.inline_.resize(degrees.size());
+  out.overflow_.reserve(big);
+  for (std::size_t v = 0; v < degrees.size(); ++v) {
+    const degree_t d = degrees[v];
+    if (d <= kInlineMax) {
+      out.inline_[v] = static_cast<std::uint16_t>(d);
+    } else {
+      out.inline_[v] = static_cast<std::uint16_t>(kOverflowFlag | out.overflow_.size());
+      out.overflow_.push_back(d);
+    }
+  }
+  return out;
+}
+
+}  // namespace gstore::graph

@@ -1,0 +1,59 @@
+// Compressed degree array (paper §IV-C "Additional Storage Saving on
+// Degrees").
+//
+// Power-law graphs have mostly tiny degrees: entries are 2 bytes with the
+// MSB clear for degrees ≤ 32767. Vertices exceeding that get the MSB set
+// and the low 15 bits index an overflow table of 4-byte degrees. The
+// optimization applies only while the overflow table stays under 2^15
+// entries; build() reports whether compression was possible.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace gstore::graph {
+
+class CompressedDegrees {
+ public:
+  static constexpr degree_t kInlineMax = 0x7fff;     // 32767
+  static constexpr std::uint16_t kOverflowFlag = 0x8000;
+  static constexpr std::size_t kMaxOverflow = 0x8000;  // 2^15 index space
+
+  CompressedDegrees() = default;
+
+  // Builds from plain degrees. If more than kMaxOverflow vertices exceed
+  // kInlineMax the format cannot compress: falls back to a plain 4-byte
+  // array internally (compressed() == false), so callers never lose data.
+  static CompressedDegrees build(std::span<const degree_t> degrees);
+
+  degree_t operator[](vid_t v) const {
+    if (!compressed_) return plain_[v];
+    const std::uint16_t raw = inline_[v];
+    return (raw & kOverflowFlag) ? overflow_[raw & kInlineMax] : raw;
+  }
+
+  vid_t size() const noexcept {
+    return static_cast<vid_t>(compressed_ ? inline_.size() : plain_.size());
+  }
+  bool compressed() const noexcept { return compressed_; }
+  std::size_t overflow_count() const noexcept { return overflow_.size(); }
+
+  // Bytes this representation occupies (paper quotes 4GB → 2GB for
+  // Kron-30-16).
+  std::uint64_t storage_bytes() const noexcept {
+    return compressed_ ? inline_.size() * sizeof(std::uint16_t) +
+                             overflow_.size() * sizeof(degree_t)
+                       : plain_.size() * sizeof(degree_t);
+  }
+
+ private:
+  bool compressed_ = true;
+  std::vector<std::uint16_t> inline_;
+  std::vector<degree_t> overflow_;
+  std::vector<degree_t> plain_;
+};
+
+}  // namespace gstore::graph

@@ -1,0 +1,60 @@
+// Synthetic graph generators.
+//
+// The paper evaluates on Graph500 Kronecker graphs (Kron-<scale>-<edgefactor>),
+// R-MAT, and uniform random graphs, plus real social/web graphs. The real
+// datasets are unavailable offline; skewed R-MAT stands in for them (see
+// DESIGN.md §3). Deterministic structured graphs are provided for tests.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "graph/edge_list.h"
+#include "graph/types.h"
+
+namespace gstore::graph {
+
+// R-MAT recursive quadrant probabilities. Graph500's Kronecker generator is
+// R-MAT with (a,b,c) = (0.57, 0.19, 0.19).
+struct RmatParams {
+  double a = 0.57, b = 0.19, c = 0.19;
+};
+
+// Graph500 Kronecker graph: 2^scale vertices, edge_factor * 2^scale edges
+// (before normalization). Matches the reference generator's quadrant
+// recursion with per-level noise disabled for reproducibility.
+EdgeList kronecker(unsigned scale, unsigned edge_factor, GraphKind kind,
+                   std::uint64_t seed = 1, RmatParams params = {});
+
+// Plain R-MAT with explicit quadrant probabilities. `scramble` applies a
+// Graph500-style vertex-id permutation; disabling it preserves the id-space
+// locality real social graphs exhibit (dense communities → skewed tiles).
+EdgeList rmat(unsigned scale, unsigned edge_factor, GraphKind kind,
+              RmatParams params, std::uint64_t seed = 1, bool scramble = true);
+
+// Erdős–Rényi G(n, m): m uniform random edges over n vertices
+// (the paper's "Random-27-32" configuration).
+EdgeList uniform_random(vid_t n, std::uint64_t m, GraphKind kind,
+                        std::uint64_t seed = 1);
+
+// "Twitter-like" stand-in: heavily skewed R-MAT (see DESIGN.md). Directedness
+// follows the paper (Twitter is used both directed and undirected).
+EdgeList twitter_like(unsigned scale, unsigned edge_factor, GraphKind kind,
+                      std::uint64_t seed = 7);
+
+// ---- Deterministic graphs for tests ----
+
+// 0-1-2-...-(n-1) path.
+EdgeList path(vid_t n, GraphKind kind = GraphKind::kUndirected);
+// Cycle over n vertices.
+EdgeList cycle(vid_t n, GraphKind kind = GraphKind::kUndirected);
+// Star: vertex 0 connected to all others.
+EdgeList star(vid_t n, GraphKind kind = GraphKind::kUndirected);
+// Complete graph K_n.
+EdgeList complete(vid_t n, GraphKind kind = GraphKind::kUndirected);
+// 2D grid of rows x cols vertices with 4-neighbour connectivity.
+EdgeList grid(vid_t rows, vid_t cols, GraphKind kind = GraphKind::kUndirected);
+// Two disjoint cliques of size n/2 (tests multi-component algorithms).
+EdgeList two_cliques(vid_t n);
+
+}  // namespace gstore::graph

@@ -1,0 +1,46 @@
+#include "graph/graph_io.h"
+
+#include "io/file.h"
+#include "util/status.h"
+
+namespace gstore::graph {
+
+void write_edge_file(const std::string& path, const EdgeList& el) {
+  io::File f(path, io::OpenMode::kWrite);
+  EdgeFileHeader h;
+  h.kind = el.kind() == GraphKind::kDirected ? 1 : 0;
+  h.vertex_count = el.vertex_count();
+  h.edge_count = el.edge_count();
+  f.append(&h, sizeof(h));
+  if (!el.edges().empty())
+    f.append(el.edges().data(), el.edges().size() * sizeof(Edge));
+  f.sync();
+}
+
+EdgeFileHeader read_edge_file_header(const std::string& path) {
+  io::File f(path, io::OpenMode::kRead);
+  EdgeFileHeader h;
+  f.pread_full(&h, sizeof(h), 0);
+  if (h.magic != kEdgeFileMagic)
+    throw FormatError("bad magic in edge file " + path);
+  if (h.version != 1)
+    throw FormatError("unsupported edge file version in " + path);
+  const std::uint64_t expect = sizeof(EdgeFileHeader) + h.edge_count * sizeof(Edge);
+  if (f.size() != expect)
+    throw FormatError("edge file " + path + " truncated: have " +
+                      std::to_string(f.size()) + " bytes, expected " +
+                      std::to_string(expect));
+  return h;
+}
+
+EdgeList read_edge_file(const std::string& path) {
+  const EdgeFileHeader h = read_edge_file_header(path);
+  io::File f(path, io::OpenMode::kRead);
+  std::vector<Edge> edges(h.edge_count);
+  if (h.edge_count > 0)
+    f.pread_full(edges.data(), edges.size() * sizeof(Edge), sizeof(h));
+  return EdgeList(std::move(edges), static_cast<vid_t>(h.vertex_count),
+                  h.kind == 1 ? GraphKind::kDirected : GraphKind::kUndirected);
+}
+
+}  // namespace gstore::graph

@@ -1,0 +1,41 @@
+// Binary edge-list files.
+//
+// Format: a small header (magic, version, kind, vertex count, edge count)
+// followed by raw Edge tuples. This is the on-disk input format for every
+// converter and for the X-Stream-like baseline, which streams it directly.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "graph/edge_list.h"
+
+namespace gstore::graph {
+
+inline constexpr std::uint64_t kEdgeFileMagic = 0x4753544f52454c31ULL;  // "GSTOREL1"
+
+struct EdgeFileHeader {
+  std::uint64_t magic = kEdgeFileMagic;
+  std::uint32_t version = 1;
+  std::uint32_t kind = 0;  // 0 undirected, 1 directed
+  std::uint64_t vertex_count = 0;
+  std::uint64_t edge_count = 0;
+  std::uint64_t reserved[4] = {0, 0, 0, 0};
+};
+static_assert(sizeof(EdgeFileHeader) == 64);
+
+// Writes the edge list; throws IoError on failure.
+void write_edge_file(const std::string& path, const EdgeList& el);
+
+// Reads the whole file back; validates the header.
+EdgeList read_edge_file(const std::string& path);
+
+// Reads only the header (to size buffers before streaming).
+EdgeFileHeader read_edge_file_header(const std::string& path);
+
+// Offset of the first edge tuple in the file.
+inline constexpr std::uint64_t edge_file_data_offset() {
+  return sizeof(EdgeFileHeader);
+}
+
+}  // namespace gstore::graph

@@ -1,0 +1,42 @@
+#include "graph/relabel.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace gstore::graph {
+
+Permutation degree_order(const EdgeList& el) {
+  const auto deg = el.degrees();
+  std::vector<vid_t> by_degree(el.vertex_count());
+  std::iota(by_degree.begin(), by_degree.end(), vid_t{0});
+  std::stable_sort(by_degree.begin(), by_degree.end(),
+                   [&](vid_t a, vid_t b) { return deg[a] > deg[b]; });
+  // by_degree[rank] = old id; invert into perm[old id] = rank.
+  Permutation perm(el.vertex_count());
+  for (vid_t rank = 0; rank < by_degree.size(); ++rank)
+    perm[by_degree[rank]] = rank;
+  return perm;
+}
+
+Permutation shuffle_order(vid_t vertex_count, std::uint64_t seed) {
+  Permutation perm(vertex_count);
+  std::iota(perm.begin(), perm.end(), vid_t{0});
+  Xoshiro256 rng(seed);
+  std::shuffle(perm.begin(), perm.end(), rng);
+  return perm;
+}
+
+EdgeList apply_permutation(const EdgeList& el, const Permutation& perm) {
+  GS_CHECK_MSG(perm.size() == el.vertex_count(),
+               "permutation size must equal vertex count");
+  std::vector<Edge> edges;
+  edges.reserve(el.edge_count());
+  for (const Edge& e : el.edges())
+    edges.push_back(Edge{perm[e.src], perm[e.dst]});
+  return EdgeList(std::move(edges), el.vertex_count(), el.kind());
+}
+
+}  // namespace gstore::graph

@@ -1,0 +1,37 @@
+// Vertex relabeling preprocessors.
+//
+// Tile occupancy — and therefore selective-fetch granularity and cache
+// behaviour — depends entirely on the id assignment. Two standard
+// relabelings are provided:
+//   * by_degree   — hubs first: concentrates the power-law mass into the
+//                   low-id tiles (what real social graph crawls look like,
+//                   and what makes the paper's Fig 5 skew appear);
+//   * shuffle     — random permutation: destroys locality (the Graph500
+//                   scrambled-Kronecker look).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/edge_list.h"
+
+namespace gstore::graph {
+
+// The permutation used: new_id = perm[old_id].
+using Permutation = std::vector<vid_t>;
+
+// Descending total degree; ties by original id (stable, deterministic).
+Permutation degree_order(const EdgeList& el);
+
+// Deterministic pseudo-random permutation for a seed.
+Permutation shuffle_order(vid_t vertex_count, std::uint64_t seed);
+
+// Applies a permutation, returning the rewritten edge list.
+EdgeList apply_permutation(const EdgeList& el, const Permutation& perm);
+
+// Convenience: relabel hubs-first.
+inline EdgeList relabel_by_degree(const EdgeList& el) {
+  return apply_permutation(el, degree_order(el));
+}
+
+}  // namespace gstore::graph

@@ -1,0 +1,54 @@
+// Core graph types shared across the library.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace gstore::graph {
+
+// Vertex id. 2^32 vertices per graph is enough for the scales this machine
+// can hold; the tile format itself (16-bit local ids + tile coordinates)
+// extends beyond 2^32 without changing the edge-tuple size, which is the
+// paper's point about Kron-33.
+using vid_t = std::uint32_t;
+using degree_t = std::uint32_t;
+using weight_t = float;
+
+inline constexpr vid_t kInvalidVid = ~vid_t{0};
+
+// One directed edge tuple (src, dst); an undirected edge appears once in
+// canonical (min, max) order inside the tile store.
+struct Edge {
+  vid_t src = 0;
+  vid_t dst = 0;
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+  friend auto operator<=>(const Edge&, const Edge&) = default;
+};
+
+struct WeightedEdge {
+  vid_t src = 0;
+  vid_t dst = 0;
+  weight_t weight = 1.0f;
+
+  friend bool operator==(const WeightedEdge&, const WeightedEdge&) = default;
+};
+
+static_assert(sizeof(Edge) == 8, "edge tuple must be 8 bytes (two 4B ids)");
+
+enum class GraphKind { kUndirected, kDirected };
+
+}  // namespace gstore::graph
+
+template <>
+struct std::hash<gstore::graph::Edge> {
+  std::size_t operator()(const gstore::graph::Edge& e) const noexcept {
+    const std::uint64_t v =
+        (static_cast<std::uint64_t>(e.src) << 32) | e.dst;
+    // splitmix64 finalizer
+    std::uint64_t z = v + 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return static_cast<std::size_t>(z ^ (z >> 31));
+  }
+};

@@ -1,0 +1,178 @@
+#include "io/async_engine.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <thread>
+
+#include "io/throttle.h"
+#include "util/status.h"
+
+namespace gstore::io {
+
+struct AsyncEngine::Impl {
+  explicit Impl(Backend backend, std::size_t depth, std::size_t workers)
+      : backend(backend), depth(depth == 0 ? 1 : depth) {
+    if (backend == Backend::kThreadPool) {
+      if (workers == 0) workers = 1;
+      threads.reserve(workers);
+      for (std::size_t i = 0; i < workers; ++i)
+        threads.emplace_back([this] { worker_loop(); });
+    }
+  }
+
+  ~Impl() {
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      stopping = true;
+    }
+    queue_cv.notify_all();
+    for (auto& t : threads) t.join();
+  }
+
+  Completion execute(const ReadRequest& req) {
+    Completion c;
+    c.tag = req.tag;
+    try {
+      if (req.throttle != nullptr)
+        req.throttle->acquire(req.length - req.slow_bytes);
+      if (req.slow_throttle != nullptr && req.slow_bytes > 0)
+        req.slow_throttle->acquire(req.slow_bytes);
+      c.bytes = req.file->pread_some(req.buffer, req.length, req.offset);
+      c.ok = true;
+      bytes_read.fetch_add(c.bytes, std::memory_order_relaxed);
+    } catch (const Error&) {
+      c.bytes = 0;
+      c.ok = false;
+    }
+    return c;
+  }
+
+  void worker_loop() {
+    for (;;) {
+      ReadRequest req;
+      {
+        std::unique_lock<std::mutex> lock(mutex);
+        queue_cv.wait(lock, [this] { return stopping || !pending.empty(); });
+        if (pending.empty()) return;  // stopping and drained
+        req = pending.front();
+        pending.pop_front();
+      }
+      Completion c = execute(req);
+      {
+        std::lock_guard<std::mutex> lock(mutex);
+        completed.push_back(c);
+        --inflight;
+      }
+      done_cv.notify_all();
+      space_cv.notify_all();
+    }
+  }
+
+  Backend backend;
+  std::size_t depth;
+  std::atomic<std::uint64_t> bytes_read{0};
+  std::atomic<std::uint64_t> submit_calls{0};
+
+  mutable std::mutex mutex;
+  std::condition_variable queue_cv;   // workers wait for pending requests
+  std::condition_variable done_cv;    // pollers wait for completions
+  std::condition_variable space_cv;   // submitters wait for queue space
+  std::deque<ReadRequest> pending;
+  std::deque<Completion> completed;
+  std::size_t inflight = 0;  // pending + executing
+  bool stopping = false;
+  std::vector<std::thread> threads;
+};
+
+AsyncEngine::AsyncEngine(Backend backend, std::size_t depth, std::size_t workers)
+    : impl_(std::make_unique<Impl>(backend, depth, workers)), backend_(backend) {}
+
+AsyncEngine::~AsyncEngine() = default;
+
+void AsyncEngine::submit(const std::vector<ReadRequest>& batch) {
+  impl_->submit_calls.fetch_add(1, std::memory_order_relaxed);
+  for (const auto& req : batch) {
+    GS_CHECK_MSG(req.file != nullptr, "read request without a source");
+    GS_CHECK_MSG(req.buffer != nullptr || req.length == 0,
+                 "read request with null buffer");
+  }
+
+  if (backend_ == Backend::kSync) {
+    // The synchronous baseline performs the reads inline, in submit order.
+    std::vector<Completion> results;
+    results.reserve(batch.size());
+    for (const auto& req : batch) results.push_back(impl_->execute(req));
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    for (const auto& c : results) impl_->completed.push_back(c);
+    impl_->done_cv.notify_all();
+    return;
+  }
+
+  for (const auto& req : batch) {
+    std::unique_lock<std::mutex> lock(impl_->mutex);
+    impl_->space_cv.wait(lock,
+                         [this] { return impl_->inflight < impl_->depth; });
+    impl_->pending.push_back(req);
+    ++impl_->inflight;
+    lock.unlock();
+    impl_->queue_cv.notify_one();
+  }
+}
+
+std::size_t AsyncEngine::poll(std::size_t min_events, std::size_t max_events,
+                              std::vector<Completion>& out) {
+  if (max_events == 0) return 0;
+  std::unique_lock<std::mutex> lock(impl_->mutex);
+  if (min_events > 0) {
+    impl_->done_cv.wait(lock, [&] {
+      return impl_->completed.size() >= min_events ||
+             (impl_->completed.size() + impl_->inflight < min_events);
+    });
+    GS_CHECK_MSG(impl_->completed.size() + impl_->inflight >= min_events ||
+                     !impl_->completed.empty(),
+                 "poll(min) exceeds outstanding requests");
+  }
+  std::size_t n = 0;
+  while (n < max_events && !impl_->completed.empty()) {
+    out.push_back(impl_->completed.front());
+    impl_->completed.pop_front();
+    ++n;
+  }
+  return n;
+}
+
+void AsyncEngine::drain() {
+  std::vector<Completion> done;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(impl_->mutex);
+      impl_->done_cv.wait(lock, [this] {
+        return impl_->inflight == 0 || !impl_->completed.empty();
+      });
+      while (!impl_->completed.empty()) {
+        done.push_back(impl_->completed.front());
+        impl_->completed.pop_front();
+      }
+      if (impl_->inflight == 0 && impl_->completed.empty()) break;
+    }
+  }
+  for (const auto& c : done)
+    if (!c.ok) throw IoError("async read failed (tag " + std::to_string(c.tag) + ")", EIO);
+}
+
+std::size_t AsyncEngine::in_flight() const {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  return impl_->inflight;
+}
+
+std::uint64_t AsyncEngine::bytes_read() const noexcept {
+  return impl_->bytes_read.load(std::memory_order_relaxed);
+}
+
+std::uint64_t AsyncEngine::submit_calls() const noexcept {
+  return impl_->submit_calls.load(std::memory_order_relaxed);
+}
+
+}  // namespace gstore::io

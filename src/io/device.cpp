@@ -1,0 +1,83 @@
+#include "io/device.h"
+
+#include "io/striped.h"
+
+namespace gstore::io {
+
+namespace {
+std::uint64_t aggregate_bw(const DeviceConfig& c) {
+  return c.devices == 0 ? 0 : c.devices * c.per_device_bw;
+}
+
+std::unique_ptr<Source> open_source(const std::string& path,
+                                    const DeviceConfig& c) {
+  if (c.stripe_files > 0)
+    return std::make_unique<StripedFile>(path, c.stripe_files, c.stripe_bytes,
+                                         c.direct);
+  return std::make_unique<File>(path, OpenMode::kRead, c.direct);
+}
+}  // namespace
+
+Device::Device(const std::string& path, DeviceConfig config)
+    : config_(config),
+      source_(open_source(path, config)),
+      throttle_(aggregate_bw(config), config.burst_bytes),
+      slow_throttle_(config.slow_tier_bw, config.burst_bytes),
+      engine_(config.backend, config.queue_depth, config.io_workers) {}
+
+std::pair<std::uint64_t, std::uint64_t> Device::tier_split(
+    std::uint64_t offset, std::size_t n) const {
+  if (config_.slow_tier_bw == 0 || tier_map_.empty())
+    return {n, 0};
+  return tier_map_.split(offset, offset + n);
+}
+
+void Device::read(void* buf, std::size_t n, std::uint64_t offset) {
+  const auto [fast, slow] = tier_split(offset, n);
+  throttle_.acquire(fast);
+  if (slow > 0) slow_throttle_.acquire(slow);
+  source_->pread_full(buf, n, offset);
+  sync_bytes_ += n;
+  ++read_ops_;
+}
+
+void Device::submit(std::vector<ReadRequest> batch) {
+  for (auto& req : batch) {
+    req.file = source_.get();
+    // Pacing happens on the I/O workers so emulated device time overlaps
+    // with compute, exactly like a real disk.
+    req.throttle = throttle_.enabled() ? &throttle_ : nullptr;
+    const auto [fast, slow] = tier_split(req.offset, req.length);
+    (void)fast;
+    if (slow > 0) {
+      req.slow_throttle = &slow_throttle_;
+      req.slow_bytes = static_cast<std::size_t>(slow);
+    }
+  }
+  read_ops_ += batch.size();
+  engine_.submit(batch);
+}
+
+std::size_t Device::poll(std::size_t min_events, std::size_t max_events,
+                         std::vector<Completion>& out) {
+  return engine_.poll(min_events, max_events, out);
+}
+
+void Device::drain() { engine_.drain(); }
+
+DeviceStats Device::stats() const {
+  DeviceStats s;
+  s.bytes_read = engine_.bytes_read() - stats_bytes_base_ + sync_bytes_;
+  s.read_ops = read_ops_;
+  s.submit_calls = engine_.submit_calls() - stats_submit_base_;
+  return s;
+}
+
+void Device::reset_stats() {
+  stats_bytes_base_ = engine_.bytes_read();
+  stats_submit_base_ = engine_.submit_calls();
+  sync_bytes_ = 0;
+  read_ops_ = 0;
+}
+
+}  // namespace gstore::io

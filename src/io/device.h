@@ -1,0 +1,92 @@
+// Storage device model: a file plus an optional emulated SSD-array profile.
+//
+// Device is the single entry point the engine uses to read graph data. It
+// wires together the file, the async engine, a bandwidth throttle (for the
+// SSD-scaling experiments), and I/O statistics.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "io/async_engine.h"
+#include "io/file.h"
+#include "io/throttle.h"
+#include "io/tiering.h"
+
+namespace gstore::io {
+
+// Configuration for an emulated device array. With `devices == 0` (the
+// default) reads run at native speed; otherwise aggregate bandwidth is
+// devices × per_device_bw, modelling software RAID-0 over identical SSDs.
+struct DeviceConfig {
+  unsigned devices = 0;
+  std::uint64_t per_device_bw = 500ull << 20;  // 500 MB/s, SATA-SSD class
+  std::uint64_t burst_bytes = 1ull << 20;      // throttle token-bucket depth
+  // Tiered storage (paper §IX future work): bandwidth of the slow tier
+  // (e.g. an HDD). 0 disables tiering; byte placement comes from a TierMap
+  // installed with set_tier_map().
+  std::uint64_t slow_tier_bw = 0;
+  // RAID-0 striping (the paper's testbed layout): with stripe_files > 0 the
+  // device path is a striped-set base (<path>.s0 …) written by
+  // io::stripe_file, read round-robin with stripe_bytes-sized stripes.
+  unsigned stripe_files = 0;
+  std::uint64_t stripe_bytes = 64 << 10;  // the paper's 64KB stripes
+  Backend backend = Backend::kThreadPool;
+  std::size_t queue_depth = 128;
+  std::size_t io_workers = 4;
+  bool direct = false;  // request O_DIRECT where the filesystem allows it
+};
+
+struct DeviceStats {
+  std::uint64_t bytes_read = 0;
+  std::uint64_t read_ops = 0;
+  std::uint64_t submit_calls = 0;
+};
+
+class Device {
+ public:
+  Device(const std::string& path, DeviceConfig config = {});
+
+  // Synchronous full read (throttled).
+  void read(void* buf, std::size_t n, std::uint64_t offset);
+
+  // Batched asynchronous reads (throttled on submission, like a host-side
+  // bandwidth limit). Completion via poll()/drain().
+  void submit(std::vector<ReadRequest> batch);
+  std::size_t poll(std::size_t min_events, std::size_t max_events,
+                   std::vector<Completion>& out);
+  void drain();
+
+  const Source& file() const noexcept { return *source_; }
+  std::uint64_t size() const { return source_->size(); }
+
+  DeviceStats stats() const;
+  void reset_stats();
+
+  const DeviceConfig& config() const noexcept { return config_; }
+
+  // Installs the byte-range → tier assignment. Only meaningful when
+  // config.slow_tier_bw > 0.
+  void set_tier_map(TierMap map) { tier_map_ = std::move(map); }
+  const TierMap& tier_map() const noexcept { return tier_map_; }
+
+ private:
+  // Computes the slow-tier portion of a read and returns request routing.
+  std::pair<std::uint64_t, std::uint64_t> tier_split(std::uint64_t offset,
+                                                     std::size_t n) const;
+
+  DeviceConfig config_;
+  std::unique_ptr<Source> source_;
+  Throttle throttle_;
+  Throttle slow_throttle_;
+  TierMap tier_map_;
+  AsyncEngine engine_;
+  std::uint64_t read_ops_ = 0;
+  std::uint64_t sync_bytes_ = 0;
+  std::uint64_t stats_bytes_base_ = 0;
+  std::uint64_t stats_submit_base_ = 0;
+};
+
+}  // namespace gstore::io

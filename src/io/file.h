@@ -1,0 +1,79 @@
+// RAII file wrapper with positional I/O and optional O_DIRECT.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "io/source.h"
+
+namespace gstore::io {
+
+enum class OpenMode {
+  kRead,        // existing file, read-only
+  kWrite,       // create/truncate, write-only
+  kReadWrite,   // create if missing, read/write
+};
+
+class File : public Source {
+ public:
+  File() = default;
+  // Opens the file; throws IoError on failure. If `direct` is set, opens
+  // with O_DIRECT (falls back to buffered automatically if the filesystem
+  // rejects it, e.g. tmpfs).
+  File(const std::string& path, OpenMode mode, bool direct = false);
+
+  File(File&& o) noexcept;
+  File& operator=(File&& o) noexcept;
+  File(const File&) = delete;
+  File& operator=(const File&) = delete;
+  ~File() override;
+
+  bool is_open() const noexcept { return fd_ >= 0; }
+  int fd() const noexcept { return fd_; }
+  const std::string& path() const noexcept { return path_; }
+  bool is_direct() const noexcept { return direct_; }
+
+  // Reads exactly n bytes at offset; throws on short read or error.
+  void pread_full(void* buf, std::size_t n, std::uint64_t offset) const;
+  // Reads up to n bytes (tolerates EOF); returns bytes read.
+  std::size_t pread_some(void* buf, std::size_t n,
+                         std::uint64_t offset) const override;
+  // Writes exactly n bytes at offset.
+  void pwrite_full(const void* buf, std::size_t n, std::uint64_t offset) const;
+  // Appends exactly n bytes at current size (tracked internally for kWrite).
+  void append(const void* buf, std::size_t n);
+
+  std::uint64_t size() const override;
+  void truncate(std::uint64_t size) const;
+  void sync() const;
+  void close();
+
+  static bool exists(const std::string& path);
+  static void remove(const std::string& path);
+  static std::uint64_t file_size(const std::string& path);
+
+ private:
+  int fd_ = -1;
+  std::string path_;
+  bool direct_ = false;
+  std::uint64_t append_offset_ = 0;
+};
+
+// Creates a unique temporary directory (under $TMPDIR or /tmp) and removes
+// it with all contents on destruction. Used by tests and benches.
+class TempDir {
+ public:
+  explicit TempDir(const std::string& prefix = "gstore");
+  ~TempDir();
+  TempDir(const TempDir&) = delete;
+  TempDir& operator=(const TempDir&) = delete;
+
+  const std::string& path() const noexcept { return path_; }
+  std::string file(const std::string& name) const { return path_ + "/" + name; }
+
+ private:
+  std::string path_;
+};
+
+}  // namespace gstore::io

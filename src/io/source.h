@@ -1,0 +1,27 @@
+// Abstract random-access read source.
+//
+// The async engine and device model read through this interface so that a
+// "file" can be a plain file or a RAID-0 style striped set (io/striped.h),
+// matching the paper's testbed of eight SSDs under software RAID-0.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace gstore::io {
+
+class Source {
+ public:
+  virtual ~Source() = default;
+
+  // Reads up to n bytes at offset (tolerates EOF); returns bytes read.
+  virtual std::size_t pread_some(void* buf, std::size_t n,
+                                 std::uint64_t offset) const = 0;
+  // Total readable bytes.
+  virtual std::uint64_t size() const = 0;
+
+  // Reads exactly n bytes; throws IoError on short read.
+  void pread_full(void* buf, std::size_t n, std::uint64_t offset) const;
+};
+
+}  // namespace gstore::io

@@ -1,0 +1,43 @@
+#include "io/tiering.h"
+
+#include <algorithm>
+
+#include "util/status.h"
+
+namespace gstore::io {
+
+void TierMap::add_range(std::uint64_t begin, std::uint64_t end, unsigned tier) {
+  GS_CHECK_MSG(begin <= end, "inverted tier range");
+  GS_CHECK_MSG(tier <= 1, "tier must be 0 (fast) or 1 (slow)");
+  if (begin == end) return;
+  GS_CHECK_MSG(ranges_.empty() || ranges_.back().end <= begin,
+               "tier ranges must be added in increasing order");
+  // Merge with the previous range when contiguous and same tier.
+  if (!ranges_.empty() && ranges_.back().end == begin &&
+      ranges_.back().tier == tier) {
+    ranges_.back().end = end;
+  } else {
+    ranges_.push_back(Range{begin, end, tier});
+  }
+  (tier == 0 ? fast_total_ : slow_total_) += end - begin;
+}
+
+std::pair<std::uint64_t, std::uint64_t> TierMap::split(std::uint64_t begin,
+                                                       std::uint64_t end) const {
+  if (begin >= end) return {0, 0};
+  std::uint64_t slow = 0;
+  // Find the first range that could overlap [begin, end).
+  auto it = std::lower_bound(
+      ranges_.begin(), ranges_.end(), begin,
+      [](const Range& r, std::uint64_t pos) { return r.end <= pos; });
+  for (; it != ranges_.end() && it->begin < end; ++it) {
+    if (it->tier != 1) continue;
+    const std::uint64_t lo = std::max(begin, it->begin);
+    const std::uint64_t hi = std::min(end, it->end);
+    if (hi > lo) slow += hi - lo;
+  }
+  const std::uint64_t total = end - begin;
+  return {total - slow, slow};
+}
+
+}  // namespace gstore::io

@@ -1,0 +1,46 @@
+// Byte-range storage tiering (paper §IX future work: "extend G-Store to
+// support even larger graphs on a tiered storage, where SSDs can be utilized
+// with a set of hard drives").
+//
+// A TierMap assigns each byte range of the data file to tier 0 (fast, SSD)
+// or tier 1 (slow, HDD). The Device charges each read against the throttle
+// of the tier(s) it touches, so placement policy directly shapes runtime.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace gstore::io {
+
+class TierMap {
+ public:
+  TierMap() = default;
+
+  // Declares [begin, end) as belonging to `tier` (0 = fast, 1 = slow).
+  // Ranges must be added in increasing, non-overlapping order.
+  void add_range(std::uint64_t begin, std::uint64_t end, unsigned tier);
+
+  bool empty() const noexcept { return ranges_.empty(); }
+
+  // Splits a read [begin, end) into (fast_bytes, slow_bytes). Bytes outside
+  // any declared range count as fast (tier 0).
+  std::pair<std::uint64_t, std::uint64_t> split(std::uint64_t begin,
+                                                std::uint64_t end) const;
+
+  // Total bytes declared per tier.
+  std::uint64_t tier_bytes(unsigned tier) const noexcept {
+    return tier == 0 ? fast_total_ : slow_total_;
+  }
+
+ private:
+  struct Range {
+    std::uint64_t begin, end;
+    unsigned tier;
+  };
+  std::vector<Range> ranges_;
+  std::uint64_t fast_total_ = 0;
+  std::uint64_t slow_total_ = 0;
+};
+
+}  // namespace gstore::io

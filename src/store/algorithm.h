@@ -1,0 +1,51 @@
+// The algorithm interface the SCR engine drives (paper §VI).
+//
+// An algorithm owns its metadata arrays (depth, rank, labels …) and exposes
+// two oracles the engine uses:
+//   * tile_needed(i,j)      — selective fetch: must this tile be processed in
+//                             the *current* iteration? (paper §V-B)
+//   * tile_useful_next(i,j) — proactive caching: with the information known
+//                             so far, might this tile be needed in the *next*
+//                             iteration? (paper §VI-C Rules 1 & 2)
+// process_tile() may be called concurrently for different tiles; metadata
+// updates must be thread-safe.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "tile/tile_file.h"
+
+namespace gstore::store {
+
+class TileAlgorithm {
+ public:
+  virtual ~TileAlgorithm() = default;
+
+  virtual std::string name() const = 0;
+
+  // Called once before the first iteration; the store outlives the run.
+  virtual void init(const tile::TileStore& store) = 0;
+
+  virtual void begin_iteration(std::uint32_t iter) = 0;
+
+  // Process every edge of one tile. `view.edges` are SNB tuples; global ids
+  // are view.src_base + e.src16 / view.dst_base + e.dst16.
+  virtual void process_tile(const tile::TileView& view) = 0;
+
+  // Returns true if another iteration is required.
+  virtual bool end_iteration(std::uint32_t iter) = 0;
+
+  // Selective-fetch oracle. Default: every tile, every iteration.
+  virtual bool tile_needed(std::uint32_t /*i*/, std::uint32_t /*j*/) const {
+    return true;
+  }
+
+  // Proactive-caching oracle. Default: everything is worth caching (true for
+  // PageRank/WCC, where the whole graph is reused each iteration).
+  virtual bool tile_useful_next(std::uint32_t /*i*/, std::uint32_t /*j*/) const {
+    return true;
+  }
+};
+
+}  // namespace gstore::store

@@ -1,0 +1,61 @@
+#include "store/cache_pool.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace gstore::store {
+
+bool CachePool::insert(std::uint64_t layout_idx, const std::uint8_t* data,
+                       std::uint64_t bytes) {
+  erase(layout_idx);
+  if (bytes > free_bytes()) return false;
+  Stored s;
+  s.data.resize(bytes);
+  if (bytes > 0) std::memcpy(s.data.data(), data, bytes);
+  s.stamp = ++clock_;
+  used_ += bytes;
+  tiles_.emplace(layout_idx, std::move(s));
+  return true;
+}
+
+std::uint64_t CachePool::erase(std::uint64_t layout_idx) {
+  auto it = tiles_.find(layout_idx);
+  if (it == tiles_.end()) return 0;
+  const std::uint64_t freed = it->second.data.size();
+  used_ -= freed;
+  tiles_.erase(it);
+  return freed;
+}
+
+void CachePool::clear() {
+  tiles_.clear();
+  used_ = 0;
+}
+
+void CachePool::touch(std::uint64_t layout_idx) {
+  auto it = tiles_.find(layout_idx);
+  if (it != tiles_.end()) it->second.stamp = ++clock_;
+}
+
+std::uint64_t CachePool::evict_lru(std::uint64_t needed) {
+  std::uint64_t freed = 0;
+  while (free_bytes() + freed < needed && !tiles_.empty()) {
+    auto victim = tiles_.begin();
+    for (auto it = tiles_.begin(); it != tiles_.end(); ++it)
+      if (it->second.stamp < victim->second.stamp) victim = it;
+    freed += victim->second.data.size();
+    used_ -= victim->second.data.size();
+    tiles_.erase(victim);
+  }
+  return freed;
+}
+
+std::vector<CachePool::Entry> CachePool::entries() const {
+  std::vector<Entry> out;
+  out.reserve(tiles_.size());
+  for (const auto& [idx, stored] : tiles_)
+    out.push_back(Entry{idx, stored.data.data(), stored.data.size()});
+  return out;
+}
+
+}  // namespace gstore::store

@@ -1,0 +1,66 @@
+// Copy-based tile cache pool (paper §VI-A/§VI-C).
+//
+// Processed segments donate their useful tiles here via memcpy; the pool is
+// bounded by a byte budget. Iteration order is layout order so the rewind
+// phase processes cached tiles in the same disk order the streaming phase
+// would have. Tracks recency for the LRU baseline policy.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace gstore::store {
+
+class CachePool {
+ public:
+  explicit CachePool(std::uint64_t budget_bytes = 0) : budget_(budget_bytes) {}
+
+  std::uint64_t budget() const noexcept { return budget_; }
+  std::uint64_t used() const noexcept { return used_; }
+  std::uint64_t free_bytes() const noexcept {
+    return budget_ > used_ ? budget_ - used_ : 0;
+  }
+  std::size_t tile_count() const noexcept { return tiles_.size(); }
+  bool contains(std::uint64_t layout_idx) const {
+    return tiles_.count(layout_idx) != 0;
+  }
+
+  // Copies a tile into the pool; returns false (and stores nothing) if it
+  // does not fit. Replaces an existing entry for the same tile.
+  bool insert(std::uint64_t layout_idx, const std::uint8_t* data,
+              std::uint64_t bytes);
+
+  // Removes one tile; returns freed bytes (0 if absent).
+  std::uint64_t erase(std::uint64_t layout_idx);
+
+  void clear();
+
+  // Marks a tile as used this iteration (for LRU recency).
+  void touch(std::uint64_t layout_idx);
+
+  // Evicts least-recently-touched tiles until at least `needed` bytes are
+  // free. Returns bytes freed.
+  std::uint64_t evict_lru(std::uint64_t needed);
+
+  struct Entry {
+    std::uint64_t layout_idx;
+    const std::uint8_t* data;
+    std::uint64_t bytes;
+  };
+  // Snapshot of entries in layout order (safe to erase entries *after*
+  // iterating the snapshot, not during).
+  std::vector<Entry> entries() const;
+
+ private:
+  struct Stored {
+    std::vector<std::uint8_t> data;
+    std::uint64_t stamp = 0;  // recency
+  };
+  std::map<std::uint64_t, Stored> tiles_;  // keyed by layout index (sorted)
+  std::uint64_t budget_;
+  std::uint64_t used_ = 0;
+  std::uint64_t clock_ = 0;
+};
+
+}  // namespace gstore::store

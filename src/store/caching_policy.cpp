@@ -1,0 +1,71 @@
+#include "store/caching_policy.h"
+
+namespace gstore::store {
+
+namespace {
+
+class NonePolicy final : public CachingPolicy {
+ public:
+  bool should_cache(std::uint64_t, const tile::TileCoord&,
+                    const TileAlgorithm&) const override {
+    return false;
+  }
+  bool make_room(CachePool&, std::uint64_t, const tile::Grid&,
+                 const TileAlgorithm&) override {
+    return false;
+  }
+  void analyze(CachePool&, const tile::Grid&, const TileAlgorithm&) override {}
+};
+
+class LruPolicy final : public CachingPolicy {
+ public:
+  bool should_cache(std::uint64_t, const tile::TileCoord&,
+                    const TileAlgorithm&) const override {
+    return true;  // cache everything, recency decides evictions
+  }
+  bool make_room(CachePool& pool, std::uint64_t bytes, const tile::Grid&,
+                 const TileAlgorithm&) override {
+    pool.evict_lru(bytes);
+    return pool.free_bytes() >= bytes;
+  }
+  void analyze(CachePool&, const tile::Grid&, const TileAlgorithm&) override {}
+};
+
+class ProactivePolicy final : public CachingPolicy {
+ public:
+  bool should_cache(std::uint64_t, const tile::TileCoord& coord,
+                    const TileAlgorithm& algo) const override {
+    return algo.tile_useful_next(coord.i, coord.j);
+  }
+
+  bool make_room(CachePool& pool, std::uint64_t bytes, const tile::Grid& grid,
+                 const TileAlgorithm& algo) override {
+    // First drop pool entries the oracle has since ruled out; only if that
+    // is not enough does the new tile lose (we never evict useful data for
+    // equally-useful data — disk order means the incumbent would be needed
+    // sooner next iteration anyway, thanks to rewind).
+    analyze(pool, grid, algo);
+    return pool.free_bytes() >= bytes;
+  }
+
+  void analyze(CachePool& pool, const tile::Grid& grid,
+               const TileAlgorithm& algo) override {
+    for (const auto& e : pool.entries()) {
+      const tile::TileCoord c = grid.coord_at(e.layout_idx);
+      if (!algo.tile_useful_next(c.i, c.j)) pool.erase(e.layout_idx);
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<CachingPolicy> CachingPolicy::make(CachePolicyKind kind) {
+  switch (kind) {
+    case CachePolicyKind::kProactive: return std::make_unique<ProactivePolicy>();
+    case CachePolicyKind::kLru: return std::make_unique<LruPolicy>();
+    case CachePolicyKind::kNone: return std::make_unique<NonePolicy>();
+  }
+  return std::make_unique<ProactivePolicy>();
+}
+
+}  // namespace gstore::store

@@ -1,0 +1,43 @@
+// Pluggable caching policies for the SCR engine.
+//
+// kProactive is the paper's contribution (§VI-C): cache exactly the tiles the
+// algorithm's metadata says might be needed next iteration, evicting entries
+// the oracle has since ruled out. kLru is the FlashGraph-style baseline the
+// paper argues against; kNone is pure streaming (X-Stream-style, and the
+// "base policy" of Fig 13 when combined with rewind=off).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "store/algorithm.h"
+#include "store/cache_pool.h"
+#include "tile/grid.h"
+
+namespace gstore::store {
+
+enum class CachePolicyKind { kProactive, kLru, kNone };
+
+class CachingPolicy {
+ public:
+  virtual ~CachingPolicy() = default;
+
+  // Whether a just-processed tile should be copied into the pool.
+  virtual bool should_cache(std::uint64_t layout_idx,
+                            const tile::TileCoord& coord,
+                            const TileAlgorithm& algo) const = 0;
+
+  // Makes room for `bytes` (called when an insert would not fit). Returns
+  // true if the tile should still be inserted after eviction.
+  virtual bool make_room(CachePool& pool, std::uint64_t bytes,
+                         const tile::Grid& grid, const TileAlgorithm& algo) = 0;
+
+  // Iteration-boundary analysis: drop entries the oracle now rules out
+  // (proactive) or do nothing (LRU/None).
+  virtual void analyze(CachePool& pool, const tile::Grid& grid,
+                       const TileAlgorithm& algo) = 0;
+
+  static std::unique_ptr<CachingPolicy> make(CachePolicyKind kind);
+};
+
+}  // namespace gstore::store

@@ -1,0 +1,24 @@
+#include "store/memory_budget.h"
+
+#include "util/status.h"
+
+namespace gstore::store {
+
+MemoryBudget MemoryBudget::compute(std::uint64_t stream_bytes,
+                                   std::uint64_t segment_bytes) {
+  GS_CHECK_MSG(stream_bytes > 0, "stream memory must be positive");
+  GS_CHECK_MSG(segment_bytes > 0, "segment size must be positive");
+  MemoryBudget b;
+  b.stream_bytes = stream_bytes;
+  if (2 * segment_bytes > stream_bytes) {
+    b.segment_bytes = stream_bytes / 2;
+    if (b.segment_bytes == 0) b.segment_bytes = 1;
+    b.pool_bytes = 0;
+  } else {
+    b.segment_bytes = segment_bytes;
+    b.pool_bytes = stream_bytes - 2 * segment_bytes;
+  }
+  return b;
+}
+
+}  // namespace gstore::store

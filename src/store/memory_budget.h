@@ -1,0 +1,23 @@
+// Splits the streaming memory between the two I/O segments and the cache
+// pool (paper §VI-A: "available memory for graph data is dedicated for two
+// fixed sized chunks called segment … the rest of the memory is allocated
+// to the cache pool").
+#pragma once
+
+#include <cstdint>
+
+namespace gstore::store {
+
+struct MemoryBudget {
+  std::uint64_t stream_bytes = 0;   // total memory for streaming + caching
+  std::uint64_t segment_bytes = 0;  // per segment (two segments)
+  std::uint64_t pool_bytes = 0;     // remainder
+
+  // Validates and derives the split. If two segments would exceed the
+  // stream budget, segments shrink to half the budget each and the pool is
+  // empty (the paper's "base policy" configuration).
+  static MemoryBudget compute(std::uint64_t stream_bytes,
+                              std::uint64_t segment_bytes);
+};
+
+}  // namespace gstore::store

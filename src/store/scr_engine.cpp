@@ -1,0 +1,278 @@
+#include "store/scr_engine.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "store/cache_pool.h"
+#include "store/segment.h"
+#include "util/logging.h"
+#include "util/status.h"
+#include "util/timer.h"
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+namespace gstore::store {
+
+namespace {
+// Tags encode which segment a read belongs to so completions can be
+// attributed while both segments have I/O in flight.
+constexpr std::uint64_t make_tag(int segment, std::uint64_t serial) {
+  return (static_cast<std::uint64_t>(segment) << 56) | serial;
+}
+constexpr int tag_segment(std::uint64_t tag) {
+  return static_cast<int>(tag >> 56);
+}
+}  // namespace
+
+struct ScrEngine::Runner {
+  Runner(tile::TileStore& store, const EngineConfig& config,
+         const MemoryBudget& budget, TileAlgorithm& algo)
+      : store(store),
+        grid(store.grid()),
+        config(config),
+        algo(algo),
+        pool(budget.pool_bytes),
+        policy(CachingPolicy::make(config.policy)) {
+    const std::uint64_t cap =
+        std::max<std::uint64_t>(budget.segment_bytes, store.max_tile_bytes());
+    segments[0] = Segment(cap);
+    segments[1] = Segment(cap);
+  }
+
+  // ---- helpers -----------------------------------------------------------
+
+  bool needed_now(std::uint64_t layout_idx) const {
+    if (!config.selective_fetch) return true;
+    const tile::TileCoord c = grid.coord_at(layout_idx);
+    return algo.tile_needed(c.i, c.j);
+  }
+
+  void process_one(std::uint64_t layout_idx, const std::uint8_t* data) {
+    const tile::TileView v = store.view(layout_idx, data);
+    algo.process_tile(v);
+  }
+
+  // Greedily packs tiles from fetch[pos..] into `seg` and submits the reads
+  // as one batched call (coalescing contiguous tiles into single requests).
+  // Returns the number of read requests in flight for this segment.
+  std::size_t fill_and_submit(int s, const std::vector<std::uint64_t>& fetch,
+                              std::size_t& pos) {
+    Segment& seg = segments[s];
+    seg.clear();
+    if (pos >= fetch.size()) return 0;
+
+    // An oversized first tile grows the segment (tiles are never split:
+    // "we do not fetch, process or cache partial data from any tile").
+    seg.ensure_capacity(store.tile_bytes(fetch[pos]));
+    while (pos < fetch.size() &&
+           seg.try_add(fetch[pos], store.tile_bytes(fetch[pos])))
+      ++pos;
+
+    // Coalesce runs of layout-consecutive tiles: their bytes are contiguous
+    // in the file and in the segment buffer by construction.
+    std::vector<io::ReadRequest> batch;
+    const auto& slots = seg.slots();
+    std::size_t run_begin = 0;
+    auto flush_run = [&](std::size_t run_end) {
+      const TileSlot& first = slots[run_begin];
+      const TileSlot& last = slots[run_end - 1];
+      io::ReadRequest req;
+      req.offset = store.tile_offset(first.layout_idx);
+      req.length = static_cast<std::size_t>(last.offset + last.bytes - first.offset);
+      req.buffer = seg.slot_data(first);
+      req.tag = make_tag(s, next_serial++);
+      batch.push_back(req);
+      run_begin = run_end;
+    };
+    for (std::size_t k = 1; k < slots.size(); ++k)
+      if (slots[k].layout_idx != slots[k - 1].layout_idx + 1) flush_run(k);
+    if (!slots.empty()) flush_run(slots.size());
+
+    stats.tiles_from_disk += slots.size();
+    if (batch.empty()) return 0;
+    ++stats.io_batches;
+    if (config.overlap_io) {
+      const std::size_t n_requests = batch.size();
+      store.device().submit(std::move(batch));
+      return n_requests;
+    }
+    // Synchronous mode: read inline.
+    Timer t;
+    for (const auto& req : batch)
+      store.device().read(req.buffer, req.length, req.offset);
+    stats.io_wait_seconds += t.seconds();
+    return 0;
+  }
+
+  // Waits until all in-flight requests for segment s have completed.
+  void wait_segment(int s) {
+    Timer t;
+    while (pending[s] > 0) {
+      std::vector<io::Completion> done;
+      store.device().poll(1, 64, done);
+      for (const auto& c : done) {
+        if (!c.ok)
+          throw IoError("tile read failed (tag " + std::to_string(c.tag) + ")",
+                        EIO);
+        --pending[tag_segment(c.tag)];
+      }
+    }
+    stats.io_wait_seconds += t.seconds();
+  }
+
+  // Processes every tile resident in segment s (in parallel), then offers
+  // the tiles to the cache pool under the policy.
+  void process_segment(int s) {
+    Segment& seg = segments[s];
+    const auto& slots = seg.slots();
+    Timer t;
+#ifdef _OPENMP
+#pragma omp parallel for schedule(dynamic, 1)
+#endif
+    for (std::size_t k = 0; k < slots.size(); ++k)
+      process_one(slots[k].layout_idx, seg.slot_data(slots[k]));
+    for (const auto& slot : slots)
+      stats.edges_processed += store.tile_edge_count(slot.layout_idx);
+    stats.compute_seconds += t.seconds();
+
+    // CACHE step of slide-cache-rewind.
+    if (pool.budget() == 0) return;
+    for (const auto& slot : slots) {
+      const tile::TileCoord c = grid.coord_at(slot.layout_idx);
+      if (!policy->should_cache(slot.layout_idx, c, algo)) continue;
+      if (slot.bytes > pool.free_bytes() &&
+          !policy->make_room(pool, slot.bytes, grid, algo))
+        continue;
+      pool.insert(slot.layout_idx, seg.slot_data(slot), slot.bytes);
+    }
+  }
+
+  // ---- one iteration -----------------------------------------------------
+
+  // Returns true if the algorithm wants another iteration.
+  bool run_iteration(std::uint32_t iter) {
+    const Timer iter_timer;
+    const IterationStats before{stats.tiles_from_disk, stats.tiles_from_cache,
+                                stats.tiles_skipped, stats.edges_processed, 0};
+    algo.begin_iteration(iter);
+
+    // REWIND: consume the cache pool first, no I/O (paper §VI-D).
+    std::vector<std::uint64_t> cached_indices;
+    if (config.rewind && pool.tile_count() > 0) {
+      Timer t;
+      const auto entries = pool.entries();
+      cached_indices.reserve(entries.size());
+      for (const auto& e : entries) cached_indices.push_back(e.layout_idx);
+#ifdef _OPENMP
+#pragma omp parallel for schedule(dynamic, 1)
+#endif
+      for (std::size_t k = 0; k < entries.size(); ++k) {
+        if (!needed_now(entries[k].layout_idx)) continue;
+        process_one(entries[k].layout_idx, entries[k].data);
+      }
+      for (const auto& e : entries) {
+        if (!needed_now(e.layout_idx)) continue;
+        pool.touch(e.layout_idx);
+        stats.tiles_from_cache += 1;
+        stats.edges_processed += store.tile_edge_count(e.layout_idx);
+      }
+      stats.compute_seconds += t.seconds();
+    } else if (!config.rewind) {
+      // Base policy keeps nothing across iterations.
+      pool.clear();
+    }
+
+    // Fetch list: every stored, non-empty tile not already consumed from the
+    // cache, that the algorithm needs this iteration — in layout order.
+    std::vector<std::uint64_t> fetch;
+    {
+      std::size_t ci = 0;
+      for (std::uint64_t idx = 0; idx < grid.tile_count(); ++idx) {
+        while (ci < cached_indices.size() && cached_indices[ci] < idx) ++ci;
+        const bool in_cache =
+            ci < cached_indices.size() && cached_indices[ci] == idx;
+        if (in_cache) continue;
+        if (store.tile_bytes(idx) == 0) continue;
+        if (!needed_now(idx)) {
+          ++stats.tiles_skipped;
+          continue;
+        }
+        fetch.push_back(idx);
+      }
+    }
+
+    // SLIDE: double-buffered stream over the fetch list.
+    std::size_t pos = 0;
+    int cur = 0;
+    pending[0] = pending[1] = 0;
+    pending[cur] = fill_and_submit(cur, fetch, pos);
+    while (!segments[cur].empty()) {
+      const int nxt = cur ^ 1;
+      pending[nxt] = fill_and_submit(nxt, fetch, pos);  // prefetch
+      wait_segment(cur);
+      process_segment(cur);
+      cur = nxt;
+    }
+
+    // Iteration-boundary cache analysis. Runs *before* end_iteration(): the
+    // tile_useful_next oracle refers to the upcoming iteration, and
+    // end_iteration typically promotes next-iteration metadata (e.g. BFS
+    // frontier flags) to current.
+    if (pool.budget() > 0) policy->analyze(pool, grid, algo);
+
+    stats.per_iteration.push_back(IterationStats{
+        stats.tiles_from_disk - before.tiles_from_disk,
+        stats.tiles_from_cache - before.tiles_from_cache,
+        stats.tiles_skipped - before.tiles_skipped,
+        stats.edges_processed - before.edges_processed, iter_timer.seconds()});
+    return algo.end_iteration(iter);
+  }
+
+  EngineStats run() {
+    Timer total;
+    algo.init(store);
+    store.device().reset_stats();
+    bool more = true;
+    std::uint32_t iter = 0;
+    while (more && iter < config.max_iterations) {
+      more = run_iteration(iter);
+      ++iter;
+    }
+    GS_CHECK_MSG(!more, "algorithm did not converge within max_iterations");
+    stats.iterations = iter;
+    stats.bytes_read = store.device().stats().bytes_read;
+    stats.elapsed_seconds = total.seconds();
+    return stats;
+  }
+
+  tile::TileStore& store;
+  const tile::Grid& grid;
+  const EngineConfig& config;
+  TileAlgorithm& algo;
+  CachePool pool;
+  std::unique_ptr<CachingPolicy> policy;
+  Segment segments[2];
+  std::size_t pending[2] = {0, 0};
+  std::uint64_t next_serial = 0;
+  EngineStats stats;
+};
+
+ScrEngine::ScrEngine(tile::TileStore& store, EngineConfig config)
+    : store_(store),
+      config_(config),
+      budget_(MemoryBudget::compute(config.stream_memory_bytes,
+                                    config.segment_bytes)) {}
+
+EngineStats ScrEngine::run(TileAlgorithm& algo) {
+  Runner runner(store_, config_, budget_, algo);
+  EngineStats s = runner.run();
+  GS_LOG(Info) << algo.name() << ": " << s.iterations << " iterations, "
+               << s.edges_processed << " edges processed, "
+               << s.bytes_read / (1 << 20) << " MiB read, "
+               << s.tiles_from_cache << " tiles from cache";
+  return s;
+}
+
+}  // namespace gstore::store

@@ -1,0 +1,76 @@
+// The SCR (slide–cache–rewind) engine (paper §VI, Figure 8).
+//
+// Each iteration:
+//   REWIND — process the tiles already sitting in the cache pool before any
+//            I/O is issued (they were saved from the previous iteration).
+//   SLIDE  — stream the remaining needed tiles from disk in physical-group
+//            layout order, double-buffered: one segment is loading via the
+//            async engine while the other is being processed.
+//   CACHE  — each processed segment offers its tiles to the cache pool under
+//            the configured policy; proactive analysis evicts tiles the
+//            algorithm's metadata rules out for the next iteration.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "store/algorithm.h"
+#include "store/caching_policy.h"
+#include "store/memory_budget.h"
+#include "tile/tile_file.h"
+
+namespace gstore::store {
+
+struct EngineConfig {
+  std::uint64_t stream_memory_bytes = 64ull << 20;
+  std::uint64_t segment_bytes = 8ull << 20;
+  CachePolicyKind policy = CachePolicyKind::kProactive;
+  bool rewind = true;           // off = "base policy" of the Fig 13 ablation
+  bool selective_fetch = true;  // honour algo.tile_needed when fetching
+  bool overlap_io = true;       // double-buffer I/O with compute
+  std::uint32_t max_iterations = 100000;
+};
+
+// Per-iteration breakdown: how the working set and I/O evolve as frontiers
+// grow/shrink and the cache warms (what the paper's Figure 8 timeline shows).
+struct IterationStats {
+  std::uint64_t tiles_from_disk = 0;
+  std::uint64_t tiles_from_cache = 0;
+  std::uint64_t tiles_skipped = 0;
+  std::uint64_t edges_processed = 0;
+  double seconds = 0;
+};
+
+struct EngineStats {
+  std::uint32_t iterations = 0;
+  std::uint64_t bytes_read = 0;
+  std::uint64_t tiles_from_disk = 0;
+  std::uint64_t tiles_from_cache = 0;
+  std::uint64_t tiles_skipped = 0;   // selective fetch: not needed this iter
+  std::uint64_t edges_processed = 0;
+  std::uint64_t io_batches = 0;      // submit() calls (paper: batching saves syscalls)
+  double io_wait_seconds = 0;
+  double compute_seconds = 0;
+  double elapsed_seconds = 0;
+  std::vector<IterationStats> per_iteration;
+};
+
+class ScrEngine {
+ public:
+  ScrEngine(tile::TileStore& store, EngineConfig config = {});
+
+  // Runs the algorithm to completion and returns run statistics.
+  EngineStats run(TileAlgorithm& algo);
+
+  const EngineConfig& config() const noexcept { return config_; }
+  const MemoryBudget& budget() const noexcept { return budget_; }
+
+ private:
+  struct Runner;
+  tile::TileStore& store_;
+  EngineConfig config_;
+  MemoryBudget budget_;
+};
+
+}  // namespace gstore::store

@@ -1,0 +1,69 @@
+// A streaming memory segment: a fixed-size aligned buffer holding a batch of
+// tiles read from disk (paper §VI-A). Two segments alternate between I/O and
+// processing ("slide"); a third role — cache-pool feeding — happens when a
+// processed segment's tiles are copied into the pool.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/aligned_buffer.h"
+
+namespace gstore::store {
+
+// Placement of one tile inside a segment buffer.
+struct TileSlot {
+  std::uint64_t layout_idx = 0;
+  std::uint64_t offset = 0;  // byte offset within the segment buffer
+  std::uint64_t bytes = 0;
+};
+
+class Segment {
+ public:
+  Segment() = default;
+  explicit Segment(std::uint64_t capacity)
+      : buf_(capacity), capacity_(capacity) {}
+
+  std::uint64_t capacity() const noexcept { return capacity_; }
+  std::uint64_t used() const noexcept { return used_; }
+  bool empty() const noexcept { return slots_.empty(); }
+
+  // Reserves room for a tile; returns the slot offset or false if full.
+  bool try_add(std::uint64_t layout_idx, std::uint64_t bytes) {
+    if (used_ + bytes > capacity_) return false;
+    slots_.push_back(TileSlot{layout_idx, used_, bytes});
+    used_ += bytes;
+    return true;
+  }
+
+  void clear() {
+    slots_.clear();
+    used_ = 0;
+  }
+
+  // Grows the buffer if a single tile exceeds the nominal capacity (the
+  // paper's tiles are capped at 16GB; ours must still stream the largest
+  // tile even when segment_bytes is configured small).
+  void ensure_capacity(std::uint64_t bytes) {
+    if (bytes <= capacity_) return;
+    buf_ = gstore::AlignedBuffer(bytes);
+    capacity_ = bytes;
+  }
+
+  std::uint8_t* data() noexcept { return buf_.data(); }
+  const std::uint8_t* data() const noexcept { return buf_.data(); }
+  std::uint8_t* slot_data(const TileSlot& s) noexcept { return buf_.data() + s.offset; }
+  const std::uint8_t* slot_data(const TileSlot& s) const noexcept {
+    return buf_.data() + s.offset;
+  }
+
+  const std::vector<TileSlot>& slots() const noexcept { return slots_; }
+
+ private:
+  gstore::AlignedBuffer buf_;
+  std::uint64_t capacity_ = 0;
+  std::uint64_t used_ = 0;
+  std::vector<TileSlot> slots_;
+};
+
+}  // namespace gstore::store

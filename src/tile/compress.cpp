@@ -1,0 +1,106 @@
+#include "tile/compress.h"
+
+#include <algorithm>
+
+#include "util/status.h"
+
+namespace gstore::tile {
+
+namespace {
+
+void put_varint(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+std::uint32_t get_varint(std::span<const std::uint8_t> in, std::size_t& pos) {
+  std::uint32_t v = 0;
+  unsigned shift = 0;
+  for (;;) {
+    if (pos >= in.size()) throw FormatError("truncated varint in tile payload");
+    const std::uint8_t b = in[pos++];
+    v |= static_cast<std::uint32_t>(b & 0x7f) << shift;
+    if ((b & 0x80) == 0) return v;
+    shift += 7;
+    if (shift > 28) throw FormatError("varint overflow in tile payload");
+  }
+}
+
+std::vector<std::uint8_t> delta_encode(const std::vector<SnbEdge>& edges) {
+  std::vector<std::uint8_t> out;
+  out.reserve(edges.size() * 2 + 16);
+  out.push_back(static_cast<std::uint8_t>(TileCodec::kDelta));
+  std::uint16_t prev_src = 0;
+  std::uint16_t prev_dst = 0;
+  for (const SnbEdge& e : edges) {
+    const std::uint32_t dsrc = static_cast<std::uint16_t>(e.src16 - prev_src);
+    put_varint(out, dsrc);
+    if (dsrc == 0) {
+      // Same source row: destinations are strictly increasing → small delta.
+      put_varint(out, static_cast<std::uint16_t>(e.dst16 - prev_dst));
+    } else {
+      put_varint(out, e.dst16);
+    }
+    prev_src = e.src16;
+    prev_dst = e.dst16;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> compress_tile(std::vector<SnbEdge> edges) {
+  std::sort(edges.begin(), edges.end());
+  std::vector<std::uint8_t> delta = delta_encode(edges);
+  const std::size_t raw_size = 1 + edges.size() * sizeof(SnbEdge);
+  if (delta.size() < raw_size) return delta;
+
+  std::vector<std::uint8_t> raw;
+  raw.reserve(raw_size);
+  raw.push_back(static_cast<std::uint8_t>(TileCodec::kRaw));
+  const auto* bytes = reinterpret_cast<const std::uint8_t*>(edges.data());
+  raw.insert(raw.end(), bytes, bytes + edges.size() * sizeof(SnbEdge));
+  return raw;
+}
+
+std::vector<SnbEdge> decompress_tile(std::span<const std::uint8_t> payload) {
+  if (payload.empty()) throw FormatError("empty tile payload");
+  const auto codec = static_cast<TileCodec>(payload[0]);
+  std::vector<SnbEdge> out;
+  if (codec == TileCodec::kRaw) {
+    const std::size_t body = payload.size() - 1;
+    if (body % sizeof(SnbEdge) != 0)
+      throw FormatError("raw tile payload not a multiple of edge size");
+    out.resize(body / sizeof(SnbEdge));
+    std::copy(payload.begin() + 1, payload.end(),
+              reinterpret_cast<std::uint8_t*>(out.data()));
+    return out;
+  }
+  if (codec != TileCodec::kDelta)
+    throw FormatError("unknown tile codec byte");
+
+  std::size_t pos = 1;
+  std::uint16_t prev_src = 0;
+  std::uint16_t prev_dst = 0;
+  while (pos < payload.size()) {
+    const std::uint32_t dsrc = get_varint(payload, pos);
+    const std::uint32_t dval = get_varint(payload, pos);
+    SnbEdge e;
+    e.src16 = static_cast<std::uint16_t>(prev_src + dsrc);
+    e.dst16 = dsrc == 0 ? static_cast<std::uint16_t>(prev_dst + dval)
+                        : static_cast<std::uint16_t>(dval);
+    out.push_back(e);
+    prev_src = e.src16;
+    prev_dst = e.dst16;
+  }
+  return out;
+}
+
+std::size_t compressed_size(std::vector<SnbEdge> edges) {
+  return compress_tile(std::move(edges)).size();
+}
+
+}  // namespace gstore::tile

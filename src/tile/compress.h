@@ -1,0 +1,31 @@
+// Optional intra-tile compression (the paper's §VIII future-work item).
+//
+// Edges inside one tile are sorted by (src16, dst16) and delta-encoded with
+// LEB128 varints: each edge stores (src_delta, dst) where dst is re-based to
+// a delta when the source repeats. Power-law tiles with dense rows compress
+// well; near-empty tiles are stored raw (a 1-byte header selects the codec).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "tile/snb.h"
+
+namespace gstore::tile {
+
+enum class TileCodec : std::uint8_t { kRaw = 0, kDelta = 1 };
+
+// Compresses a tile payload. The edges are sorted as a side effect of
+// encoding (order inside a tile is not semantically meaningful). Picks kRaw
+// automatically when delta encoding would not shrink the payload.
+std::vector<std::uint8_t> compress_tile(std::vector<SnbEdge> edges);
+
+// Decompresses a payload produced by compress_tile.
+std::vector<SnbEdge> decompress_tile(std::span<const std::uint8_t> payload);
+
+// Size in bytes that `edges` would occupy after compression (without
+// materializing the output twice).
+std::size_t compressed_size(std::vector<SnbEdge> edges);
+
+}  // namespace gstore::tile

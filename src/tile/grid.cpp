@@ -1,0 +1,70 @@
+#include "tile/grid.h"
+
+#include <algorithm>
+
+#include "util/bitops.h"
+#include "util/status.h"
+
+namespace gstore::tile {
+
+Grid::Grid(graph::vid_t vertex_count, bool symmetric, unsigned tile_bits,
+           std::uint32_t group_side)
+    : vertex_count_(vertex_count), symmetric_(symmetric), tile_bits_(tile_bits) {
+  GS_CHECK_MSG(tile_bits >= 1 && tile_bits <= 16,
+               "tile_bits must be in [1,16] so SNB ids fit uint16_t");
+  GS_CHECK_MSG(vertex_count >= 1, "grid needs at least one vertex");
+  p_ = static_cast<std::uint32_t>(
+      ceil_div(vertex_count, graph::vid_t{1} << tile_bits));
+  q_ = std::min<std::uint32_t>(std::max<std::uint32_t>(group_side, 1), p_);
+  g_ = static_cast<std::uint32_t>(ceil_div(p_, q_));
+  build_layout();
+}
+
+std::uint64_t Grid::group_count() const noexcept {
+  return static_cast<std::uint64_t>(g_) * g_;
+}
+
+void Grid::build_layout() {
+  const std::uint64_t pp = static_cast<std::uint64_t>(p_) * p_;
+  coord_to_layout_.assign(pp, ~std::uint64_t{0});
+  layout_to_coord_.clear();
+  group_start_.assign(group_count() + 1, 0);
+
+  std::uint64_t next = 0;
+  for (std::uint32_t gi = 0; gi < g_; ++gi) {
+    for (std::uint32_t gj = 0; gj < g_; ++gj) {
+      group_start_[static_cast<std::uint64_t>(gi) * g_ + gj] = next;
+      const std::uint32_t i_end = std::min(p_, (gi + 1) * q_);
+      const std::uint32_t j_end = std::min(p_, (gj + 1) * q_);
+      for (std::uint32_t i = gi * q_; i < i_end; ++i) {
+        for (std::uint32_t j = gj * q_; j < j_end; ++j) {
+          if (!tile_exists(i, j)) continue;
+          coord_to_layout_[static_cast<std::uint64_t>(i) * p_ + j] = next;
+          layout_to_coord_.push_back(TileCoord{i, j});
+          ++next;
+        }
+      }
+    }
+  }
+  group_start_.back() = next;
+  tile_count_ = next;
+}
+
+std::uint64_t Grid::layout_index(std::uint32_t i, std::uint32_t j) const {
+  if (!tile_exists(i, j))
+    throw InvalidArgument("tile (" + std::to_string(i) + "," + std::to_string(j) +
+                          ") does not exist in this grid");
+  return coord_to_layout_[static_cast<std::uint64_t>(i) * p_ + j];
+}
+
+TileCoord Grid::coord_at(std::uint64_t layout_index) const {
+  GS_CHECK_MSG(layout_index < tile_count_, "layout index out of range");
+  return layout_to_coord_[layout_index];
+}
+
+std::pair<std::uint64_t, std::uint64_t> Grid::group_range(std::uint64_t group) const {
+  GS_CHECK_MSG(group < group_count(), "group id out of range");
+  return {group_start_[group], group_start_[group + 1]};
+}
+
+}  // namespace gstore::tile

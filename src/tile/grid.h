@@ -1,0 +1,97 @@
+// 2D tile grid geometry and the physical-group disk layout (paper §IV, §V-A).
+//
+// The adjacency matrix is cut into p×p tiles of 2^tile_bits vertices per
+// side. Undirected graphs store only the upper triangle (j >= i); directed
+// graphs store one direction (all i,j). On disk, tiles are not written in
+// plain row-major order: they are grouped into physical groups of
+// group_side × group_side tiles so that one group's algorithmic metadata
+// fits in the LLC and a whole group reads sequentially (Fig 6).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace gstore::tile {
+
+struct TileCoord {
+  std::uint32_t i = 0;  // tile row (source range)
+  std::uint32_t j = 0;  // tile column (destination range)
+
+  friend bool operator==(const TileCoord&, const TileCoord&) = default;
+};
+
+class Grid {
+ public:
+  Grid() = default;
+
+  // `symmetric` selects upper-triangle storage (undirected graphs).
+  // `tile_bits` ≤ 16 so SNB local ids fit uint16_t. `group_side` is q,
+  // the number of tiles per physical-group side.
+  Grid(graph::vid_t vertex_count, bool symmetric, unsigned tile_bits = 16,
+       std::uint32_t group_side = 256);
+
+  graph::vid_t vertex_count() const noexcept { return vertex_count_; }
+  unsigned tile_bits() const noexcept { return tile_bits_; }
+  graph::vid_t tile_width() const noexcept { return graph::vid_t{1} << tile_bits_; }
+  bool symmetric() const noexcept { return symmetric_; }
+
+  // Tiles per side (p in the paper).
+  std::uint32_t p() const noexcept { return p_; }
+  // Tiles per physical-group side (q in the paper), clamped to p.
+  std::uint32_t group_side() const noexcept { return q_; }
+  // Groups per side (g = ceil(p/q)).
+  std::uint32_t groups_per_side() const noexcept { return g_; }
+  std::uint64_t group_count() const noexcept;
+
+  // Number of stored tiles: p^2, or p(p+1)/2 for symmetric storage.
+  std::uint64_t tile_count() const noexcept { return tile_count_; }
+
+  std::uint32_t tile_row_of(graph::vid_t v) const noexcept {
+    return static_cast<std::uint32_t>(v >> tile_bits_);
+  }
+  graph::vid_t tile_base(std::uint32_t index) const noexcept {
+    return static_cast<graph::vid_t>(index) << tile_bits_;
+  }
+
+  bool tile_exists(std::uint32_t i, std::uint32_t j) const noexcept {
+    return i < p_ && j < p_ && (!symmetric_ || j >= i);
+  }
+
+  // Tile coordinate of an edge after canonicalization (caller must have
+  // swapped endpoints for undirected edges so src <= dst).
+  TileCoord tile_of(graph::vid_t src, graph::vid_t dst) const noexcept {
+    return TileCoord{tile_row_of(src), tile_row_of(dst)};
+  }
+
+  // Layout index: position of tile (i,j) in the on-disk order (groups in
+  // row-major order; tiles row-major within a group; nonexistent tiles
+  // skipped). Throws InvalidArgument for nonexistent tiles.
+  std::uint64_t layout_index(std::uint32_t i, std::uint32_t j) const;
+  TileCoord coord_at(std::uint64_t layout_index) const;
+
+  // Group id (row-major over the g×g group grid) containing tile (i,j).
+  std::uint64_t group_of(std::uint32_t i, std::uint32_t j) const noexcept {
+    return static_cast<std::uint64_t>(i / q_) * g_ + (j / q_);
+  }
+  // Layout index range [first, last) of the tiles belonging to `group`.
+  // Empty range for groups with no stored tiles (below the diagonal).
+  std::pair<std::uint64_t, std::uint64_t> group_range(std::uint64_t group) const;
+
+ private:
+  void build_layout();
+
+  graph::vid_t vertex_count_ = 0;
+  bool symmetric_ = true;
+  unsigned tile_bits_ = 16;
+  std::uint32_t p_ = 0;
+  std::uint32_t q_ = 1;
+  std::uint32_t g_ = 0;
+  std::uint64_t tile_count_ = 0;
+  std::vector<std::uint64_t> group_start_;   // layout index where each group begins; size g*g+1
+  std::vector<TileCoord> layout_to_coord_;   // size tile_count_
+  std::vector<std::uint64_t> coord_to_layout_;  // size p*p, ~0 for nonexistent
+};
+
+}  // namespace gstore::tile

@@ -1,0 +1,62 @@
+#include "tile/grouping.h"
+
+#include <algorithm>
+
+#include "util/bitops.h"
+
+namespace gstore::tile {
+
+std::vector<GroupStats> group_stats(const TileStore& store) {
+  const Grid& grid = store.grid();
+  std::vector<GroupStats> out;
+  out.reserve(grid.group_count());
+  for (std::uint64_t g = 0; g < grid.group_count(); ++g) {
+    const auto [first, last] = grid.group_range(g);
+    GroupStats s;
+    s.group = g;
+    s.tiles = last - first;
+    s.edges = store.start_edge()[last] - store.start_edge()[first];
+    s.bytes = s.edges * sizeof(SnbEdge);
+    out.push_back(s);
+  }
+  return out;
+}
+
+std::vector<std::uint64_t> tile_edge_counts(const TileStore& store) {
+  std::vector<std::uint64_t> out(store.grid().tile_count());
+  for (std::uint64_t k = 0; k < out.size(); ++k)
+    out[k] = store.tile_edge_count(k);
+  return out;
+}
+
+std::uint64_t group_metadata_bytes(const Grid& grid, std::uint64_t group,
+                                   std::uint64_t bytes_per_vertex) {
+  const std::uint32_t g_side = grid.groups_per_side();
+  const std::uint32_t gi = static_cast<std::uint32_t>(group / g_side);
+  const std::uint32_t gj = static_cast<std::uint32_t>(group % g_side);
+  const std::uint64_t width = grid.tile_width();
+  auto span_of = [&](std::uint32_t gk) {
+    const std::uint64_t lo = std::uint64_t{gk} * grid.group_side() * width;
+    const std::uint64_t hi =
+        std::min<std::uint64_t>(lo + std::uint64_t{grid.group_side()} * width,
+                                grid.vertex_count());
+    return hi > lo ? hi - lo : 0;
+  };
+  // Row and column ranges overlap exactly when gi == gj.
+  std::uint64_t vertices = span_of(gi);
+  if (gi != gj) vertices += span_of(gj);
+  return vertices * bytes_per_vertex;
+}
+
+std::uint32_t pick_group_side(unsigned tile_bits, std::uint64_t llc_bytes,
+                              std::uint64_t bytes_per_vertex) {
+  const std::uint64_t width = std::uint64_t{1} << tile_bits;
+  // Worst case (off-diagonal group): metadata for both the row range and the
+  // column range must be resident: 2 * q * width * bytes_per_vertex ≤ llc.
+  const std::uint64_t per_q = 2 * width * bytes_per_vertex;
+  if (per_q == 0 || llc_bytes < per_q) return 1;
+  return static_cast<std::uint32_t>(
+      std::min<std::uint64_t>(llc_bytes / per_q, 1u << 20));
+}
+
+}  // namespace gstore::tile

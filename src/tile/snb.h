@@ -1,0 +1,38 @@
+// SNB — "smallest number of bits" edge representation (paper §IV-B).
+//
+// Inside tile[i,j] every source vertex shares the high bits `i` and every
+// destination the high bits `j`, so an edge is stored as two 16-bit local
+// ids (4 bytes total) regardless of graph size. The tile coordinates are
+// re-attached on decode: global = (tile_index << tile_bits) | local.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/types.h"
+
+namespace gstore::tile {
+
+// One on-disk edge tuple: 4 bytes, the paper's format.
+struct SnbEdge {
+  std::uint16_t src16 = 0;
+  std::uint16_t dst16 = 0;
+
+  friend bool operator==(const SnbEdge&, const SnbEdge&) = default;
+  friend auto operator<=>(const SnbEdge&, const SnbEdge&) = default;
+};
+static_assert(sizeof(SnbEdge) == 4, "SNB edge tuple must be 4 bytes");
+
+// Encodes a global edge into tile-local form. `src_base`/`dst_base` are the
+// first vertex ids covered by the tile row/column.
+constexpr SnbEdge snb_encode(graph::vid_t src, graph::vid_t dst,
+                             graph::vid_t src_base, graph::vid_t dst_base) noexcept {
+  return SnbEdge{static_cast<std::uint16_t>(src - src_base),
+                 static_cast<std::uint16_t>(dst - dst_base)};
+}
+
+constexpr graph::Edge snb_decode(SnbEdge e, graph::vid_t src_base,
+                                 graph::vid_t dst_base) noexcept {
+  return graph::Edge{src_base + e.src16, dst_base + e.dst16};
+}
+
+}  // namespace gstore::tile

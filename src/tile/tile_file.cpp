@@ -1,0 +1,155 @@
+#include "tile/tile_file.h"
+
+#include <algorithm>
+
+#include "io/file.h"
+#include "util/status.h"
+
+namespace gstore::tile {
+
+namespace {
+struct TilesFileHeader {
+  std::uint64_t magic = kTileFileMagic;
+  std::uint32_t version = 1;
+  std::uint32_t pad = 0;
+  std::uint64_t edge_count = 0;
+  std::uint64_t reserved[5] = {0, 0, 0, 0, 0};
+};
+static_assert(sizeof(TilesFileHeader) == 64);
+}  // namespace
+
+TileStore TileStore::open(const std::string& base_path, io::DeviceConfig config) {
+  TileStore store;
+  store.base_path_ = base_path;
+
+  // Start-edge file: metadata + index.
+  {
+    io::File sei(sei_path(base_path), io::OpenMode::kRead);
+    sei.pread_full(&store.meta_, sizeof(store.meta_), 0);
+    if (store.meta_.magic != kSeiFileMagic)
+      throw FormatError("bad magic in " + sei.path());
+    if (store.meta_.version != 1)
+      throw FormatError("unsupported version in " + sei.path());
+    store.start_edge_.resize(store.meta_.tile_count + 1);
+    sei.pread_full(store.start_edge_.data(),
+                   store.start_edge_.size() * sizeof(std::uint64_t),
+                   sizeof(store.meta_));
+    if (store.start_edge_.front() != 0 ||
+        store.start_edge_.back() != store.meta_.edge_count)
+      throw FormatError("inconsistent start-edge index in " + sei.path());
+    for (std::size_t k = 0; k + 1 < store.start_edge_.size(); ++k)
+      if (store.start_edge_[k] > store.start_edge_[k + 1])
+        throw FormatError("non-monotone start-edge index in " + sei.path());
+  }
+
+  store.grid_ = Grid(static_cast<graph::vid_t>(store.meta_.vertex_count),
+                     store.meta_.symmetric(), store.meta_.tile_bits,
+                     store.meta_.group_side);
+  if (store.grid_.tile_count() != store.meta_.tile_count)
+    throw FormatError("tile count mismatch between grid and index");
+
+  for (std::uint64_t k = 0; k < store.meta_.tile_count; ++k)
+    store.max_tile_bytes_ = std::max(store.max_tile_bytes_, store.tile_bytes(k));
+
+  // Data file via the device model.
+  store.device_ = std::make_unique<io::Device>(tiles_path(base_path), config);
+  TilesFileHeader th;
+  store.device_->file().pread_full(&th, sizeof(th), 0);
+  if (th.magic != kTileFileMagic)
+    throw FormatError("bad magic in " + tiles_path(base_path));
+  if (th.edge_count != store.meta_.edge_count)
+    throw FormatError("edge count mismatch between .tiles and .sei");
+  store.data_offset_ = sizeof(TilesFileHeader);
+
+  const std::uint64_t expect =
+      store.data_offset_ + store.meta_.edge_count * store.meta_.tuple_bytes();
+  if (store.device_->size() != expect)
+    throw FormatError(tiles_path(base_path) + " truncated");
+  return store;
+}
+
+TileStore TileStore::open_tiered(const std::string& base_path,
+                                 io::DeviceConfig config, double hot_fraction,
+                                 TierPolicy policy) {
+  GS_CHECK_MSG(config.slow_tier_bw > 0,
+               "tiered store needs a slow-tier bandwidth");
+  GS_CHECK_MSG(hot_fraction >= 0.0 && hot_fraction <= 1.0,
+               "hot_fraction must be in [0,1]");
+  TileStore store = open(base_path, config);
+
+  const std::uint64_t hot_budget =
+      static_cast<std::uint64_t>(store.data_bytes() * hot_fraction);
+  const std::uint64_t n = store.grid().tile_count();
+  std::vector<std::uint8_t> hot(n, 0);
+
+  if (policy == TierPolicy::kHotPrefix) {
+    std::uint64_t used = 0;
+    for (std::uint64_t k = 0; k < n && used < hot_budget; ++k) {
+      hot[k] = 1;
+      used += store.tile_bytes(k);
+    }
+  } else {  // kLargestTiles
+    std::vector<std::uint64_t> order(n);
+    for (std::uint64_t k = 0; k < n; ++k) order[k] = k;
+    std::sort(order.begin(), order.end(), [&](std::uint64_t a, std::uint64_t b) {
+      return store.tile_bytes(a) > store.tile_bytes(b);
+    });
+    std::uint64_t used = 0;
+    for (std::uint64_t k : order) {
+      if (used >= hot_budget) break;
+      hot[k] = 1;
+      used += store.tile_bytes(k);
+    }
+  }
+
+  io::TierMap map;
+  for (std::uint64_t k = 0; k < n; ++k) {
+    if (store.tile_bytes(k) == 0) continue;
+    map.add_range(store.tile_offset(k), store.tile_offset(k) + store.tile_bytes(k),
+                  hot[k] ? 0u : 1u);
+  }
+  store.device_->set_tier_map(std::move(map));
+  return store;
+}
+
+void TileStore::read_range(std::uint64_t first, std::uint64_t last,
+                           std::uint8_t* buf) {
+  GS_CHECK(first <= last && last <= meta_.tile_count);
+  const std::uint64_t bytes = bytes_of_range(first, last);
+  if (bytes == 0) return;
+  device_->read(buf, bytes, tile_offset(first));
+}
+
+TileView TileStore::view(std::uint64_t layout_idx, const std::uint8_t* data) const {
+  const TileCoord c = grid_.coord_at(layout_idx);
+  TileView v;
+  v.coord = c;
+  v.src_base = grid_.tile_base(c.i);
+  v.dst_base = grid_.tile_base(c.j);
+  v.fat = meta_.fat_tuples();
+  if (v.fat) {
+    v.fat_edges = std::span<const graph::Edge>(
+        reinterpret_cast<const graph::Edge*>(data), tile_edge_count(layout_idx));
+  } else {
+    v.edges = std::span<const SnbEdge>(reinterpret_cast<const SnbEdge*>(data),
+                                       tile_edge_count(layout_idx));
+  }
+  return v;
+}
+
+graph::CompressedDegrees TileStore::load_degrees() const {
+  io::File f(deg_path(base_path_), io::OpenMode::kRead);
+  const std::uint64_t n = meta_.vertex_count;
+  if (f.size() != n * sizeof(graph::degree_t))
+    throw FormatError("degree file size mismatch for " + base_path_);
+  std::vector<graph::degree_t> deg(n);
+  if (n > 0) f.pread_full(deg.data(), n * sizeof(graph::degree_t), 0);
+  return graph::CompressedDegrees::build(deg);
+}
+
+std::uint64_t TileStore::storage_bytes() const {
+  return io::File::file_size(tiles_path(base_path_)) +
+         io::File::file_size(sei_path(base_path_));
+}
+
+}  // namespace gstore::tile

@@ -1,0 +1,164 @@
+// On-disk tile store (paper §IV "Implementation" + §V-A).
+//
+// Two files, exactly like the paper:
+//   <base>.tiles — all tiles' SNB edges concatenated in physical-group
+//                  layout order (one file; per-tile files would be millions).
+//   <base>.sei   — the "start-edge" file: grid metadata plus one uint64 per
+//                  tile giving the starting edge number (CSR-of-tiles), so
+//                  tile k's bytes are [start[k]*4, start[k+1]*4).
+// Plus one auxiliary file the algorithms need:
+//   <base>.deg   — uint32 degrees (out-degree for directed, total degree for
+//                  undirected), loadable into CompressedDegrees.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/degree.h"
+#include "graph/types.h"
+#include "io/device.h"
+#include "tile/grid.h"
+#include "tile/snb.h"
+
+namespace gstore::tile {
+
+inline constexpr std::uint64_t kTileFileMagic = 0x4753544f52453154ULL;  // "GSTORE1T"
+inline constexpr std::uint64_t kSeiFileMagic = 0x4753544f52453153ULL;   // "GSTORE1S"
+
+struct TileStoreMeta {
+  std::uint64_t magic = kSeiFileMagic;
+  std::uint32_t version = 1;
+  // bit0: symmetric, bit1: directed, bit2: in-edges, bit3: fat (8B) tuples
+  std::uint32_t flags = 0;
+  std::uint64_t vertex_count = 0;
+  std::uint64_t edge_count = 0;
+  std::uint32_t tile_bits = 16;
+  std::uint32_t group_side = 256;
+  std::uint64_t tile_count = 0;
+  std::uint64_t reserved[4] = {0, 0, 0, 0};
+
+  bool symmetric() const noexcept { return flags & 1u; }
+  bool directed() const noexcept { return (flags >> 1) & 1u; }
+  // For directed stores: tuples are (dst, src) — the store holds in-edges.
+  bool in_edges() const noexcept { return (flags >> 2) & 1u; }
+  // Non-SNB ablation format: tuples are two full 4-byte vertex ids.
+  bool fat_tuples() const noexcept { return (flags >> 3) & 1u; }
+  std::uint32_t tuple_bytes() const noexcept { return fat_tuples() ? 8 : 4; }
+};
+static_assert(sizeof(TileStoreMeta) == 80);
+
+// A decoded, read-only view over one tile's edges sitting in some buffer.
+// Normal stores carry SNB tuples in `edges`; the non-SNB ablation format
+// carries full-vid tuples in `fat_edges` (exactly one span is populated —
+// iterate with visit_edges() to stay format-agnostic).
+struct TileView {
+  TileCoord coord;
+  graph::vid_t src_base = 0;
+  graph::vid_t dst_base = 0;
+  bool fat = false;
+  std::span<const SnbEdge> edges;            // when !fat
+  std::span<const graph::Edge> fat_edges;    // when fat
+
+  std::size_t edge_count() const noexcept {
+    return fat ? fat_edges.size() : edges.size();
+  }
+};
+
+// Invokes fn(src_vid, dst_vid) for every edge of the tile, whichever tuple
+// format it is stored in.
+template <typename Fn>
+inline void visit_edges(const TileView& v, Fn&& fn) {
+  if (v.fat) {
+    for (const graph::Edge& e : v.fat_edges) fn(e.src, e.dst);
+  } else {
+    for (const SnbEdge& e : v.edges)
+      fn(v.src_base + e.src16, v.dst_base + e.dst16);
+  }
+}
+
+// Read-side handle over a converted graph. Thread-compatible: concurrent
+// reads are safe through the underlying Device.
+// Placement policy for tiered stores (paper §IX future work: SSD + HDD).
+enum class TierPolicy {
+  kHotPrefix,     // first hot_fraction of the file (in layout order) on SSD
+  kLargestTiles,  // biggest tiles on SSD — the power-law mass lives there
+};
+
+class TileStore {
+ public:
+  static TileStore open(const std::string& base_path, io::DeviceConfig config = {});
+
+  // Opens with tiered storage: `hot_fraction` of the data bytes are placed
+  // on the fast tier (config.devices × per_device_bw); the rest are charged
+  // against config.slow_tier_bw (must be non-zero). See io/tiering.h.
+  static TileStore open_tiered(const std::string& base_path,
+                               io::DeviceConfig config, double hot_fraction,
+                               TierPolicy policy = TierPolicy::kLargestTiles);
+
+  const Grid& grid() const noexcept { return grid_; }
+  const TileStoreMeta& meta() const noexcept { return meta_; }
+  graph::vid_t vertex_count() const noexcept {
+    return static_cast<graph::vid_t>(meta_.vertex_count);
+  }
+  std::uint64_t edge_count() const noexcept { return meta_.edge_count; }
+
+  std::uint64_t tile_edge_count(std::uint64_t layout_idx) const {
+    return start_edge_[layout_idx + 1] - start_edge_[layout_idx];
+  }
+  std::uint64_t tile_bytes(std::uint64_t layout_idx) const {
+    return tile_edge_count(layout_idx) * meta_.tuple_bytes();
+  }
+  // Byte offset of a tile inside the .tiles file (after the header).
+  std::uint64_t tile_offset(std::uint64_t layout_idx) const {
+    return data_offset_ + start_edge_[layout_idx] * meta_.tuple_bytes();
+  }
+  std::uint64_t max_tile_bytes() const noexcept { return max_tile_bytes_; }
+  std::uint64_t data_bytes() const noexcept {
+    return meta_.edge_count * meta_.tuple_bytes();
+  }
+
+  const std::vector<std::uint64_t>& start_edge() const noexcept {
+    return start_edge_;
+  }
+
+  // Synchronously reads the contiguous byte range covering layout tiles
+  // [first, last) into `buf` (must hold bytes_of_range(first,last)).
+  std::uint64_t bytes_of_range(std::uint64_t first, std::uint64_t last) const {
+    return (start_edge_[last] - start_edge_[first]) * meta_.tuple_bytes();
+  }
+  void read_range(std::uint64_t first, std::uint64_t last, std::uint8_t* buf);
+
+  // Builds a view over tile `layout_idx` whose raw bytes start at `data`
+  // (e.g. inside a segment buffer that holds a contiguous range).
+  TileView view(std::uint64_t layout_idx, const std::uint8_t* data) const;
+
+  // Loads the degree file (throws if it was not written).
+  graph::CompressedDegrees load_degrees() const;
+
+  io::Device& device() noexcept { return *device_; }
+
+  // File-name helpers shared with the converter.
+  static std::string tiles_path(const std::string& base) { return base + ".tiles"; }
+  static std::string sei_path(const std::string& base) { return base + ".sei"; }
+  static std::string deg_path(const std::string& base) { return base + ".deg"; }
+
+  // Total on-disk footprint (tiles + start-edge index), the quantity the
+  // paper's Table II calls "G-Store Size".
+  std::uint64_t storage_bytes() const;
+
+ private:
+  TileStore() = default;
+
+  std::string base_path_;
+  TileStoreMeta meta_;
+  Grid grid_;
+  std::vector<std::uint64_t> start_edge_;  // size tile_count+1, in layout order
+  std::uint64_t data_offset_ = 0;
+  std::uint64_t max_tile_bytes_ = 0;
+  std::unique_ptr<io::Device> device_;
+};
+
+}  // namespace gstore::tile

@@ -1,0 +1,89 @@
+#include "tile/verify.h"
+
+#include <optional>
+#include <vector>
+
+#include "graph/degree.h"
+#include "io/file.h"
+#include "tile/tile_file.h"
+#include "util/status.h"
+
+namespace gstore::tile {
+
+VerifyReport verify_store(const std::string& base_path,
+                          std::size_t max_problems) {
+  VerifyReport report;
+
+  std::optional<TileStore> opened;
+  try {
+    opened.emplace(TileStore::open(base_path));
+  } catch (const Error& e) {
+    report.fail(std::string("open failed: ") + e.what());
+    return report;
+  }
+  TileStore& store = *opened;
+
+  const Grid& grid = store.grid();
+  const graph::vid_t n = store.vertex_count();
+  const bool symmetric = store.meta().symmetric();
+  std::vector<graph::degree_t> recomputed(n, 0);
+
+  std::vector<std::uint8_t> buf;
+  for (std::uint64_t k = 0; k < grid.tile_count(); ++k) {
+    if (!report.ok && report.problems.size() >= max_problems) break;
+    const std::uint64_t bytes = store.tile_bytes(k);
+    ++report.tiles_checked;
+    if (bytes == 0) continue;
+    buf.resize(bytes);
+    store.read_range(k, k + 1, buf.data());
+    const TileView view = store.view(k, buf.data());
+    const TileCoord c = view.coord;
+    const graph::vid_t src_lo = grid.tile_base(c.i);
+    const graph::vid_t dst_lo = grid.tile_base(c.j);
+    const std::uint64_t width = grid.tile_width();
+
+    visit_edges(view, [&](graph::vid_t a, graph::vid_t b) {
+      ++report.edges_checked;
+      if (report.problems.size() >= max_problems) return;
+      if (a < src_lo || a >= src_lo + width || b < dst_lo ||
+          b >= dst_lo + width)
+        report.fail("tile (" + std::to_string(c.i) + "," + std::to_string(c.j) +
+                    "): edge (" + std::to_string(a) + "," + std::to_string(b) +
+                    ") outside tile vertex ranges");
+      if (a >= n || b >= n)
+        report.fail("edge endpoint beyond vertex count: (" +
+                    std::to_string(a) + "," + std::to_string(b) + ")");
+      if (symmetric && a > b)
+        report.fail("lower-triangle tuple in symmetric store: (" +
+                    std::to_string(a) + "," + std::to_string(b) + ")");
+      if (a < n && b < n) {
+        ++recomputed[a];
+        if (symmetric && a != b) ++recomputed[b];
+      }
+    });
+  }
+
+  // Degree cross-check (optional file). The .deg file records edge-list
+  // degrees, which include self loops the converter drops, so tile-derived
+  // degrees are a lower bound. In-edge stores record out-degrees while the
+  // tiles yield in-degrees — no comparison is possible there.
+  if (report.ok && io::File::exists(TileStore::deg_path(base_path))) {
+    const bool comparable =
+        symmetric || (store.meta().directed() && !store.meta().in_edges());
+    if (comparable) {
+      const graph::CompressedDegrees deg = store.load_degrees();
+      for (graph::vid_t v = 0; v < n; ++v) {
+        if (deg[v] < recomputed[v]) {
+          report.fail("degree mismatch at vertex " + std::to_string(v) +
+                      ": file says " + std::to_string(deg[v]) +
+                      ", tiles require at least " +
+                      std::to_string(recomputed[v]));
+          if (report.problems.size() >= max_problems) break;
+        }
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace gstore::tile

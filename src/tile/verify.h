@@ -1,0 +1,37 @@
+// Deep structural verification of an on-disk tile store.
+//
+// Beyond the header checks TileStore::open already performs, this walks the
+// whole store and validates every invariant a correct converter must
+// produce. Used by `gstore_convert --verify` and by failure-injection tests.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gstore::tile {
+
+struct VerifyReport {
+  bool ok = true;
+  std::vector<std::string> problems;
+  std::uint64_t tiles_checked = 0;
+  std::uint64_t edges_checked = 0;
+
+  void fail(std::string what) {
+    ok = false;
+    problems.push_back(std::move(what));
+  }
+};
+
+// Verifies <base>.tiles/.sei[/.deg]:
+//  * headers consistent (open-level checks);
+//  * every SNB/fat tuple decodes to vertex ids inside its tile's ranges and
+//    inside the graph;
+//  * symmetric stores hold only upper-triangle tuples;
+//  * the degree file (if present) matches degrees recomputed from tiles,
+//    accounting for each stored tuple once per direction it represents.
+// Stops early after `max_problems` findings.
+VerifyReport verify_store(const std::string& base_path,
+                          std::size_t max_problems = 16);
+
+}  // namespace gstore::tile

@@ -1,0 +1,76 @@
+// Page-aligned heap buffer for O_DIRECT I/O.
+//
+// O_DIRECT requires the user buffer, the file offset, and the transfer size
+// to be aligned to the logical block size (512B; we use 4096B to be safe on
+// any device). AlignedBuffer owns such a region with RAII semantics.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+#include <utility>
+
+#include "util/status.h"
+
+namespace gstore {
+
+inline constexpr std::size_t kIoAlignment = 4096;
+
+// Rounds n up to the next multiple of `align` (power of two).
+constexpr std::size_t align_up(std::size_t n, std::size_t align) noexcept {
+  return (n + align - 1) & ~(align - 1);
+}
+
+constexpr std::size_t align_down(std::size_t n, std::size_t align) noexcept {
+  return n & ~(align - 1);
+}
+
+class AlignedBuffer {
+ public:
+  AlignedBuffer() = default;
+
+  // Allocates `size` bytes aligned to `alignment`. The usable size is exactly
+  // `size`; callers performing O_DIRECT reads should align size themselves.
+  explicit AlignedBuffer(std::size_t size, std::size_t alignment = kIoAlignment)
+      : size_(size) {
+    if (size == 0) return;
+    void* p = std::aligned_alloc(alignment, align_up(size, alignment));
+    if (p == nullptr) throw std::bad_alloc();
+    data_ = static_cast<std::uint8_t*>(p);
+  }
+
+  AlignedBuffer(AlignedBuffer&& o) noexcept
+      : data_(std::exchange(o.data_, nullptr)), size_(std::exchange(o.size_, 0)) {}
+
+  AlignedBuffer& operator=(AlignedBuffer&& o) noexcept {
+    if (this != &o) {
+      release();
+      data_ = std::exchange(o.data_, nullptr);
+      size_ = std::exchange(o.size_, 0);
+    }
+    return *this;
+  }
+
+  AlignedBuffer(const AlignedBuffer&) = delete;
+  AlignedBuffer& operator=(const AlignedBuffer&) = delete;
+
+  ~AlignedBuffer() { release(); }
+
+  std::uint8_t* data() noexcept { return data_; }
+  const std::uint8_t* data() const noexcept { return data_; }
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+
+ private:
+  void release() noexcept {
+    std::free(data_);
+    data_ = nullptr;
+    size_ = 0;
+  }
+
+  std::uint8_t* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace gstore

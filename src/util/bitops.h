@@ -1,0 +1,28 @@
+// Bit manipulation helpers shared by the SNB codec and generators.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+namespace gstore {
+
+// Number of bits needed to represent values in [0, n) — i.e. ceil(log2(n)),
+// with bits_for(0) == bits_for(1) == 0.
+constexpr unsigned bits_for(std::uint64_t n) noexcept {
+  return n <= 1 ? 0u : static_cast<unsigned>(std::bit_width(n - 1));
+}
+
+constexpr bool is_pow2(std::uint64_t n) noexcept {
+  return n != 0 && (n & (n - 1)) == 0;
+}
+
+constexpr std::uint64_t ceil_div(std::uint64_t a, std::uint64_t b) noexcept {
+  return (a + b - 1) / b;
+}
+
+// Next power of two >= n (n must be representable).
+constexpr std::uint64_t next_pow2(std::uint64_t n) noexcept {
+  return n <= 1 ? 1 : std::uint64_t{1} << std::bit_width(n - 1);
+}
+
+}  // namespace gstore

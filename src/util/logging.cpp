@@ -1,0 +1,68 @@
+#include "util/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+namespace gstore::log {
+
+namespace {
+std::atomic<Level> g_level{Level::kWarn};
+std::mutex g_emit_mutex;
+
+Level initial_level() {
+  if (const char* env = std::getenv("GSTORE_LOG")) return parse_level(env);
+  return Level::kWarn;
+}
+
+const char* level_name(Level lvl) {
+  switch (lvl) {
+    case Level::kTrace: return "TRACE";
+    case Level::kDebug: return "DEBUG";
+    case Level::kInfo: return "INFO";
+    case Level::kWarn: return "WARN";
+    case Level::kError: return "ERROR";
+    case Level::kOff: return "OFF";
+  }
+  return "?";
+}
+
+struct LevelInit {
+  LevelInit() { g_level.store(initial_level(), std::memory_order_relaxed); }
+} g_level_init;
+}  // namespace
+
+Level level() noexcept { return g_level.load(std::memory_order_relaxed); }
+void set_level(Level lvl) noexcept { g_level.store(lvl, std::memory_order_relaxed); }
+
+Level parse_level(std::string_view name) noexcept {
+  if (name == "trace") return Level::kTrace;
+  if (name == "debug") return Level::kDebug;
+  if (name == "info") return Level::kInfo;
+  if (name == "warn") return Level::kWarn;
+  if (name == "error") return Level::kError;
+  if (name == "off") return Level::kOff;
+  return Level::kInfo;
+}
+
+namespace detail {
+
+LineSink::LineSink(Level lvl, const char* file, int line) : lvl_(lvl) {
+  // Strip directories from __FILE__ for terser output.
+  const char* base = file;
+  for (const char* p = file; *p; ++p)
+    if (*p == '/') base = p + 1;
+  os_ << "[" << level_name(lvl) << " " << base << ":" << line << "] ";
+}
+
+LineSink::~LineSink() {
+  os_ << "\n";
+  const std::string line = os_.str();
+  std::lock_guard<std::mutex> lock(g_emit_mutex);
+  std::fwrite(line.data(), 1, line.size(), stderr);
+  if (lvl_ >= Level::kWarn) std::fflush(stderr);
+}
+
+}  // namespace detail
+}  // namespace gstore::log

@@ -1,0 +1,55 @@
+// Minimal leveled logger. Thread-safe; writes to stderr.
+//
+// Usage:
+//   GS_LOG(info) << "loaded " << n << " tiles";
+// Level is controlled globally via set_log_level() or the GSTORE_LOG
+// environment variable (trace|debug|info|warn|error|off).
+#pragma once
+
+#include <sstream>
+#include <string_view>
+
+namespace gstore::log {
+
+enum class Level : int { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+Level level() noexcept;
+void set_level(Level lvl) noexcept;
+// Parses a level name; returns kInfo for unknown names.
+Level parse_level(std::string_view name) noexcept;
+
+namespace detail {
+// Accumulates one log line and emits it on destruction.
+class LineSink {
+ public:
+  LineSink(Level lvl, const char* file, int line);
+  ~LineSink();
+  LineSink(const LineSink&) = delete;
+  LineSink& operator=(const LineSink&) = delete;
+
+  template <typename T>
+  LineSink& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  Level lvl_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace gstore::log
+
+#define GS_LOG(severity)                                                   \
+  if (::gstore::log::Level::k##severity < ::gstore::log::level()) {       \
+  } else                                                                   \
+    ::gstore::log::detail::LineSink(::gstore::log::Level::k##severity,    \
+                                    __FILE__, __LINE__)
+
+// Convenience aliases matching common spellings.
+#define GS_LOG_TRACE GS_LOG(Trace)
+#define GS_LOG_DEBUG GS_LOG(Debug)
+#define GS_LOG_INFO GS_LOG(Info)
+#define GS_LOG_WARN GS_LOG(Warn)
+#define GS_LOG_ERROR GS_LOG(Error)

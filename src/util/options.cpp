@@ -1,0 +1,104 @@
+#include "util/options.h"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "util/status.h"
+
+namespace gstore {
+
+Options& Options::add(const std::string& name, const std::string& default_value,
+                      const std::string& help) {
+  specs_[name] = Spec{default_value, help, false};
+  return *this;
+}
+
+Options& Options::add_flag(const std::string& name, const std::string& help) {
+  specs_[name] = Spec{"false", help, true};
+  return *this;
+}
+
+void Options::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      help_ = true;
+      continue;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    std::string key = arg.substr(2);
+    std::string value;
+    bool has_value = false;
+    if (auto eq = key.find('='); eq != std::string::npos) {
+      value = key.substr(eq + 1);
+      key = key.substr(0, eq);
+      has_value = true;
+    }
+    auto it = specs_.find(key);
+    if (it == specs_.end())
+      throw InvalidArgument("unknown option --" + key);
+    if (it->second.is_flag) {
+      it->second.value = has_value ? value : "true";
+    } else {
+      if (!has_value) {
+        if (i + 1 >= argc)
+          throw InvalidArgument("option --" + key + " requires a value");
+        value = argv[++i];
+      }
+      it->second.value = value;
+    }
+  }
+}
+
+std::string Options::usage(const std::string& program) const {
+  std::ostringstream os;
+  os << "usage: " << program << " [options]\n";
+  for (const auto& [name, spec] : specs_) {
+    os << "  --" << name;
+    if (!spec.is_flag) os << "=<value> (default: " << spec.value << ")";
+    os << "\n      " << spec.help << "\n";
+  }
+  return os.str();
+}
+
+std::string Options::get(const std::string& name) const {
+  auto it = specs_.find(name);
+  if (it == specs_.end()) throw InvalidArgument("undeclared option --" + name);
+  return it->second.value;
+}
+
+std::int64_t Options::get_int(const std::string& name) const {
+  const std::string v = get(name);
+  std::size_t pos = 0;
+  const std::int64_t out = std::stoll(v, &pos);
+  if (pos != v.size())
+    throw InvalidArgument("option --" + name + " is not an integer: " + v);
+  return out;
+}
+
+double Options::get_double(const std::string& name) const {
+  const std::string v = get(name);
+  std::size_t pos = 0;
+  const double out = std::stod(v, &pos);
+  if (pos != v.size())
+    throw InvalidArgument("option --" + name + " is not a number: " + v);
+  return out;
+}
+
+bool Options::get_bool(const std::string& name) const {
+  const std::string v = get(name);
+  if (v == "true" || v == "1" || v == "yes") return true;
+  if (v == "false" || v == "0" || v == "no") return false;
+  throw InvalidArgument("option --" + name + " is not a boolean: " + v);
+}
+
+std::int64_t env_int(const char* name, std::int64_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  return std::strtoll(v, nullptr, 10);
+}
+
+}  // namespace gstore

@@ -1,0 +1,54 @@
+// Tiny command-line option parser for examples and benchmark drivers.
+//
+// Supports --key=value, --key value, and boolean --flag forms. Unknown
+// options raise InvalidArgument so typos fail loudly.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace gstore {
+
+class Options {
+ public:
+  Options() = default;
+
+  // Declares an option with a default value and help text. Must be called
+  // before parse().
+  Options& add(const std::string& name, const std::string& default_value,
+               const std::string& help);
+  Options& add_flag(const std::string& name, const std::string& help);
+
+  // Parses argv; leftover positional arguments are available via
+  // positional(). Throws InvalidArgument on unknown options. Recognizes
+  // --help and sets help_requested().
+  void parse(int argc, const char* const* argv);
+
+  bool help_requested() const noexcept { return help_; }
+  std::string usage(const std::string& program) const;
+
+  std::string get(const std::string& name) const;
+  std::int64_t get_int(const std::string& name) const;
+  double get_double(const std::string& name) const;
+  bool get_bool(const std::string& name) const;
+
+  const std::vector<std::string>& positional() const noexcept { return positional_; }
+
+ private:
+  struct Spec {
+    std::string value;
+    std::string help;
+    bool is_flag = false;
+  };
+  std::map<std::string, Spec> specs_;
+  std::vector<std::string> positional_;
+  bool help_ = false;
+};
+
+// Reads an integer environment override, falling back to `fallback`.
+// Used by benches: GSTORE_BENCH_SCALE etc.
+std::int64_t env_int(const char* name, std::int64_t fallback);
+
+}  // namespace gstore

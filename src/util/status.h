@@ -1,0 +1,72 @@
+// Error handling primitives for gstore.
+//
+// The library uses exceptions for unrecoverable errors (I/O failure,
+// format corruption, contract violations at API boundaries). GS_CHECK is
+// used for conditions that must hold regardless of build type.
+#pragma once
+
+#include <cerrno>
+#include <cstring>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace gstore {
+
+// Base exception for all gstore errors.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+// Raised when on-disk data fails validation (bad magic, truncated file,
+// inconsistent index).
+class FormatError : public Error {
+ public:
+  explicit FormatError(const std::string& what) : Error("format error: " + what) {}
+};
+
+// Raised when a system call fails; captures errno.
+class IoError : public Error {
+ public:
+  IoError(const std::string& what, int err)
+      : Error("io error: " + what + ": " + std::strerror(err)), errno_(err) {}
+  explicit IoError(const std::string& what) : IoError(what, errno) {}
+  int sys_errno() const noexcept { return errno_; }
+
+ private:
+  int errno_;
+};
+
+// Raised on caller contract violations (bad arguments, out-of-range ids).
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what)
+      : Error("invalid argument: " + what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "check failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+}  // namespace detail
+
+// Always-on invariant check (unlike assert, active in release builds).
+#define GS_CHECK(expr)                                                \
+  do {                                                                \
+    if (!(expr)) [[unlikely]]                                         \
+      ::gstore::detail::check_failed(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define GS_CHECK_MSG(expr, msg)                                        \
+  do {                                                                 \
+    if (!(expr)) [[unlikely]]                                          \
+      ::gstore::detail::check_failed(#expr, __FILE__, __LINE__, msg); \
+  } while (0)
+
+}  // namespace gstore

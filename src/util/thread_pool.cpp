@@ -1,0 +1,77 @@
+#include "util/thread_pool.h"
+
+#include <atomic>
+#include <exception>
+
+namespace gstore {
+
+ThreadPool::ThreadPool(std::size_t n) {
+  if (n == 0) {
+    n = std::thread::hardware_concurrency();
+    if (n == 0) n = 1;
+  }
+  workers_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t count,
+                              const std::function<void(std::size_t)>& fn,
+                              std::size_t grain) {
+  if (count == 0) return;
+  if (grain == 0) grain = 1;
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
+  auto body = [&]() {
+    for (;;) {
+      const std::size_t begin = next.fetch_add(grain, std::memory_order_relaxed);
+      if (begin >= count || failed.load(std::memory_order_relaxed)) return;
+      const std::size_t end = std::min(begin + grain, count);
+      try {
+        for (std::size_t i = begin; i < end; ++i) fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+        failed.store(true, std::memory_order_relaxed);
+        return;
+      }
+    }
+  };
+
+  std::vector<std::future<void>> futs;
+  futs.reserve(workers_.size());
+  // The calling thread participates too, so a 1-thread pool still overlaps.
+  for (std::size_t i = 0; i + 1 < workers_.size(); ++i)
+    futs.push_back(submit(body));
+  body();
+  for (auto& f : futs) f.get();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace gstore

@@ -1,0 +1,56 @@
+// Fixed-size worker pool used by the async I/O engine and by parallel loops
+// when OpenMP is unavailable.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace gstore {
+
+class ThreadPool {
+ public:
+  // n == 0 means hardware_concurrency (at least 1).
+  explicit ThreadPool(std::size_t n = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const noexcept { return workers_.size(); }
+
+  // Enqueues a task; returns a future for its completion/exception.
+  template <typename F>
+  std::future<void> submit(F&& fn) {
+    auto task = std::make_shared<std::packaged_task<void()>>(std::forward<F>(fn));
+    std::future<void> fut = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (stopping_) throw std::runtime_error("ThreadPool: submit after stop");
+      queue_.emplace_back([task]() { (*task)(); });
+    }
+    cv_.notify_one();
+    return fut;
+  }
+
+  // Runs fn(i) for i in [0, count) across the pool and waits for completion.
+  // Work is chunked dynamically; exceptions propagate (first one wins).
+  void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn,
+                    std::size_t grain = 1);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+}  // namespace gstore

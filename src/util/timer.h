@@ -1,0 +1,50 @@
+// Wall-clock timing helpers.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace gstore {
+
+// Monotonic stopwatch. Starts running on construction.
+class Timer {
+ public:
+  using clock = std::chrono::steady_clock;
+
+  Timer() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  // Elapsed seconds since construction or last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  double millis() const { return seconds() * 1e3; }
+  std::uint64_t micros() const {
+    return static_cast<std::uint64_t>(seconds() * 1e6);
+  }
+
+ private:
+  clock::time_point start_;
+};
+
+// Accumulates elapsed time across start/stop intervals (e.g. total I/O time
+// over many fetches).
+class AccumTimer {
+ public:
+  void start() { t_.reset(); running_ = true; }
+  void stop() {
+    if (running_) total_ += t_.seconds();
+    running_ = false;
+  }
+  double seconds() const { return total_ + (running_ ? t_.seconds() : 0.0); }
+  void clear() { total_ = 0.0; running_ = false; }
+
+ private:
+  Timer t_;
+  double total_ = 0.0;
+  bool running_ = false;
+};
+
+}  // namespace gstore

@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include "cachesim/cache_model.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace gstore::cachesim {
+namespace {
+
+TEST(CacheLevel, ColdMissThenHit) {
+  CacheLevel c(1024, 64, 2);
+  EXPECT_FALSE(c.access(0));
+  EXPECT_TRUE(c.access(0));
+  EXPECT_TRUE(c.access(63));   // same line
+  EXPECT_FALSE(c.access(64));  // next line
+  EXPECT_EQ(c.stats().accesses, 4u);
+  EXPECT_EQ(c.stats().hits, 2u);
+  EXPECT_EQ(c.stats().misses, 2u);
+}
+
+TEST(CacheLevel, GeometryDerived) {
+  CacheLevel c(64 << 10, 64, 8);
+  EXPECT_EQ(c.sets(), (64u << 10) / (64 * 8));
+  EXPECT_EQ(c.line_bytes(), 64u);
+  EXPECT_EQ(c.ways(), 8u);
+}
+
+TEST(CacheLevel, LruEvictionWithinSet) {
+  // 2-way, line 64, 2 sets → addresses 0, 256, 512 all map to set 0.
+  CacheLevel c(256, 64, 2);
+  EXPECT_EQ(c.sets(), 2u);
+  c.access(0);
+  c.access(256);
+  EXPECT_TRUE(c.access(0));    // refresh 0; 256 becomes LRU
+  c.access(512);               // evicts 256
+  EXPECT_TRUE(c.access(0));
+  EXPECT_FALSE(c.access(256));  // was evicted
+}
+
+TEST(CacheLevel, FullyAssociativeKeepsWorkingSet) {
+  CacheLevel c(64 * 16, 64, 16);  // one set, 16 ways
+  for (int round = 0; round < 3; ++round)
+    for (std::uint64_t line = 0; line < 16; ++line) c.access(line * 64);
+  EXPECT_EQ(c.stats().misses, 16u);  // only cold misses
+}
+
+TEST(CacheLevel, ResetClears) {
+  CacheLevel c(1024, 64, 2);
+  c.access(0);
+  c.reset();
+  EXPECT_EQ(c.stats().accesses, 0u);
+  EXPECT_FALSE(c.access(0));
+}
+
+TEST(CacheLevel, RejectsBadGeometry) {
+  EXPECT_THROW(CacheLevel(1000, 64, 2), Error);   // not multiple
+  EXPECT_THROW(CacheLevel(1024, 60, 2), Error);   // line not pow2
+  EXPECT_THROW(CacheLevel(1024, 64, 0), Error);   // zero ways
+}
+
+TEST(CacheHierarchy, L2HitNeverReachesLlc) {
+  CacheHierarchy h(4096, 64 << 10, 64);
+  h.access(0);
+  h.access(0);
+  h.access(0);
+  EXPECT_EQ(h.llc_operations(), 1u);  // only the cold miss went down
+  EXPECT_EQ(h.l2_stats().hits, 2u);
+}
+
+TEST(CacheHierarchy, SequentialBeatsRandomMissCount) {
+  // Same number of 4-byte accesses; sequential touches each line 16 times
+  // (absorbed by L2), random misses almost every time.
+  Xoshiro256 rng(5);
+  const std::uint64_t span = 64ull << 20;  // 64MB working set >> LLC
+  CacheHierarchy seq(256 << 10, 4 << 20);
+  for (std::uint64_t a = 0; a < (1u << 20); a += 4) seq.access(a % span);
+  CacheHierarchy rnd(256 << 10, 4 << 20);
+  for (int i = 0; i < (1 << 18); ++i) rnd.access(rng.next_below(span));
+  EXPECT_LT(seq.llc_misses() * 4, rnd.llc_misses());
+  EXPECT_LT(seq.llc_operations(), rnd.llc_operations());
+}
+
+TEST(CacheHierarchy, LocalizedAccessLowersLlcMisses) {
+  // The Fig 12 mechanism in miniature: the same number of "metadata"
+  // accesses, either confined to an LLC-sized window (grouped tiles) or
+  // spread over a much larger array (ungrouped).
+  const std::uint64_t llc = 1 << 20;
+  Xoshiro256 rng(7);
+  CacheHierarchy grouped(32 << 10, llc);
+  for (int i = 0; i < 200000; ++i)
+    grouped.access(rng.next_below(llc / 2));  // fits LLC
+  CacheHierarchy scattered(32 << 10, llc);
+  for (int i = 0; i < 200000; ++i)
+    scattered.access(rng.next_below(64ull << 20));  // way beyond LLC
+  EXPECT_LT(grouped.llc_misses() * 5, scattered.llc_misses());
+}
+
+}  // namespace
+}  // namespace gstore::cachesim

@@ -1,0 +1,276 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <unordered_set>
+
+#include "graph/csr.h"
+#include "graph/degree.h"
+#include "graph/edge_list.h"
+#include "graph/generator.h"
+#include "graph/graph_io.h"
+#include "io/file.h"
+#include "util/status.h"
+
+namespace gstore::graph {
+namespace {
+
+// ---- EdgeList ------------------------------------------------------------
+
+TEST(EdgeList, FromEdgesInfersVertexCount) {
+  auto el = EdgeList::from_edges({{0, 5}, {3, 2}}, GraphKind::kDirected);
+  EXPECT_EQ(el.vertex_count(), 6u);
+  EXPECT_EQ(el.edge_count(), 2u);
+}
+
+TEST(EdgeList, RejectsOutOfRangeEdges) {
+  EXPECT_THROW(EdgeList({{0, 9}}, 5, GraphKind::kDirected), Error);
+}
+
+TEST(EdgeList, NormalizeDropsLoopsAndDups) {
+  auto el = EdgeList::from_edges({{1, 2}, {2, 1}, {3, 3}, {1, 2}, {4, 5}},
+                                 GraphKind::kUndirected);
+  const std::uint64_t removed = el.normalize();
+  EXPECT_EQ(removed, 3u);  // loop + reverse-dup + exact-dup
+  EXPECT_EQ(el.edge_count(), 2u);
+  for (const Edge& e : el.edges()) EXPECT_LT(e.src, e.dst);
+}
+
+TEST(EdgeList, NormalizeDirectedKeepsBothOrientations) {
+  auto el = EdgeList::from_edges({{1, 2}, {2, 1}, {3, 3}}, GraphKind::kDirected);
+  el.normalize();
+  EXPECT_EQ(el.edge_count(), 2u);  // only the loop dropped
+}
+
+TEST(EdgeList, DegreesUndirectedCountBothEnds) {
+  auto el = EdgeList::from_edges({{0, 1}, {0, 2}}, GraphKind::kUndirected);
+  const auto deg = el.degrees();
+  EXPECT_EQ(deg[0], 2u);
+  EXPECT_EQ(deg[1], 1u);
+  EXPECT_EQ(deg[2], 1u);
+}
+
+TEST(EdgeList, DegreesDirected) {
+  auto el = EdgeList::from_edges({{0, 1}, {0, 2}, {1, 0}}, GraphKind::kDirected);
+  const auto out = el.degrees();
+  const auto in = el.in_degrees();
+  EXPECT_EQ(out[0], 2u);
+  EXPECT_EQ(out[1], 1u);
+  EXPECT_EQ(in[0], 1u);
+  EXPECT_EQ(in[1], 1u);
+  EXPECT_EQ(in[2], 1u);
+}
+
+TEST(EdgeList, StorageBytesDoublesForUndirected) {
+  auto und = EdgeList::from_edges({{0, 1}, {1, 2}}, GraphKind::kUndirected);
+  auto dir = EdgeList::from_edges({{0, 1}, {1, 2}}, GraphKind::kDirected);
+  EXPECT_EQ(und.storage_bytes(), 2 * dir.storage_bytes());
+  EXPECT_EQ(dir.storage_bytes(), 2 * sizeof(Edge));
+}
+
+// ---- CSR -------------------------------------------------------------
+
+TEST(Csr, UndirectedStoresBothDirections) {
+  auto el = EdgeList::from_edges({{0, 1}, {1, 2}}, GraphKind::kUndirected);
+  const Csr csr = Csr::build(el);
+  EXPECT_EQ(csr.vertex_count(), 3u);
+  EXPECT_EQ(csr.adjacency_size(), 4u);
+  EXPECT_EQ(csr.degree(1), 2u);
+  const auto n1 = csr.neighbors(1);
+  std::multiset<vid_t> got(n1.begin(), n1.end());
+  EXPECT_EQ(got, (std::multiset<vid_t>{0, 2}));
+}
+
+TEST(Csr, DirectedOutAndIn) {
+  auto el = EdgeList::from_edges({{0, 1}, {2, 1}}, GraphKind::kDirected);
+  const Csr out = Csr::build(el, true);
+  const Csr in = Csr::build(el, false);
+  EXPECT_EQ(out.degree(0), 1u);
+  EXPECT_EQ(out.degree(1), 0u);
+  EXPECT_EQ(in.degree(1), 2u);
+  const auto n = in.neighbors(1);
+  std::multiset<vid_t> got(n.begin(), n.end());
+  EXPECT_EQ(got, (std::multiset<vid_t>{0, 2}));
+}
+
+TEST(Csr, SelfLoopStoredOnce) {
+  auto el = EdgeList::from_edges({{1, 1}}, GraphKind::kUndirected);
+  const Csr csr = Csr::build(el);
+  EXPECT_EQ(csr.degree(1), 1u);
+}
+
+TEST(Csr, StorageBytesFormula) {
+  auto el = EdgeList::from_edges({{0, 1}, {1, 2}}, GraphKind::kUndirected);
+  const Csr csr = Csr::build(el);
+  EXPECT_EQ(csr.storage_bytes(), 4 * sizeof(vid_t) + 4 * sizeof(std::uint64_t));
+}
+
+// ---- CompressedDegrees -------------------------------------------------
+
+TEST(CompressedDegrees, InlineValues) {
+  std::vector<degree_t> deg{0, 1, 100, 32767};
+  auto cd = CompressedDegrees::build(deg);
+  EXPECT_TRUE(cd.compressed());
+  EXPECT_EQ(cd.overflow_count(), 0u);
+  for (vid_t v = 0; v < deg.size(); ++v) EXPECT_EQ(cd[v], deg[v]);
+  EXPECT_EQ(cd.storage_bytes(), deg.size() * 2);
+}
+
+TEST(CompressedDegrees, OverflowValues) {
+  std::vector<degree_t> deg{5, 32768, 7, 1000000, 779958};
+  auto cd = CompressedDegrees::build(deg);
+  EXPECT_TRUE(cd.compressed());
+  EXPECT_EQ(cd.overflow_count(), 3u);
+  for (vid_t v = 0; v < deg.size(); ++v) EXPECT_EQ(cd[v], deg[v]);
+  EXPECT_EQ(cd.storage_bytes(), deg.size() * 2 + 3 * sizeof(degree_t));
+}
+
+TEST(CompressedDegrees, FallsBackWhenTooManyBigDegrees) {
+  std::vector<degree_t> deg(CompressedDegrees::kMaxOverflow + 1, 40000);
+  auto cd = CompressedDegrees::build(deg);
+  EXPECT_FALSE(cd.compressed());
+  for (vid_t v = 0; v < deg.size(); ++v) EXPECT_EQ(cd[v], 40000u);
+}
+
+TEST(CompressedDegrees, HalvesStorageForPowerLawGraph) {
+  // The paper: degree array drops from 4GB to 2GB for Kron-30. Emulate in
+  // miniature: nearly all degrees small, a handful huge.
+  std::vector<degree_t> deg(100000, 12);
+  for (int i = 0; i < 100; ++i) deg[i * 997] = 50000 + i;
+  auto cd = CompressedDegrees::build(deg);
+  EXPECT_TRUE(cd.compressed());
+  EXPECT_LT(cd.storage_bytes(), deg.size() * sizeof(degree_t) * 55 / 100);
+}
+
+// ---- generators ---------------------------------------------------------
+
+TEST(Generator, KroneckerSizes) {
+  auto el = kronecker(10, 8, GraphKind::kUndirected);
+  EXPECT_EQ(el.vertex_count(), 1u << 10);
+  EXPECT_EQ(el.edge_count(), 8u << 10);
+}
+
+TEST(Generator, KroneckerDeterministic) {
+  auto a = kronecker(8, 4, GraphKind::kUndirected, 3);
+  auto b = kronecker(8, 4, GraphKind::kUndirected, 3);
+  EXPECT_EQ(a.edges(), b.edges());
+  auto c = kronecker(8, 4, GraphKind::kUndirected, 4);
+  EXPECT_NE(a.edges(), c.edges());
+}
+
+TEST(Generator, RmatEndpointsInRange) {
+  auto el = rmat(9, 4, GraphKind::kDirected, RmatParams{});
+  for (const Edge& e : el.edges()) {
+    EXPECT_LT(e.src, el.vertex_count());
+    EXPECT_LT(e.dst, el.vertex_count());
+  }
+}
+
+TEST(Generator, SkewedRmatIsSkewed) {
+  // twitter_like must concentrate degree mass far more than uniform random.
+  auto skew = twitter_like(12, 8, GraphKind::kDirected);
+  auto unif = uniform_random(1u << 12, 8u << 12, GraphKind::kDirected);
+  auto max_deg = [](const EdgeList& el) {
+    const auto d = el.degrees();
+    return *std::max_element(d.begin(), d.end());
+  };
+  EXPECT_GT(max_deg(skew), 2 * max_deg(unif));
+}
+
+TEST(Generator, UniformRandomSizes) {
+  auto el = uniform_random(1000, 5000, GraphKind::kUndirected, 2);
+  EXPECT_EQ(el.vertex_count(), 1000u);
+  EXPECT_EQ(el.edge_count(), 5000u);
+}
+
+TEST(Generator, PathStructure) {
+  auto el = path(5);
+  EXPECT_EQ(el.edge_count(), 4u);
+  const auto deg = el.degrees();
+  EXPECT_EQ(deg[0], 1u);
+  EXPECT_EQ(deg[2], 2u);
+  EXPECT_EQ(deg[4], 1u);
+}
+
+TEST(Generator, CycleStructure) {
+  auto el = cycle(6);
+  EXPECT_EQ(el.edge_count(), 6u);
+  for (degree_t d : el.degrees()) EXPECT_EQ(d, 2u);
+}
+
+TEST(Generator, StarStructure) {
+  auto el = star(10);
+  EXPECT_EQ(el.edge_count(), 9u);
+  EXPECT_EQ(el.degrees()[0], 9u);
+}
+
+TEST(Generator, CompleteGraphEdgeCount) {
+  EXPECT_EQ(complete(6).edge_count(), 15u);
+  EXPECT_EQ(complete(6, GraphKind::kDirected).edge_count(), 30u);
+}
+
+TEST(Generator, GridStructure) {
+  auto el = grid(3, 4);
+  EXPECT_EQ(el.vertex_count(), 12u);
+  EXPECT_EQ(el.edge_count(), 3u * 3 + 2u * 4);  // horizontal + vertical
+}
+
+TEST(Generator, TwoCliquesDisconnected) {
+  auto el = two_cliques(8);
+  for (const Edge& e : el.edges())
+    EXPECT_EQ(e.src < 4, e.dst < 4) << "edge crosses the cliques";
+}
+
+// ---- graph_io -------------------------------------------------------
+
+TEST(GraphIo, RoundTrip) {
+  io::TempDir dir;
+  auto el = kronecker(8, 4, GraphKind::kDirected, 5);
+  write_edge_file(dir.file("g.el"), el);
+  auto back = read_edge_file(dir.file("g.el"));
+  EXPECT_EQ(back.vertex_count(), el.vertex_count());
+  EXPECT_EQ(back.kind(), GraphKind::kDirected);
+  EXPECT_EQ(back.edges(), el.edges());
+}
+
+TEST(GraphIo, HeaderOnlyRead) {
+  io::TempDir dir;
+  auto el = path(100);
+  write_edge_file(dir.file("p.el"), el);
+  const auto h = read_edge_file_header(dir.file("p.el"));
+  EXPECT_EQ(h.vertex_count, 100u);
+  EXPECT_EQ(h.edge_count, 99u);
+  EXPECT_EQ(h.kind, 0u);
+}
+
+TEST(GraphIo, BadMagicRejected) {
+  io::TempDir dir;
+  io::File f(dir.file("bad.el"), io::OpenMode::kWrite);
+  std::vector<std::uint8_t> junk(128, 0xab);
+  f.append(junk.data(), junk.size());
+  f.close();
+  EXPECT_THROW(read_edge_file(dir.file("bad.el")), FormatError);
+}
+
+TEST(GraphIo, TruncatedFileRejected) {
+  io::TempDir dir;
+  auto el = path(50);
+  write_edge_file(dir.file("t.el"), el);
+  {
+    io::File f(dir.file("t.el"), io::OpenMode::kReadWrite);
+    f.truncate(f.size() - 4);
+  }
+  EXPECT_THROW(read_edge_file(dir.file("t.el")), FormatError);
+}
+
+TEST(GraphIo, EmptyGraphRoundTrips) {
+  io::TempDir dir;
+  EdgeList el({}, 3, GraphKind::kUndirected);
+  write_edge_file(dir.file("e.el"), el);
+  auto back = read_edge_file(dir.file("e.el"));
+  EXPECT_EQ(back.vertex_count(), 3u);
+  EXPECT_EQ(back.edge_count(), 0u);
+}
+
+}  // namespace
+}  // namespace gstore::graph

@@ -1,0 +1,231 @@
+// Tests for the preprocessing substrate: text loaders, vertex relabeling,
+// and deep store verification.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "graph/generator.h"
+#include "graph/relabel.h"
+#include "graph/text_io.h"
+#include "io/file.h"
+#include "test_util.h"
+#include "tile/verify.h"
+#include "util/status.h"
+
+namespace gstore {
+namespace {
+
+using graph::Edge;
+using graph::EdgeList;
+using graph::GraphKind;
+using graph::vid_t;
+
+// ---- text I/O ------------------------------------------------------------
+
+TEST(TextIo, ParsesPlainEdges) {
+  const auto el = graph::parse_text_edges("0 1\n1 2\n2 0\n");
+  EXPECT_EQ(el.vertex_count(), 3u);
+  EXPECT_EQ(el.edge_count(), 3u);
+  EXPECT_EQ(el.edges()[1], (Edge{1, 2}));
+}
+
+TEST(TextIo, SkipsCommentsAndBlanks) {
+  const auto el = graph::parse_text_edges(
+      "# SNAP style header\n% matrixmarket style\n\n  \n5 7\n");
+  EXPECT_EQ(el.edge_count(), 1u);
+  EXPECT_EQ(el.vertex_count(), 8u);
+}
+
+TEST(TextIo, AcceptsTabsCommasAndWeights) {
+  const auto el = graph::parse_text_edges("0\t1\t2.5\n1,2\n3 4 -1e3\n");
+  EXPECT_EQ(el.edge_count(), 3u);
+  EXPECT_EQ(el.edges()[2], (Edge{3, 4}));
+}
+
+TEST(TextIo, RejectsGarbageWithLineNumber) {
+  try {
+    graph::parse_text_edges("0 1\nfoo bar\n");
+    FAIL() << "expected FormatError";
+  } catch (const FormatError& e) {
+    EXPECT_NE(std::string(e.what()).find(":2"), std::string::npos);
+  }
+  EXPECT_THROW(graph::parse_text_edges("0 1 pizza\n"), FormatError);
+  EXPECT_THROW(graph::parse_text_edges("0\n"), FormatError);
+  EXPECT_THROW(graph::parse_text_edges("0 99999999999\n"), FormatError);
+}
+
+TEST(TextIo, MinVertexCountRespected) {
+  graph::TextReadOptions o;
+  o.min_vertex_count = 100;
+  const auto el = graph::parse_text_edges("0 1\n", o);
+  EXPECT_EQ(el.vertex_count(), 100u);
+}
+
+TEST(TextIo, EmptyInputYieldsValidGraph) {
+  const auto el = graph::parse_text_edges("# nothing\n");
+  EXPECT_EQ(el.edge_count(), 0u);
+  EXPECT_GE(el.vertex_count(), 1u);
+}
+
+TEST(TextIo, FileRoundTrip) {
+  io::TempDir dir;
+  auto el = graph::kronecker(8, 4, GraphKind::kDirected, 3);
+  graph::write_text_edges(dir.file("g.txt"), el);
+  graph::TextReadOptions o;
+  o.kind = GraphKind::kDirected;
+  o.min_vertex_count = el.vertex_count();
+  const auto back = graph::read_text_edges(dir.file("g.txt"), o);
+  EXPECT_EQ(back.edges(), el.edges());
+  EXPECT_EQ(back.vertex_count(), el.vertex_count());
+}
+
+TEST(TextIo, MissingFileThrows) {
+  EXPECT_THROW(graph::read_text_edges("/nonexistent/graph.txt"), IoError);
+}
+
+// ---- relabeling ------------------------------------------------------------
+
+TEST(Relabel, DegreeOrderPutsHubsFirst) {
+  auto el = graph::star(50);  // vertex 0 is the hub already
+  // Move the hub to id 49 first, then check degree_order restores it to 0.
+  graph::Permutation flip(50);
+  for (vid_t v = 0; v < 50; ++v) flip[v] = 49 - v;
+  auto flipped = graph::apply_permutation(el, flip);
+  EXPECT_EQ(flipped.degrees()[49], 49u);
+
+  const auto perm = graph::degree_order(flipped);
+  auto restored = graph::apply_permutation(flipped, perm);
+  EXPECT_EQ(restored.degrees()[0], 49u);  // hub back at id 0
+}
+
+TEST(Relabel, PermutationPreservesStructure) {
+  auto el = graph::kronecker(8, 4, GraphKind::kUndirected, 9);
+  el.normalize();
+  const auto perm = graph::shuffle_order(el.vertex_count(), 42);
+  auto shuffled = graph::apply_permutation(el, perm);
+
+  // Degree multiset is invariant under relabeling.
+  auto d1 = el.degrees();
+  auto d2 = shuffled.degrees();
+  std::sort(d1.begin(), d1.end());
+  std::sort(d2.begin(), d2.end());
+  EXPECT_EQ(d1, d2);
+  EXPECT_EQ(shuffled.edge_count(), el.edge_count());
+}
+
+TEST(Relabel, ShuffleIsAPermutation) {
+  const auto perm = graph::shuffle_order(1000, 7);
+  std::set<vid_t> seen(perm.begin(), perm.end());
+  EXPECT_EQ(seen.size(), 1000u);
+  EXPECT_EQ(*seen.begin(), 0u);
+  EXPECT_EQ(*seen.rbegin(), 999u);
+  // Deterministic per seed, different across seeds.
+  EXPECT_EQ(graph::shuffle_order(1000, 7), perm);
+  EXPECT_NE(graph::shuffle_order(1000, 8), perm);
+}
+
+TEST(Relabel, SizeMismatchThrows) {
+  auto el = graph::path(10);
+  EXPECT_THROW(graph::apply_permutation(el, graph::Permutation(5)), Error);
+}
+
+TEST(Relabel, DegreeOrderImprovesTileConcentration) {
+  // Hubs-first relabeling must concentrate edges into fewer tiles than a
+  // random shuffle of the same graph.
+  auto el = graph::twitter_like(11, 8, GraphKind::kDirected);
+  auto shuffled =
+      graph::apply_permutation(el, graph::shuffle_order(el.vertex_count(), 3));
+  auto hubs_first = graph::relabel_by_degree(shuffled);
+
+  auto occupied_tiles = [](const EdgeList& g) {
+    io::TempDir dir;
+    tile::ConvertOptions o;
+    o.tile_bits = 6;
+    auto store = gstore::testing::make_store(dir, g, o);
+    std::uint64_t occupied = 0;
+    for (std::uint64_t k = 0; k < store.grid().tile_count(); ++k)
+      if (store.tile_edge_count(k) > 0) ++occupied;
+    return occupied;
+  };
+  EXPECT_LT(occupied_tiles(hubs_first), occupied_tiles(shuffled));
+}
+
+// ---- verify_store -----------------------------------------------------------
+
+TEST(VerifyStore, CleanStorePasses) {
+  io::TempDir dir;
+  auto el = graph::kronecker(9, 5, GraphKind::kUndirected, 31);
+  tile::ConvertOptions o;
+  o.tile_bits = 5;
+  tile::convert_to_tiles(el, dir.file("g"), o);
+  const auto report = tile::verify_store(dir.file("g"));
+  EXPECT_TRUE(report.ok) << (report.problems.empty() ? "" : report.problems[0]);
+  EXPECT_GT(report.edges_checked, 0u);
+  EXPECT_EQ(report.tiles_checked, 0u + tile::TileStore::open(dir.file("g"))
+                                            .grid()
+                                            .tile_count());
+}
+
+TEST(VerifyStore, AllFormatVariantsPass) {
+  io::TempDir dir;
+  auto el = graph::kronecker(8, 5, GraphKind::kDirected, 32);
+  el.normalize();
+  int idx = 0;
+  for (const bool snb : {true, false})
+    for (const bool out_edges : {true, false}) {
+      tile::ConvertOptions o;
+      o.tile_bits = 5;
+      o.snb = snb;
+      o.out_edges = out_edges;
+      const std::string base = dir.file("v" + std::to_string(idx++));
+      tile::convert_to_tiles(el, base, o);
+      const auto report = tile::verify_store(base);
+      EXPECT_TRUE(report.ok)
+          << "snb=" << snb << " out=" << out_edges << ": "
+          << (report.problems.empty() ? "" : report.problems[0]);
+    }
+}
+
+TEST(VerifyStore, DetectsCorruptedTileData) {
+  io::TempDir dir;
+  auto el = graph::complete(40);  // dense: any corruption hits real tuples
+  tile::ConvertOptions o;
+  o.tile_bits = 4;
+  tile::convert_to_tiles(el, dir.file("g"), o);
+  {
+    // Flip high bytes mid-file so some tuple decodes out of range.
+    io::File f(dir.file("g.tiles"), io::OpenMode::kReadWrite);
+    std::vector<std::uint8_t> junk(64, 0xee);
+    f.pwrite_full(junk.data(), junk.size(), 64 + 100);
+  }
+  const auto report = tile::verify_store(dir.file("g"));
+  EXPECT_FALSE(report.ok);
+  EXPECT_FALSE(report.problems.empty());
+}
+
+TEST(VerifyStore, ReportsUnopenableStore) {
+  const auto report = tile::verify_store("/nonexistent/base");
+  EXPECT_FALSE(report.ok);
+  ASSERT_EQ(report.problems.size(), 1u);
+  EXPECT_NE(report.problems[0].find("open failed"), std::string::npos);
+}
+
+TEST(VerifyStore, CapsProblemCount) {
+  io::TempDir dir;
+  auto el = graph::complete(64);
+  tile::ConvertOptions o;
+  o.tile_bits = 4;
+  tile::convert_to_tiles(el, dir.file("g"), o);
+  {
+    io::File f(dir.file("g.tiles"), io::OpenMode::kReadWrite);
+    std::vector<std::uint8_t> junk(2048, 0xff);  // wreck many tuples
+    f.pwrite_full(junk.data(), junk.size(), 64);
+  }
+  const auto report = tile::verify_store(dir.file("g"), 5);
+  EXPECT_FALSE(report.ok);
+  EXPECT_LE(report.problems.size(), 6u);  // cap plus at most one in-flight
+}
+
+}  // namespace
+}  // namespace gstore

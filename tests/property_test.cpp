@@ -1,0 +1,268 @@
+// Randomized property tests: engine-configuration invariance, format
+// round-trips, and data-structure invariants under random operation
+// sequences. Seeds are fixed — failures reproduce deterministically.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "algo/bfs.h"
+#include "algo/cc.h"
+#include "algo/pagerank.h"
+#include "algo/reference.h"
+#include "graph/generator.h"
+#include "io/tiering.h"
+#include "store/cache_pool.h"
+#include "store/scr_engine.h"
+#include "test_util.h"
+#include "tile/compress.h"
+#include "util/histogram.h"
+#include "util/rng.h"
+
+namespace gstore {
+namespace {
+
+using graph::EdgeList;
+using graph::GraphKind;
+using graph::vid_t;
+
+// ---- engine-config invariance ----------------------------------------------
+//
+// Whatever the memory budget, segment size, policy, overlap mode, or device
+// emulation, results must be identical. One graph, many random configs.
+
+class RandomConfigTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomConfigTest, ResultsInvariantToEngineConfig) {
+  Xoshiro256 rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 13);
+
+  auto el = graph::kronecker(9, 5, GraphKind::kUndirected,
+                             1000 + GetParam());
+  el.normalize();
+  io::TempDir dir;
+  tile::ConvertOptions copt;
+  copt.tile_bits = static_cast<unsigned>(4 + rng.next_below(5));  // 4..8
+  copt.group_side = static_cast<std::uint32_t>(1 + rng.next_below(6));
+  auto store = gstore::testing::make_store(dir, el, copt);
+
+  const auto want_bfs = algo::ref_bfs(el, 0);
+  const auto want_pr = algo::ref_pagerank(el, 3);
+
+  for (int trial = 0; trial < 4; ++trial) {
+    store::EngineConfig cfg;
+    cfg.stream_memory_bytes = 4096 + rng.next_below(512 << 10);
+    cfg.segment_bytes = 512 + rng.next_below(64 << 10);
+    cfg.policy = static_cast<store::CachePolicyKind>(rng.next_below(3));
+    cfg.rewind = rng.next_below(2) == 0;
+    cfg.overlap_io = rng.next_below(2) == 0;
+    cfg.selective_fetch = rng.next_below(2) == 0;
+
+    algo::TileBfs bfs(0);
+    store::ScrEngine(store, cfg).run(bfs);
+    for (vid_t v = 0; v < el.vertex_count(); ++v)
+      ASSERT_EQ(bfs.depth()[v], want_bfs[v])
+          << "trial " << trial << " mem=" << cfg.stream_memory_bytes
+          << " seg=" << cfg.segment_bytes;
+
+    algo::TilePageRank pr(algo::PageRankOptions{0.85, 3, 0.0});
+    store::ScrEngine(store, cfg).run(pr);
+    for (vid_t v = 0; v < el.vertex_count(); ++v)
+      ASSERT_NEAR(pr.ranks()[v], want_pr[v], 1e-4) << "trial " << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomConfigTest, ::testing::Range(0, 6));
+
+// ---- conversion round-trip over random graphs -------------------------------
+
+TEST(PropertyConvert, RandomGraphsSurviveRoundTrip) {
+  Xoshiro256 rng(424242);
+  for (int trial = 0; trial < 12; ++trial) {
+    const vid_t n = static_cast<vid_t>(2 + rng.next_below(400));
+    const std::uint64_t m = rng.next_below(4 * n + 1);
+    const GraphKind kind =
+        rng.next_below(2) ? GraphKind::kUndirected : GraphKind::kDirected;
+    auto el = graph::uniform_random(n, m, kind, 99 + trial);
+
+    io::TempDir dir;
+    tile::ConvertOptions o;
+    o.tile_bits = static_cast<unsigned>(1 + rng.next_below(8));
+    o.group_side = static_cast<std::uint32_t>(1 + rng.next_below(5));
+    o.snb = rng.next_below(2) == 0;
+    auto store = gstore::testing::make_store(dir, el, o);
+
+    // The decoded multiset must equal the canonicalized input multiset.
+    std::multiset<std::pair<vid_t, vid_t>> want;
+    for (graph::Edge e : el.edges()) {
+      if (e.src == e.dst) continue;
+      if (kind == GraphKind::kUndirected && e.src > e.dst)
+        std::swap(e.src, e.dst);
+      want.insert({e.src, e.dst});
+    }
+    std::multiset<std::pair<vid_t, vid_t>> have;
+    for (const graph::Edge& e : gstore::testing::decode_all_edges(store))
+      have.insert({e.src, e.dst});
+    ASSERT_EQ(have, want) << "trial " << trial << " n=" << n << " m=" << m;
+  }
+}
+
+// ---- WCC equals reference on random sparse graphs ---------------------------
+
+TEST(PropertyWcc, RandomSparseGraphs) {
+  for (int trial = 0; trial < 8; ++trial) {
+    auto el = graph::uniform_random(300, 200 + 40u * trial,
+                                    GraphKind::kUndirected, 5 + trial);
+    io::TempDir dir;
+    tile::ConvertOptions o;
+    o.tile_bits = 5;
+    auto store = gstore::testing::make_store(dir, el, o);
+    algo::TileWcc wcc;
+    store::ScrEngine(store).run(wcc);
+    const auto want = algo::ref_wcc(el);
+    for (vid_t v = 0; v < el.vertex_count(); ++v)
+      ASSERT_EQ(wcc.labels()[v], want[v]) << "trial " << trial;
+  }
+}
+
+// ---- compression codec fuzz -------------------------------------------------
+
+TEST(PropertyCompress, RoundTripsArbitraryTiles) {
+  Xoshiro256 rng(777);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<tile::SnbEdge> edges(rng.next_below(300));
+    // Mix of shapes: clustered rows, duplicates, extremes.
+    const std::uint32_t row_spread = 1 + static_cast<std::uint32_t>(
+                                             rng.next_below(1 << 16));
+    for (auto& e : edges) {
+      e.src16 = static_cast<std::uint16_t>(rng.next_below(row_spread));
+      e.dst16 = static_cast<std::uint16_t>(rng.next_below(1 << 16));
+    }
+    if (!edges.empty() && trial % 3 == 0) {
+      edges.push_back(edges.front());  // duplicates
+      edges.push_back({0xffff, 0xffff});
+      edges.push_back({0, 0});
+    }
+    auto payload = tile::compress_tile(edges);
+    auto back = tile::decompress_tile(payload);
+    std::sort(edges.begin(), edges.end());
+    ASSERT_EQ(back, edges) << "trial " << trial;
+  }
+}
+
+// ---- cache pool invariants under random operations ---------------------------
+
+TEST(PropertyCachePool, InvariantsHoldUnderRandomOps) {
+  Xoshiro256 rng(31337);
+  store::CachePool pool(10'000);
+  std::map<std::uint64_t, std::size_t> shadow;  // idx -> size
+  std::vector<std::uint8_t> blob(2'000, 0x5c);
+
+  for (int op = 0; op < 3000; ++op) {
+    const std::uint64_t idx = rng.next_below(40);
+    switch (rng.next_below(4)) {
+      case 0: {  // insert
+        const std::size_t sz = rng.next_below(1'500);
+        const std::size_t old = shadow.count(idx) ? shadow[idx] : 0;
+        const std::uint64_t used_without = pool.used() - old;
+        const bool fits = used_without + sz <= pool.budget();
+        const bool ok = pool.insert(idx, blob.data(), sz);
+        ASSERT_EQ(ok, fits) << "op " << op;
+        if (ok) {
+          shadow[idx] = sz;
+        } else {
+          shadow.erase(idx);  // failed insert erases the old entry
+        }
+        break;
+      }
+      case 1:  // erase
+        pool.erase(idx);
+        shadow.erase(idx);
+        break;
+      case 2:  // touch
+        pool.touch(idx);
+        break;
+      case 3: {  // evict
+        const std::uint64_t need = rng.next_below(4'000);
+        pool.evict_lru(need);
+        // Rebuild the shadow from the pool (eviction picks by recency,
+        // which the shadow does not model).
+        std::map<std::uint64_t, std::size_t> rebuilt;
+        for (const auto& e : pool.entries()) rebuilt[e.layout_idx] = e.bytes;
+        shadow = std::move(rebuilt);
+        ASSERT_GE(pool.free_bytes() + 0, 0u);
+        break;
+      }
+    }
+    // Invariants after every operation.
+    ASSERT_LE(pool.used(), pool.budget()) << "op " << op;
+    std::uint64_t sum = 0;
+    std::uint64_t prev = 0;
+    bool first = true;
+    for (const auto& e : pool.entries()) {
+      sum += e.bytes;
+      if (!first) {
+        ASSERT_GT(e.layout_idx, prev) << "entries must be sorted";
+      }
+      prev = e.layout_idx;
+      first = false;
+    }
+    ASSERT_EQ(sum, pool.used()) << "op " << op;
+    ASSERT_EQ(pool.tile_count(), shadow.size()) << "op " << op;
+  }
+}
+
+// ---- tier map vs naive per-byte reference ------------------------------------
+
+TEST(PropertyTierMap, MatchesNaiveReference) {
+  Xoshiro256 rng(2718);
+  for (int trial = 0; trial < 25; ++trial) {
+    io::TierMap map;
+    std::vector<unsigned> byte_tier(2'000, 0);  // default fast
+    std::uint64_t pos = rng.next_below(50);
+    while (pos < byte_tier.size()) {
+      const std::uint64_t len = 1 + rng.next_below(200);
+      const std::uint64_t end = std::min<std::uint64_t>(pos + len,
+                                                        byte_tier.size());
+      const unsigned tier = static_cast<unsigned>(rng.next_below(2));
+      map.add_range(pos, end, tier);
+      for (std::uint64_t b = pos; b < end; ++b) byte_tier[b] = tier;
+      pos = end + rng.next_below(100);
+    }
+    for (int probe = 0; probe < 50; ++probe) {
+      const std::uint64_t a = rng.next_below(byte_tier.size());
+      const std::uint64_t b = a + rng.next_below(byte_tier.size() - a + 1);
+      std::uint64_t slow = 0;
+      for (std::uint64_t k = a; k < b; ++k) slow += byte_tier[k] == 1;
+      const auto [got_fast, got_slow] = map.split(a, b);
+      ASSERT_EQ(got_slow, slow) << "trial " << trial;
+      ASSERT_EQ(got_fast, (b - a) - slow) << "trial " << trial;
+    }
+  }
+}
+
+// ---- histogram vs naive -------------------------------------------------------
+
+TEST(PropertyHistogram, CountsMatchNaive) {
+  Xoshiro256 rng(1618);
+  LogHistogram h(10);
+  std::vector<std::uint64_t> values;
+  for (int i = 0; i < 5000; ++i) {
+    const std::uint64_t v = rng.next_below(1'000'000);
+    h.add(v);
+    values.push_back(v);
+  }
+  ASSERT_EQ(h.total(), values.size());
+  for (const std::uint64_t bound : {0u, 1u, 10u, 999u, 123456u, 2000000u}) {
+    const auto naive = static_cast<std::uint64_t>(
+        std::count_if(values.begin(), values.end(),
+                      [&](std::uint64_t v) { return v < bound; }));
+    ASSERT_EQ(h.count_below(bound), naive) << "bound " << bound;
+  }
+  std::uint64_t bucket_sum = 0;
+  for (const auto& b : h.buckets()) bucket_sum += b.count;
+  ASSERT_EQ(bucket_sum, h.total());
+}
+
+}  // namespace
+}  // namespace gstore

@@ -1,0 +1,226 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <numeric>
+
+#include "store/cache_pool.h"
+#include "store/caching_policy.h"
+#include "store/memory_budget.h"
+#include "store/segment.h"
+#include "util/status.h"
+
+namespace gstore::store {
+namespace {
+
+std::vector<std::uint8_t> bytes(std::size_t n, std::uint8_t fill) {
+  return std::vector<std::uint8_t>(n, fill);
+}
+
+// ---- MemoryBudget ---------------------------------------------------------
+
+TEST(MemoryBudget, SplitsPoolFromSegments) {
+  const auto b = MemoryBudget::compute(100, 20);
+  EXPECT_EQ(b.segment_bytes, 20u);
+  EXPECT_EQ(b.pool_bytes, 60u);
+}
+
+TEST(MemoryBudget, ShrinksSegmentsWhenTight) {
+  const auto b = MemoryBudget::compute(30, 20);
+  EXPECT_EQ(b.segment_bytes, 15u);
+  EXPECT_EQ(b.pool_bytes, 0u);
+}
+
+TEST(MemoryBudget, RejectsZero) {
+  EXPECT_THROW(MemoryBudget::compute(0, 1), Error);
+  EXPECT_THROW(MemoryBudget::compute(1, 0), Error);
+}
+
+// ---- Segment ----------------------------------------------------------------
+
+TEST(Segment, PacksTilesUntilFull) {
+  Segment s(100);
+  EXPECT_TRUE(s.try_add(0, 40));
+  EXPECT_TRUE(s.try_add(1, 40));
+  EXPECT_FALSE(s.try_add(2, 40));  // would exceed capacity
+  EXPECT_TRUE(s.try_add(2, 20));
+  EXPECT_EQ(s.used(), 100u);
+  ASSERT_EQ(s.slots().size(), 3u);
+  EXPECT_EQ(s.slots()[1].offset, 40u);
+  EXPECT_EQ(s.slots()[2].layout_idx, 2u);
+}
+
+TEST(Segment, ClearResets) {
+  Segment s(64);
+  s.try_add(0, 32);
+  s.clear();
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.used(), 0u);
+  EXPECT_TRUE(s.try_add(5, 64));
+}
+
+TEST(Segment, EnsureCapacityGrowsForOversizedTile) {
+  Segment s(16);
+  s.ensure_capacity(1024);
+  EXPECT_GE(s.capacity(), 1024u);
+  EXPECT_TRUE(s.try_add(0, 1024));
+  // Data is writable across the grown buffer.
+  std::memset(s.slot_data(s.slots()[0]), 0x5a, 1024);
+}
+
+// ---- CachePool ---------------------------------------------------------
+
+TEST(CachePool, InsertWithinBudget) {
+  CachePool pool(100);
+  const auto d = bytes(40, 1);
+  EXPECT_TRUE(pool.insert(7, d.data(), d.size()));
+  EXPECT_TRUE(pool.contains(7));
+  EXPECT_EQ(pool.used(), 40u);
+  EXPECT_EQ(pool.free_bytes(), 60u);
+}
+
+TEST(CachePool, RejectsWhenFull) {
+  CachePool pool(50);
+  const auto d = bytes(40, 1);
+  EXPECT_TRUE(pool.insert(1, d.data(), d.size()));
+  EXPECT_FALSE(pool.insert(2, d.data(), d.size()));
+  EXPECT_FALSE(pool.contains(2));
+}
+
+TEST(CachePool, ReplaceSameTile) {
+  CachePool pool(100);
+  const auto a = bytes(40, 1);
+  const auto b = bytes(60, 2);
+  EXPECT_TRUE(pool.insert(3, a.data(), a.size()));
+  EXPECT_TRUE(pool.insert(3, b.data(), b.size()));
+  EXPECT_EQ(pool.used(), 60u);
+  EXPECT_EQ(pool.tile_count(), 1u);
+  EXPECT_EQ(pool.entries()[0].bytes, 60u);
+  EXPECT_EQ(pool.entries()[0].data[0], 2);
+}
+
+TEST(CachePool, EraseFreesBudget) {
+  CachePool pool(100);
+  const auto d = bytes(70, 1);
+  pool.insert(1, d.data(), d.size());
+  EXPECT_EQ(pool.erase(1), 70u);
+  EXPECT_EQ(pool.erase(1), 0u);
+  EXPECT_EQ(pool.used(), 0u);
+}
+
+TEST(CachePool, EntriesInLayoutOrder) {
+  CachePool pool(1000);
+  const auto d = bytes(10, 0);
+  pool.insert(9, d.data(), d.size());
+  pool.insert(2, d.data(), d.size());
+  pool.insert(5, d.data(), d.size());
+  const auto entries = pool.entries();
+  ASSERT_EQ(entries.size(), 3u);
+  EXPECT_EQ(entries[0].layout_idx, 2u);
+  EXPECT_EQ(entries[1].layout_idx, 5u);
+  EXPECT_EQ(entries[2].layout_idx, 9u);
+}
+
+TEST(CachePool, LruEvictionEvictsColdest) {
+  CachePool pool(100);
+  const auto d = bytes(30, 0);
+  pool.insert(1, d.data(), d.size());
+  pool.insert(2, d.data(), d.size());
+  pool.insert(3, d.data(), d.size());
+  pool.touch(1);  // 2 is now coldest
+  pool.evict_lru(30);
+  EXPECT_TRUE(pool.contains(1));
+  EXPECT_FALSE(pool.contains(2));
+  EXPECT_TRUE(pool.contains(3));
+}
+
+TEST(CachePool, DataIsCopied) {
+  CachePool pool(100);
+  auto d = bytes(8, 0xaa);
+  pool.insert(0, d.data(), d.size());
+  d[0] = 0x00;  // mutate the source after insertion
+  EXPECT_EQ(pool.entries()[0].data[0], 0xaa);
+}
+
+TEST(CachePool, ZeroBudgetAcceptsNothing) {
+  CachePool pool(0);
+  const auto d = bytes(1, 0);
+  EXPECT_FALSE(pool.insert(0, d.data(), d.size()));
+}
+
+// ---- policies ------------------------------------------------------------
+
+// Minimal algorithm stub exposing a controllable oracle.
+class StubAlgo final : public TileAlgorithm {
+ public:
+  std::string name() const override { return "stub"; }
+  void init(const tile::TileStore&) override {}
+  void begin_iteration(std::uint32_t) override {}
+  void process_tile(const tile::TileView&) override {}
+  bool end_iteration(std::uint32_t) override { return false; }
+  bool tile_useful_next(std::uint32_t i, std::uint32_t) const override {
+    return useful_rows.empty() || useful_rows.count(i) > 0;
+  }
+  std::set<std::uint32_t> useful_rows;  // empty = everything useful
+};
+
+TEST(CachingPolicy, NoneNeverCaches) {
+  auto p = CachingPolicy::make(CachePolicyKind::kNone);
+  StubAlgo algo;
+  EXPECT_FALSE(p->should_cache(0, {0, 0}, algo));
+}
+
+TEST(CachingPolicy, LruAlwaysCachesAndEvicts) {
+  auto p = CachingPolicy::make(CachePolicyKind::kLru);
+  StubAlgo algo;
+  EXPECT_TRUE(p->should_cache(0, {0, 0}, algo));
+  CachePool pool(50);
+  const auto d = bytes(40, 0);
+  pool.insert(1, d.data(), d.size());
+  tile::Grid grid(256, false, 4, 1);
+  EXPECT_TRUE(p->make_room(pool, 40, grid, algo));
+  EXPECT_EQ(pool.tile_count(), 0u);
+}
+
+TEST(CachingPolicy, ProactiveConsultsOracle) {
+  auto p = CachingPolicy::make(CachePolicyKind::kProactive);
+  StubAlgo algo;
+  algo.useful_rows = {2};
+  EXPECT_TRUE(p->should_cache(0, {2, 3}, algo));
+  EXPECT_FALSE(p->should_cache(0, {1, 3}, algo));
+}
+
+TEST(CachingPolicy, ProactiveAnalyzeEvictsRuledOutTiles) {
+  auto p = CachingPolicy::make(CachePolicyKind::kProactive);
+  StubAlgo algo;
+  tile::Grid grid(16 * 8, false, 4, 1);  // p = 8, rows 0..7
+  CachePool pool(1000);
+  const auto d = bytes(10, 0);
+  // Insert tiles from rows 0..7 (layout index of (i,0) in a p=8 full grid).
+  for (std::uint32_t i = 0; i < 8; ++i)
+    pool.insert(grid.layout_index(i, 0), d.data(), d.size());
+  algo.useful_rows = {1, 4};
+  p->analyze(pool, grid, algo);
+  EXPECT_EQ(pool.tile_count(), 2u);
+  EXPECT_TRUE(pool.contains(grid.layout_index(1, 0)));
+  EXPECT_TRUE(pool.contains(grid.layout_index(4, 0)));
+}
+
+TEST(CachingPolicy, ProactiveMakeRoomOnlyDropsUseless) {
+  auto p = CachingPolicy::make(CachePolicyKind::kProactive);
+  StubAlgo algo;
+  tile::Grid grid(16 * 4, false, 4, 1);
+  CachePool pool(30);
+  const auto d = bytes(10, 0);
+  pool.insert(grid.layout_index(0, 0), d.data(), d.size());
+  pool.insert(grid.layout_index(1, 0), d.data(), d.size());
+  pool.insert(grid.layout_index(2, 0), d.data(), d.size());
+  algo.useful_rows = {0, 1, 2, 3};  // everything still useful
+  EXPECT_FALSE(p->make_room(pool, 10, grid, algo));
+  EXPECT_EQ(pool.tile_count(), 3u);  // nothing sacrificed
+  algo.useful_rows = {0};
+  EXPECT_TRUE(p->make_room(pool, 10, grid, algo));
+  EXPECT_EQ(pool.tile_count(), 1u);
+}
+
+}  // namespace
+}  // namespace gstore::store

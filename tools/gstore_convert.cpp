@@ -1,0 +1,146 @@
+// gstore_convert — command-line converter between graph representations.
+//
+//   # generate a synthetic graph into the binary edge-list format
+//   gstore_convert --generate=kron --scale=20 --edge-factor=16 ...
+//       --undirected --out=/data/kron20.el
+//
+//   # convert an edge-list file into a tile store (writes .tiles/.sei/.deg)
+//   gstore_convert --in=/data/kron20.el --out=/data/kron20
+//
+//   # also emit the CSR files used by the FlashGraph-like baseline
+//   gstore_convert --in=/data/kron20.el --out=/data/kron20 --csr
+#include <cstdio>
+#include <string>
+
+#include "graph/generator.h"
+#include "graph/graph_io.h"
+#include "tile/convert.h"
+#include "io/striped.h"
+#include "tile/verify.h"
+#include "tile/tile_file.h"
+#include "util/options.h"
+#include "util/status.h"
+#include "util/timer.h"
+
+namespace {
+
+gstore::graph::EdgeList generate(const gstore::Options& opts) {
+  using namespace gstore::graph;
+  const std::string kind_name = opts.get("generate");
+  const unsigned scale = static_cast<unsigned>(opts.get_int("scale"));
+  const unsigned ef = static_cast<unsigned>(opts.get_int("edge-factor"));
+  const GraphKind kind =
+      opts.get_bool("undirected") ? GraphKind::kUndirected : GraphKind::kDirected;
+  const std::uint64_t seed = static_cast<std::uint64_t>(opts.get_int("seed"));
+  if (kind_name == "kron") return kronecker(scale, ef, kind, seed);
+  if (kind_name == "rmat") return rmat(scale, ef, kind, RmatParams{}, seed);
+  if (kind_name == "twitter") return twitter_like(scale, ef, kind, seed);
+  if (kind_name == "uniform")
+    return uniform_random(gstore::graph::vid_t{1} << scale,
+                          std::uint64_t{ef} << scale, kind, seed);
+  throw gstore::InvalidArgument("unknown generator: " + kind_name +
+                                " (kron|rmat|twitter|uniform)");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace gstore;
+  Options opts;
+  opts.add("in", "", "input binary edge-list file (from a previous --generate)");
+  opts.add("out", "", "output path: .el file for --generate, tile-store base otherwise");
+  opts.add("generate", "", "generate a graph instead of reading one (kron|rmat|twitter|uniform)");
+  opts.add("scale", "20", "generator: log2 vertex count");
+  opts.add("edge-factor", "16", "generator: edges per vertex");
+  opts.add("seed", "1", "generator: random seed");
+  opts.add_flag("undirected", "generator: produce an undirected graph");
+  opts.add("tile-bits", "16", "tile width = 2^tile-bits vertices");
+  opts.add("group-side", "256", "tiles per physical-group side (q)");
+  opts.add_flag("in-edges", "directed graphs: store in-edges instead of out-edges");
+  opts.add_flag("no-snb", "ablation: store 8-byte full-vid tuples");
+  opts.add_flag("no-symmetry", "ablation: store both orientations of undirected edges");
+  opts.add_flag("normalize", "drop self loops and duplicate edges first");
+  opts.add_flag("csr", "also write <out>.beg/.adj CSR files");
+  opts.add_flag("verify", "deep-verify the written tile store");
+  opts.add("stripe", "0", "also write a RAID-0 striped copy of .tiles over N member files");
+
+  try {
+    opts.parse(argc, argv);
+    if (opts.help_requested() || opts.get("out").empty()) {
+      std::fputs(opts.usage("gstore_convert").c_str(), stdout);
+      return opts.help_requested() ? 0 : 2;
+    }
+
+    graph::EdgeList el;
+    if (!opts.get("generate").empty()) {
+      Timer t;
+      el = generate(opts);
+      std::printf("generated %u vertices, %llu edges (%.2fs)\n",
+                  el.vertex_count(),
+                  static_cast<unsigned long long>(el.edge_count()), t.seconds());
+      if (opts.get("in").empty()) {
+        graph::write_edge_file(opts.get("out"), el);
+        std::printf("wrote %s\n", opts.get("out").c_str());
+        return 0;
+      }
+    } else {
+      if (opts.get("in").empty())
+        throw InvalidArgument("need --in=<file> or --generate=<kind>");
+      Timer t;
+      el = graph::read_edge_file(opts.get("in"));
+      std::printf("read %u vertices, %llu edges (%.2fs)\n", el.vertex_count(),
+                  static_cast<unsigned long long>(el.edge_count()), t.seconds());
+    }
+
+    if (opts.get_bool("normalize")) {
+      const auto removed = el.normalize();
+      std::printf("normalize: removed %llu self-loops/duplicates\n",
+                  static_cast<unsigned long long>(removed));
+    }
+
+    tile::ConvertOptions copt;
+    copt.tile_bits = static_cast<unsigned>(opts.get_int("tile-bits"));
+    copt.group_side = static_cast<std::uint32_t>(opts.get_int("group-side"));
+    copt.out_edges = !opts.get_bool("in-edges");
+    copt.snb = !opts.get_bool("no-snb");
+    copt.symmetry = !opts.get_bool("no-symmetry");
+    const auto stats = tile::convert_to_tiles(el, opts.get("out"), copt);
+    std::printf("tile store: %llu tiles, %llu edges, %.1f MiB "
+                "(pass1 %.2fs, pass2 %.2fs)\n",
+                static_cast<unsigned long long>(stats.tile_count),
+                static_cast<unsigned long long>(stats.stored_edges),
+                stats.bytes_written / double(1 << 20), stats.pass1_seconds,
+                stats.pass2_seconds);
+
+    if (const auto stripes = opts.get_int("stripe"); stripes > 0) {
+      const std::string tiles = tile::TileStore::tiles_path(opts.get("out"));
+      const std::uint64_t striped = io::stripe_file(
+          tiles, tiles, static_cast<unsigned>(stripes));
+      std::printf("striped %s over %lld members (%.1f MiB, 64KB stripes)\n",
+                  tiles.c_str(), static_cast<long long>(stripes),
+                  striped / double(1 << 20));
+    }
+
+    if (opts.get_bool("verify")) {
+      const auto report = tile::verify_store(opts.get("out"));
+      if (!report.ok) {
+        for (const auto& p : report.problems)
+          std::fprintf(stderr, "verify: %s\n", p.c_str());
+        return 1;
+      }
+      std::printf("verify: OK (%llu tiles, %llu edges)\n",
+                  static_cast<unsigned long long>(report.tiles_checked),
+                  static_cast<unsigned long long>(report.edges_checked));
+    }
+
+    if (opts.get_bool("csr")) {
+      const auto cs = tile::convert_to_csr_file(el, opts.get("out"));
+      std::printf("CSR files: %.1f MiB (%.2fs)\n",
+                  cs.bytes_written / double(1 << 20), cs.total_seconds);
+    }
+    return 0;
+  } catch (const Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,181 @@
+// gstore_run — run a graph algorithm on a converted tile store.
+//
+//   gstore_run --store=/data/kron20 --algo=bfs --root=1
+//   gstore_run --store=/data/kron20 --algo=pagerank --iterations=20
+//   gstore_run --store=/data/kron20 --algo=wcc --memory-mb=256
+//   gstore_run --store=/data/kron20 --algo=kcore --k=8
+//
+// Prints run statistics (iterations, bytes read, cache hits, timings) and an
+// algorithm-specific summary.
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <unordered_set>
+
+#include "algo/bfs.h"
+#include "algo/bfs_async.h"
+#include "algo/cc.h"
+#include "algo/kcore.h"
+#include "algo/pagerank.h"
+#include "algo/scc.h"
+#include "algo/sssp.h"
+#include "store/scr_engine.h"
+#include "tile/tile_file.h"
+#include "util/options.h"
+#include "util/status.h"
+#include "util/timer.h"
+
+namespace {
+
+bool g_trace = false;
+
+void print_stats(const gstore::store::EngineStats& s, double secs) {
+  if (g_trace) {
+    std::printf("iter  disk-tiles  cache-tiles  skipped  edges        sec\n");
+    for (std::size_t k = 0; k < s.per_iteration.size(); ++k) {
+      const auto& it = s.per_iteration[k];
+      std::printf("%-5zu %-11llu %-12llu %-8llu %-12llu %.4f\n", k,
+                  static_cast<unsigned long long>(it.tiles_from_disk),
+                  static_cast<unsigned long long>(it.tiles_from_cache),
+                  static_cast<unsigned long long>(it.tiles_skipped),
+                  static_cast<unsigned long long>(it.edges_processed),
+                  it.seconds);
+    }
+  }
+  std::printf("run: %.3fs | %u iterations | %.1f MiB read in %llu batches | "
+              "%llu tiles from disk, %llu from cache, %llu skipped\n",
+              secs, s.iterations, s.bytes_read / double(1 << 20),
+              static_cast<unsigned long long>(s.io_batches),
+              static_cast<unsigned long long>(s.tiles_from_disk),
+              static_cast<unsigned long long>(s.tiles_from_cache),
+              static_cast<unsigned long long>(s.tiles_skipped));
+  std::printf("     io-wait %.3fs | compute %.3fs | %llu edges processed\n",
+              s.io_wait_seconds, s.compute_seconds,
+              static_cast<unsigned long long>(s.edges_processed));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace gstore;
+  Options opts;
+  opts.add("store", "", "tile-store base path (from gstore_convert)");
+  opts.add("algo", "bfs",
+           "bfs | bfs-async | pagerank | wcc | sssp | kcore | scc");
+  opts.add("in-store", "",
+           "scc: base path of the matching in-edge store (convert with "
+           "--in-edges)");
+  opts.add("root", "0", "root vertex for bfs/sssp");
+  opts.add("iterations", "20", "pagerank iteration cap");
+  opts.add("tolerance", "1e-6", "pagerank convergence tolerance (0 = fixed)");
+  opts.add("k", "4", "k for kcore");
+  opts.add("memory-mb", "64", "streaming+caching memory (MiB)");
+  opts.add("segment-mb", "8", "segment size (MiB)");
+  opts.add("policy", "proactive", "caching policy: proactive | lru | none");
+  opts.add_flag("no-rewind", "disable the rewind phase (base policy)");
+  opts.add("devices", "0", "emulate N SSDs (0 = native speed)");
+  opts.add("stripe", "0", "read .tiles from a striped set of N members");
+  opts.add_flag("trace", "print per-iteration engine statistics");
+
+  try {
+    opts.parse(argc, argv);
+    if (opts.help_requested() || opts.get("store").empty()) {
+      std::fputs(opts.usage("gstore_run").c_str(), stdout);
+      return opts.help_requested() ? 0 : 2;
+    }
+
+    io::DeviceConfig dev;
+    dev.devices = static_cast<unsigned>(opts.get_int("devices"));
+    dev.stripe_files = static_cast<unsigned>(opts.get_int("stripe"));
+    auto store = tile::TileStore::open(opts.get("store"), dev);
+    std::printf("store: %u vertices, %llu stored edges, %llu tiles, %s%s%s\n",
+                store.vertex_count(),
+                static_cast<unsigned long long>(store.edge_count()),
+                static_cast<unsigned long long>(store.grid().tile_count()),
+                store.meta().symmetric() ? "symmetric" : "full",
+                store.meta().directed() ? ", directed" : ", undirected",
+                store.meta().fat_tuples() ? ", 8B tuples" : ", SNB");
+
+    store::EngineConfig cfg;
+    cfg.stream_memory_bytes =
+        static_cast<std::uint64_t>(opts.get_int("memory-mb")) << 20;
+    cfg.segment_bytes =
+        static_cast<std::uint64_t>(opts.get_int("segment-mb")) << 20;
+    const std::string policy = opts.get("policy");
+    cfg.policy = policy == "lru"    ? store::CachePolicyKind::kLru
+                 : policy == "none" ? store::CachePolicyKind::kNone
+                                    : store::CachePolicyKind::kProactive;
+    cfg.rewind = !opts.get_bool("no-rewind");
+
+    g_trace = opts.get_bool("trace");
+    store::ScrEngine engine(store, cfg);
+    const std::string algo = opts.get("algo");
+    const auto root = static_cast<graph::vid_t>(opts.get_int("root"));
+    Timer t;
+
+    if (algo == "bfs") {
+      algo::TileBfs bfs(root);
+      const auto s = engine.run(bfs);
+      print_stats(s, t.seconds());
+      std::printf("bfs: visited %llu vertices, max depth %d\n",
+                  static_cast<unsigned long long>(bfs.visited_count()),
+                  bfs.max_depth());
+    } else if (algo == "bfs-async") {
+      algo::TileBfsAsync bfs(root);
+      const auto s = engine.run(bfs);
+      print_stats(s, t.seconds());
+      const auto d = bfs.depths();
+      std::printf("bfs-async: %u passes, reached %lld vertices\n", bfs.passes(),
+                  static_cast<long long>(std::count_if(
+                      d.begin(), d.end(), [](int x) { return x >= 0; })));
+    } else if (algo == "pagerank") {
+      algo::PageRankOptions popt;
+      popt.max_iterations = static_cast<std::uint32_t>(opts.get_int("iterations"));
+      popt.tolerance = opts.get_double("tolerance");
+      algo::TilePageRank pr(popt);
+      const auto s = engine.run(pr);
+      print_stats(s, t.seconds());
+      const auto it = std::max_element(pr.ranks().begin(), pr.ranks().end());
+      std::printf("pagerank: %u iterations, final delta %.2e, top vertex %lld "
+                  "(rank %.3e)\n",
+                  pr.iterations_run(), pr.last_delta(),
+                  static_cast<long long>(it - pr.ranks().begin()), *it);
+    } else if (algo == "wcc") {
+      algo::TileWcc wcc;
+      const auto s = engine.run(wcc);
+      print_stats(s, t.seconds());
+      std::printf("wcc: %llu components\n",
+                  static_cast<unsigned long long>(wcc.component_count()));
+    } else if (algo == "sssp") {
+      algo::TileSssp sssp(root);
+      const auto s = engine.run(sssp);
+      print_stats(s, t.seconds());
+      std::uint64_t reached = 0;
+      for (float d : sssp.distances())
+        if (d != algo::TileSssp::kInf) ++reached;
+      std::printf("sssp: reached %llu vertices\n",
+                  static_cast<unsigned long long>(reached));
+    } else if (algo == "kcore") {
+      algo::TileKCore kcore(static_cast<graph::degree_t>(opts.get_int("k")));
+      const auto s = engine.run(kcore);
+      print_stats(s, t.seconds());
+      std::printf("kcore: %llu vertices in the %lld-core\n",
+                  static_cast<unsigned long long>(kcore.core_size()),
+                  static_cast<long long>(opts.get_int("k")));
+    } else if (algo == "scc") {
+      if (opts.get("in-store").empty())
+        throw InvalidArgument("scc needs --in-store=<base> (in-edge store)");
+      auto in_store = tile::TileStore::open(opts.get("in-store"), dev);
+      const auto labels = algo::tile_scc(store, in_store, algo::SccOptions{cfg});
+      std::unordered_set<graph::vid_t> comps(labels.begin(), labels.end());
+      std::printf("scc: %zu strongly connected components (%.3fs)\n",
+                  comps.size(), t.seconds());
+    } else {
+      throw InvalidArgument("unknown algorithm: " + algo);
+    }
+    return 0;
+  } catch (const Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
