@@ -23,6 +23,19 @@ inline bool concurrent_execution() noexcept {
 #endif
 }
 
+// Relaxed read of a location that concurrent workers may be writing through
+// the helpers below. When tiles are processed in parallel, a plain load from
+// e.g. depth_[v] races with another worker's CAS on the same element — that
+// is UB (and a TSan report) even though the algorithms tolerate stale values.
+// The relaxed atomic load has identical codegen on x86 and keeps the
+// tolerate-staleness semantics data-race-free.
+template <typename T>
+inline T atomic_load(const T* p) noexcept {
+  if (!concurrent_execution()) return *p;
+  // atomic_ref<const T> is C++26; the const_cast is safe because we only load.
+  return std::atomic_ref<T>(*const_cast<T*>(p)).load(std::memory_order_relaxed);
+}
+
 // Atomically sets *p to min(*p, val); returns true if it lowered the value.
 template <typename T>
 inline bool atomic_min(T* p, T val) noexcept {

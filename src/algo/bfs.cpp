@@ -40,9 +40,11 @@ void TileBfs::process_tile(const tile::TileView& view) {
     // the original edge and `b` its tail, so the frontier test flips.
     const graph::vid_t from = in_edges_ ? b : a;
     const graph::vid_t to = in_edges_ ? a : b;
-    if (depth_[from] == level_ && depth_[to] == kUnvisited)
+    if (atomic_load(&depth_[from]) == level_ &&
+        atomic_load(&depth_[to]) == kUnvisited)
       visit(to, next_level);
-    if (symmetric_ && depth_[to] == level_ && depth_[from] == kUnvisited)
+    if (symmetric_ && atomic_load(&depth_[to]) == level_ &&
+        atomic_load(&depth_[from]) == kUnvisited)
       visit(from, next_level);  // Algorithm 1 lines 8-10
   });
 }

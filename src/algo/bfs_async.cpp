@@ -38,10 +38,10 @@ void TileBfsAsync::process_tile(const tile::TileView& view) {
     const graph::vid_t from = in_edges_ ? b : a;
     const graph::vid_t to = in_edges_ ? a : b;
     // Freshest value, not an iteration snapshot — the "asynchronous" part.
-    const std::int32_t df = depth_[from];
+    const std::int32_t df = atomic_load(&depth_[from]);
     if (df != kInf) relax(to, df + 1);
     if (symmetric_) {
-      const std::int32_t dt = depth_[to];
+      const std::int32_t dt = atomic_load(&depth_[to]);
       if (dt != kInf) relax(from, dt + 1);
     }
   });

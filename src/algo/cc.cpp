@@ -21,8 +21,8 @@ void TileWcc::process_tile(const tile::TileView& view) {
   std::uint64_t local_changed = 0;
   tile::visit_edges(view, [&](graph::vid_t a, graph::vid_t b) {
     // Snapshot both labels, then CAS-min the larger side down.
-    const graph::vid_t la = label_[a];
-    const graph::vid_t lb = label_[b];
+    const graph::vid_t la = atomic_load(&label_[a]);
+    const graph::vid_t lb = atomic_load(&label_[b]);
     if (la < lb) {
       if (atomic_min(&label_[b], la)) ++local_changed;
     } else if (lb < la) {

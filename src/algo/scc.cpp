@@ -32,7 +32,7 @@ void TileReach::begin_iteration(std::uint32_t) { new_reached_ = 0; }
 void TileReach::process_tile(const tile::TileView& view) {
   tile::visit_edges(view, [&](graph::vid_t a, graph::vid_t b) {
     // Tuples followed verbatim: a → b.
-    if (!reached_[a] || reached_[b]) return;
+    if (!atomic_load(&reached_[a]) || atomic_load(&reached_[b])) return;
     if (mask_ != nullptr && (!(*mask_)[a] || !(*mask_)[b])) return;
     if (atomic_cas<std::uint8_t>(&reached_[b], 0, 1)) {
       atomic_set_flag(&frontier_row_next_[b >> tile_bits_]);

@@ -37,10 +37,10 @@ void TileSssp::process_tile(const tile::TileView& view) {
     const graph::vid_t from = in_edges_ ? b : a;
     const graph::vid_t to = in_edges_ ? a : b;
     const float w = edge_weight(a, b);
-    const float df = dist_[from];
+    const float df = atomic_load(&dist_[from]);
     if (df != kInf) relax(to, df + w);
     if (symmetric_) {
-      const float dt = dist_[to];
+      const float dt = atomic_load(&dist_[to]);
       if (dt != kInf) relax(from, dt + w);
     }
   });

@@ -7,6 +7,7 @@
 #include <thread>
 
 #include "io/throttle.h"
+#include "util/dcheck.h"
 #include "util/status.h"
 
 namespace gstore::io {
@@ -63,6 +64,7 @@ struct AsyncEngine::Impl {
       {
         std::lock_guard<std::mutex> lock(mutex);
         completed.push_back(c);
+        GSTORE_DCHECK_GT(inflight, 0);
         --inflight;
       }
       done_cv.notify_all();
@@ -72,7 +74,10 @@ struct AsyncEngine::Impl {
 
   Backend backend;
   std::size_t depth;
+  // cross-thread: bumped by I/O workers inside execute(), read lock-free by
+  // the accessors; everything else below is guarded by `mutex`.
   std::atomic<std::uint64_t> bytes_read{0};
+  // cross-thread (same contract as bytes_read).
   std::atomic<std::uint64_t> submit_calls{0};
 
   mutable std::mutex mutex;
@@ -116,6 +121,8 @@ void AsyncEngine::submit(const std::vector<ReadRequest>& batch) {
                          [this] { return impl_->inflight < impl_->depth; });
     impl_->pending.push_back(req);
     ++impl_->inflight;
+    GSTORE_DCHECK_LE(impl_->inflight, impl_->depth);
+    GSTORE_DCHECK_LE(impl_->pending.size(), impl_->inflight);
     lock.unlock();
     impl_->queue_cv.notify_one();
   }

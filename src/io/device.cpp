@@ -37,8 +37,8 @@ void Device::read(void* buf, std::size_t n, std::uint64_t offset) {
   throttle_.acquire(fast);
   if (slow > 0) slow_throttle_.acquire(slow);
   source_->pread_full(buf, n, offset);
-  sync_bytes_ += n;
-  ++read_ops_;
+  sync_bytes_.fetch_add(n, std::memory_order_relaxed);
+  read_ops_.fetch_add(1, std::memory_order_relaxed);
 }
 
 void Device::submit(std::vector<ReadRequest> batch) {
@@ -54,7 +54,7 @@ void Device::submit(std::vector<ReadRequest> batch) {
       req.slow_bytes = static_cast<std::size_t>(slow);
     }
   }
-  read_ops_ += batch.size();
+  read_ops_.fetch_add(batch.size(), std::memory_order_relaxed);
   engine_.submit(batch);
 }
 
@@ -67,8 +67,9 @@ void Device::drain() { engine_.drain(); }
 
 DeviceStats Device::stats() const {
   DeviceStats s;
-  s.bytes_read = engine_.bytes_read() - stats_bytes_base_ + sync_bytes_;
-  s.read_ops = read_ops_;
+  s.bytes_read = engine_.bytes_read() - stats_bytes_base_ +
+                 sync_bytes_.load(std::memory_order_relaxed);
+  s.read_ops = read_ops_.load(std::memory_order_relaxed);
   s.submit_calls = engine_.submit_calls() - stats_submit_base_;
   return s;
 }
@@ -76,8 +77,8 @@ DeviceStats Device::stats() const {
 void Device::reset_stats() {
   stats_bytes_base_ = engine_.bytes_read();
   stats_submit_base_ = engine_.submit_calls();
-  sync_bytes_ = 0;
-  read_ops_ = 0;
+  sync_bytes_.store(0, std::memory_order_relaxed);
+  read_ops_.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace gstore::io

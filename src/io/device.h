@@ -5,6 +5,7 @@
 // SSD-scaling experiments), and I/O statistics.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -83,8 +84,11 @@ class Device {
   Throttle slow_throttle_;
   TierMap tier_map_;
   AsyncEngine engine_;
-  std::uint64_t read_ops_ = 0;
-  std::uint64_t sync_bytes_ = 0;
+  // cross-thread: TileStore advertises thread-compatible concurrent reads,
+  // so the stats counters read()/submit() bump must be atomic.
+  std::atomic<std::uint64_t> read_ops_{0};
+  // cross-thread (same contract as read_ops_).
+  std::atomic<std::uint64_t> sync_bytes_{0};
   std::uint64_t stats_bytes_base_ = 0;
   std::uint64_t stats_submit_base_ = 0;
 };

@@ -26,6 +26,13 @@ int open_flags(OpenMode mode) {
 }  // namespace
 
 File::File(const std::string& path, OpenMode mode, bool direct) : path_(path) {
+#ifdef GSTORE_SANITIZE_BUILD
+  // Sanitizer builds never use O_DIRECT: instrumented allocations carry
+  // redzones that break the kernel's DMA alignment contract, and bypassing
+  // the page cache hides nothing from ASan/TSan anyway. is_direct() then
+  // reports false, which is the truth.
+  direct = false;
+#endif
   int flags = open_flags(mode);
 #ifdef O_DIRECT
   if (direct) flags |= O_DIRECT;

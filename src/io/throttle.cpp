@@ -12,25 +12,28 @@ Throttle::Throttle(std::uint64_t bytes_per_second, std::uint64_t burst_bytes)
 
 void Throttle::set_rate(std::uint64_t bytes_per_second) {
   std::lock_guard<std::mutex> lock(mutex_);
-  rate_ = bytes_per_second;
+  rate_.store(bytes_per_second, std::memory_order_relaxed);
   next_free_ = clock::now();
 }
 
 void Throttle::acquire(std::uint64_t bytes) {
-  if (rate_ == 0) return;
+  if (rate() == 0) return;
   clock::time_point finish;
   {
     std::lock_guard<std::mutex> lock(mutex_);
+    // Re-read under the lock so one consistent rate prices this reservation
+    // even if set_rate() lands between the fast path and here.
+    const double rate = static_cast<double>(rate_.load(std::memory_order_relaxed));
+    if (rate == 0) return;
     const auto now = clock::now();
     // The device may have been idle: it cannot bank that time, except for a
     // small burst of pipelined work.
     const auto burst_credit =
-        std::chrono::duration_cast<clock::duration>(std::chrono::duration<double>(
-            static_cast<double>(burst_) / static_cast<double>(rate_)));
+        std::chrono::duration_cast<clock::duration>(
+            std::chrono::duration<double>(static_cast<double>(burst_) / rate));
     const auto start = std::max(now - burst_credit, next_free_);
-    const auto cost =
-        std::chrono::duration_cast<clock::duration>(std::chrono::duration<double>(
-            static_cast<double>(bytes) / static_cast<double>(rate_)));
+    const auto cost = std::chrono::duration_cast<clock::duration>(
+        std::chrono::duration<double>(static_cast<double>(bytes) / rate));
     finish = start + cost;
     next_free_ = finish;
   }

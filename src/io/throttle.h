@@ -14,6 +14,7 @@
 // and HDD tiers for the scaling / tiered-storage experiments.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <mutex>
@@ -29,16 +30,21 @@ class Throttle {
   // Blocks until `bytes` of device time have been reserved and elapsed.
   void acquire(std::uint64_t bytes);
 
-  std::uint64_t rate() const noexcept { return rate_; }
+  std::uint64_t rate() const noexcept {
+    return rate_.load(std::memory_order_relaxed);
+  }
   void set_rate(std::uint64_t bytes_per_second);
 
-  bool enabled() const noexcept { return rate_ != 0; }
+  bool enabled() const noexcept { return rate() != 0; }
 
  private:
   using clock = std::chrono::steady_clock;
 
   std::mutex mutex_;
-  std::uint64_t rate_;
+  // cross-thread: acquire()'s disabled-throttle fast path and enabled() run
+  // on I/O workers concurrently with set_rate() on the control thread, so
+  // this is atomic rather than mutex-guarded.
+  std::atomic<std::uint64_t> rate_;
   std::uint64_t burst_;
   clock::time_point next_free_;  // when the device finishes current work
 };

@@ -3,10 +3,13 @@
 #include <algorithm>
 #include <cstring>
 
+#include "util/dcheck.h"
+
 namespace gstore::store {
 
 bool CachePool::insert(std::uint64_t layout_idx, const std::uint8_t* data,
                        std::uint64_t bytes) {
+  GSTORE_DCHECK(data != nullptr || bytes == 0);
   erase(layout_idx);
   if (bytes > free_bytes()) return false;
   Stored s;
@@ -14,6 +17,7 @@ bool CachePool::insert(std::uint64_t layout_idx, const std::uint8_t* data,
   if (bytes > 0) std::memcpy(s.data.data(), data, bytes);
   s.stamp = ++clock_;
   used_ += bytes;
+  GSTORE_DCHECK_LE(used_, budget_);
   tiles_.emplace(layout_idx, std::move(s));
   return true;
 }
@@ -22,6 +26,7 @@ std::uint64_t CachePool::erase(std::uint64_t layout_idx) {
   auto it = tiles_.find(layout_idx);
   if (it == tiles_.end()) return 0;
   const std::uint64_t freed = it->second.data.size();
+  GSTORE_DCHECK_GE(used_, freed);
   used_ -= freed;
   tiles_.erase(it);
   return freed;
@@ -44,9 +49,12 @@ std::uint64_t CachePool::evict_lru(std::uint64_t needed) {
     for (auto it = tiles_.begin(); it != tiles_.end(); ++it)
       if (it->second.stamp < victim->second.stamp) victim = it;
     freed += victim->second.data.size();
+    GSTORE_DCHECK_GE(used_, victim->second.data.size());
     used_ -= victim->second.data.size();
     tiles_.erase(victim);
   }
+  // Accounting invariant: an empty pool must report zero bytes in use.
+  GSTORE_DCHECK(!tiles_.empty() || used_ == 0);
   return freed;
 }
 

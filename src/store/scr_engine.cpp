@@ -5,6 +5,7 @@
 
 #include "store/cache_pool.h"
 #include "store/segment.h"
+#include "util/dcheck.h"
 #include "util/logging.h"
 #include "util/status.h"
 #include "util/timer.h"
@@ -19,6 +20,8 @@ namespace {
 // Tags encode which segment a read belongs to so completions can be
 // attributed while both segments have I/O in flight.
 constexpr std::uint64_t make_tag(int segment, std::uint64_t serial) {
+  GSTORE_DCHECK(segment == 0 || segment == 1);
+  GSTORE_DCHECK_LT(serial, 1ull << 56);
   return (static_cast<std::uint64_t>(segment) << 56) | serial;
 }
 constexpr int tag_segment(std::uint64_t tag) {
@@ -86,8 +89,12 @@ struct ScrEngine::Runner {
       batch.push_back(req);
       run_begin = run_end;
     };
-    for (std::size_t k = 1; k < slots.size(); ++k)
+    for (std::size_t k = 1; k < slots.size(); ++k) {
+      // Segment packing invariant: slot bytes are laid out back-to-back, so
+      // a layout-consecutive run is contiguous in buffer and file alike.
+      GSTORE_DCHECK_EQ(slots[k].offset, slots[k - 1].offset + slots[k - 1].bytes);
       if (slots[k].layout_idx != slots[k - 1].layout_idx + 1) flush_run(k);
+    }
     if (!slots.empty()) flush_run(slots.size());
 
     stats.tiles_from_disk += slots.size();
@@ -116,7 +123,10 @@ struct ScrEngine::Runner {
         if (!c.ok)
           throw IoError("tile read failed (tag " + std::to_string(c.tag) + ")",
                         EIO);
-        --pending[tag_segment(c.tag)];
+        const int seg = tag_segment(c.tag);
+        GSTORE_DCHECK(seg == 0 || seg == 1);
+        GSTORE_DCHECK_GT(pending[seg], 0);
+        --pending[seg];
       }
     }
     stats.io_wait_seconds += t.seconds();
@@ -210,11 +220,18 @@ struct ScrEngine::Runner {
     pending[cur] = fill_and_submit(cur, fetch, pos);
     while (!segments[cur].empty()) {
       const int nxt = cur ^ 1;
+      // Double-buffer state machine: the segment about to prefetch must be
+      // quiescent (its previous I/O reaped, its tiles processed).
+      GSTORE_DCHECK_EQ(pending[nxt], 0);
       pending[nxt] = fill_and_submit(nxt, fetch, pos);  // prefetch
       wait_segment(cur);
       process_segment(cur);
       cur = nxt;
     }
+    // SLIDE consumed the whole fetch list and reaped every read.
+    GSTORE_DCHECK_EQ(pos, fetch.size());
+    GSTORE_DCHECK_EQ(pending[0], 0);
+    GSTORE_DCHECK_EQ(pending[1], 0);
 
     // Iteration-boundary cache analysis. Runs *before* end_iteration(): the
     // tile_useful_next oracle refers to the upcoming iteration, and

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "util/aligned_buffer.h"
+#include "util/dcheck.h"
 
 namespace gstore::store {
 
@@ -46,14 +47,20 @@ class Segment {
   // tile even when segment_bytes is configured small).
   void ensure_capacity(std::uint64_t bytes) {
     if (bytes <= capacity_) return;
+    GSTORE_DCHECK_MSG(slots_.empty(),
+                      "segment must be empty before its buffer is replaced");
     buf_ = gstore::AlignedBuffer(bytes);
     capacity_ = bytes;
   }
 
   std::uint8_t* data() noexcept { return buf_.data(); }
   const std::uint8_t* data() const noexcept { return buf_.data(); }
-  std::uint8_t* slot_data(const TileSlot& s) noexcept { return buf_.data() + s.offset; }
+  std::uint8_t* slot_data(const TileSlot& s) noexcept {
+    GSTORE_DCHECK_LE(s.offset + s.bytes, capacity_);
+    return buf_.data() + s.offset;
+  }
   const std::uint8_t* slot_data(const TileSlot& s) const noexcept {
+    GSTORE_DCHECK_LE(s.offset + s.bytes, capacity_);
     return buf_.data() + s.offset;
   }
 

@@ -9,6 +9,7 @@
 #include <cstdint>
 
 #include "graph/types.h"
+#include "util/dcheck.h"
 
 namespace gstore::tile {
 
@@ -26,6 +27,13 @@ static_assert(sizeof(SnbEdge) == 4, "SNB edge tuple must be 4 bytes");
 // first vertex ids covered by the tile row/column.
 constexpr SnbEdge snb_encode(graph::vid_t src, graph::vid_t dst,
                              graph::vid_t src_base, graph::vid_t dst_base) noexcept {
+  // The casts below silently wrap if a vertex lands outside its tile's
+  // 2^16 range — that is exactly the corruption an SNB bug produces, so the
+  // debug builds reject it here rather than at verify time.
+  GSTORE_DCHECK_GE(src, src_base);
+  GSTORE_DCHECK_GE(dst, dst_base);
+  GSTORE_DCHECK_LT(src - src_base, 1u << 16);
+  GSTORE_DCHECK_LT(dst - dst_base, 1u << 16);
   return SnbEdge{static_cast<std::uint16_t>(src - src_base),
                  static_cast<std::uint16_t>(dst - dst_base)};
 }

@@ -121,6 +121,8 @@ void TileStore::read_range(std::uint64_t first, std::uint64_t last,
 }
 
 TileView TileStore::view(std::uint64_t layout_idx, const std::uint8_t* data) const {
+  GSTORE_DCHECK_LT(layout_idx, meta_.tile_count);
+  GSTORE_DCHECK(data != nullptr || tile_edge_count(layout_idx) == 0);
   const TileCoord c = grid_.coord_at(layout_idx);
   TileView v;
   v.coord = c;

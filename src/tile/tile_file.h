@@ -22,6 +22,7 @@
 #include "io/device.h"
 #include "tile/grid.h"
 #include "tile/snb.h"
+#include "util/dcheck.h"
 
 namespace gstore::tile {
 
@@ -106,6 +107,9 @@ class TileStore {
   std::uint64_t edge_count() const noexcept { return meta_.edge_count; }
 
   std::uint64_t tile_edge_count(std::uint64_t layout_idx) const {
+    GSTORE_DCHECK_LT(layout_idx, meta_.tile_count);
+    // Offset monotonicity: validated once at open(), must never decay.
+    GSTORE_DCHECK_LE(start_edge_[layout_idx], start_edge_[layout_idx + 1]);
     return start_edge_[layout_idx + 1] - start_edge_[layout_idx];
   }
   std::uint64_t tile_bytes(std::uint64_t layout_idx) const {
@@ -113,6 +117,8 @@ class TileStore {
   }
   // Byte offset of a tile inside the .tiles file (after the header).
   std::uint64_t tile_offset(std::uint64_t layout_idx) const {
+    GSTORE_DCHECK_LE(layout_idx, meta_.tile_count);
+    GSTORE_DCHECK_LE(start_edge_[layout_idx], meta_.edge_count);
     return data_offset_ + start_edge_[layout_idx] * meta_.tuple_bytes();
   }
   std::uint64_t max_tile_bytes() const noexcept { return max_tile_bytes_; }

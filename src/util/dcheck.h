@@ -1,0 +1,111 @@
+// Debug-only invariant checks (DCHECKs).
+//
+// GS_CHECK (util/status.h) stays on in every build and throws; it guards
+// API-boundary contracts whose violation must surface in production.
+// GSTORE_DCHECK guards *internal* invariants on hot or hot-adjacent paths —
+// tile offset monotonicity, SNB local-id ranges, segment state machines,
+// queue bookkeeping — where a per-edge or per-tile branch is affordable in
+// debug/sanitizer builds but not in release.
+//
+// Enablement: GSTORE_DCHECK_ENABLED defaults to 1 when NDEBUG is not defined
+// (Debug builds, including the asan-ubsan/tsan presets) and 0 otherwise
+// (RelWithDebInfo/Release). The CMake option GSTORE_DCHECKS=ON forces it on
+// regardless of build type. When disabled, the macros expand to a
+// non-evaluating no-op: arguments are parsed (so they cannot bit-rot) but
+// never executed — see util_test's Dcheck.DisabledChecksAreTrueNoOps.
+//
+// Failure behaviour is abort(), not throw: a DCHECK failure means internal
+// state is already corrupt, and several call sites are noexcept or run on
+// detached worker threads where an exception would terminate anyway.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+
+#if !defined(GSTORE_DCHECK_ENABLED)
+#if defined(NDEBUG)
+#define GSTORE_DCHECK_ENABLED 0
+#else
+#define GSTORE_DCHECK_ENABLED 1
+#endif
+#endif
+
+namespace gstore::detail {
+
+[[noreturn]] inline void dcheck_failed(const char* expr, const char* file,
+                                       int line, const char* msg) noexcept {
+  std::fprintf(stderr, "GSTORE_DCHECK failed: %s at %s:%d%s%s\n", expr, file,
+               line, msg[0] != '\0' ? " — " : "", msg);
+  std::fflush(stderr);
+  std::abort();
+}
+
+[[noreturn]] inline void dcheck_cmp_failed(const char* expr, const char* file,
+                                           int line, long long lhs,
+                                           long long rhs) noexcept {
+  std::fprintf(stderr,
+               "GSTORE_DCHECK failed: %s at %s:%d (lhs=%lld rhs=%lld)\n", expr,
+               file, line, lhs, rhs);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace gstore::detail
+
+#if GSTORE_DCHECK_ENABLED
+
+#define GSTORE_DCHECK(expr)                                            \
+  do {                                                                 \
+    if (!(expr)) [[unlikely]]                                          \
+      ::gstore::detail::dcheck_failed(#expr, __FILE__, __LINE__, "");  \
+  } while (0)
+
+#define GSTORE_DCHECK_MSG(expr, msg)                                   \
+  do {                                                                 \
+    if (!(expr)) [[unlikely]]                                          \
+      ::gstore::detail::dcheck_failed(#expr, __FILE__, __LINE__, msg); \
+  } while (0)
+
+// Comparison forms print both operands on failure. Operands are evaluated
+// exactly once; values are reported via long long (enough for every vid,
+// offset, and count in the codebase).
+#define GSTORE_DCHECK_CMP_(lhs, op, rhs)                                      \
+  do {                                                                        \
+    const auto gs_dc_l_ = (lhs);                                              \
+    const auto gs_dc_r_ = (rhs);                                              \
+    if (!(gs_dc_l_ op gs_dc_r_)) [[unlikely]]                                 \
+      ::gstore::detail::dcheck_cmp_failed(#lhs " " #op " " #rhs, __FILE__,    \
+                                          __LINE__,                           \
+                                          static_cast<long long>(gs_dc_l_),   \
+                                          static_cast<long long>(gs_dc_r_));  \
+  } while (0)
+
+#else  // !GSTORE_DCHECK_ENABLED
+
+// sizeof() keeps the expression type-checked without evaluating it, so a
+// DCHECK cannot change behaviour between build types via side effects.
+#define GSTORE_DCHECK(expr) \
+  do {                      \
+    (void)sizeof((expr));   \
+  } while (0)
+
+#define GSTORE_DCHECK_MSG(expr, msg) \
+  do {                               \
+    (void)sizeof((expr));            \
+    (void)sizeof(msg);               \
+  } while (0)
+
+#define GSTORE_DCHECK_CMP_(lhs, op, rhs) \
+  do {                                   \
+    (void)sizeof((lhs)op(rhs));          \
+  } while (0)
+
+#endif  // GSTORE_DCHECK_ENABLED
+
+#define GSTORE_DCHECK_EQ(lhs, rhs) GSTORE_DCHECK_CMP_(lhs, ==, rhs)
+#define GSTORE_DCHECK_NE(lhs, rhs) GSTORE_DCHECK_CMP_(lhs, !=, rhs)
+#define GSTORE_DCHECK_LT(lhs, rhs) GSTORE_DCHECK_CMP_(lhs, <, rhs)
+#define GSTORE_DCHECK_LE(lhs, rhs) GSTORE_DCHECK_CMP_(lhs, <=, rhs)
+#define GSTORE_DCHECK_GT(lhs, rhs) GSTORE_DCHECK_CMP_(lhs, >, rhs)
+#define GSTORE_DCHECK_GE(lhs, rhs) GSTORE_DCHECK_CMP_(lhs, >=, rhs)

@@ -2,6 +2,9 @@
 
 #include <atomic>
 #include <exception>
+#include <mutex>
+
+#include "util/dcheck.h"
 
 namespace gstore {
 
@@ -22,6 +25,8 @@ ThreadPool::~ThreadPool() {
   }
   cv_.notify_all();
   for (auto& w : workers_) w.join();
+  // Workers drain the queue before exiting, so nothing may be left behind.
+  GSTORE_DCHECK(queue_.empty());
 }
 
 void ThreadPool::worker_loop() {
@@ -30,10 +35,12 @@ void ThreadPool::worker_loop() {
     {
       std::unique_lock<std::mutex> lock(mutex_);
       cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      GSTORE_DCHECK(stopping_ || !queue_.empty());
       if (queue_.empty()) return;  // stopping_ and drained
       task = std::move(queue_.front());
       queue_.pop_front();
     }
+    GSTORE_DCHECK(task != nullptr);
     task();
   }
 }
@@ -44,21 +51,27 @@ void ThreadPool::parallel_for(std::size_t count,
   if (count == 0) return;
   if (grain == 0) grain = 1;
   std::atomic<std::size_t> next{0};
-  std::atomic<bool> failed{false};
+  // First-exception capture: call_once picks the winner race-free, and
+  // `failed` is a release/acquire flag so (a) other workers stop claiming
+  // chunks promptly and (b) the final first_error read below is ordered
+  // after the winning store even if a future's synchronization were absent.
+  std::once_flag error_once;
   std::exception_ptr first_error;
-  std::mutex error_mutex;
+  std::atomic<bool> failed{false};
 
   auto body = [&]() {
     for (;;) {
+      if (failed.load(std::memory_order_acquire)) return;
       const std::size_t begin = next.fetch_add(grain, std::memory_order_relaxed);
-      if (begin >= count || failed.load(std::memory_order_relaxed)) return;
+      if (begin >= count) return;
       const std::size_t end = std::min(begin + grain, count);
+      GSTORE_DCHECK_LE(end, count);
       try {
         for (std::size_t i = begin; i < end; ++i) fn(i);
       } catch (...) {
-        std::lock_guard<std::mutex> lock(error_mutex);
-        if (!first_error) first_error = std::current_exception();
-        failed.store(true, std::memory_order_relaxed);
+        std::call_once(error_once,
+                       [&] { first_error = std::current_exception(); });
+        failed.store(true, std::memory_order_release);
         return;
       }
     }
@@ -71,7 +84,10 @@ void ThreadPool::parallel_for(std::size_t count,
     futs.push_back(submit(body));
   body();
   for (auto& f : futs) f.get();
-  if (first_error) std::rethrow_exception(first_error);
+  if (failed.load(std::memory_order_acquire)) {
+    GSTORE_DCHECK(first_error != nullptr);
+    std::rethrow_exception(first_error);
+  }
 }
 
 }  // namespace gstore

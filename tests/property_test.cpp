@@ -11,12 +11,15 @@
 #include "algo/cc.h"
 #include "algo/pagerank.h"
 #include "algo/reference.h"
+#include "graph/degree.h"
 #include "graph/generator.h"
 #include "io/tiering.h"
 #include "store/cache_pool.h"
 #include "store/scr_engine.h"
 #include "test_util.h"
 #include "tile/compress.h"
+#include "tile/grid.h"
+#include "tile/snb.h"
 #include "util/histogram.h"
 #include "util/rng.h"
 
@@ -262,6 +265,101 @@ TEST(PropertyHistogram, CountsMatchNaive) {
   std::uint64_t bucket_sum = 0;
   for (const auto& b : h.buckets()) bucket_sum += b.count;
   ASSERT_EQ(bucket_sum, h.total());
+}
+
+// ---- SNB encode/decode at tile boundaries ------------------------------------
+//
+// The 4-byte SNB tuple drops all high bits; corruption shows up exactly at
+// tile edges, so the boundary ids are tested explicitly on top of the
+// random sweep.
+
+TEST(PropertySnb, RoundTripsAtTileBoundaries) {
+  for (const unsigned tile_bits : {4u, 8u, 16u}) {
+    const vid_t width = vid_t{1} << tile_bits;
+    const vid_t vertex_count = width * 7;  // 7×7 tile grid
+    tile::Grid grid(vertex_count, /*symmetric=*/false, tile_bits);
+    ASSERT_EQ(grid.p(), 7u);
+
+    const std::uint32_t last = grid.p() - 1;
+    const std::vector<std::uint32_t> tiles = {0, 1, last};
+    for (const std::uint32_t i : tiles) {
+      for (const std::uint32_t j : tiles) {
+        const vid_t sb = grid.tile_base(i);
+        const vid_t db = grid.tile_base(j);
+        // First, last, and one interior local id of each tile row/column.
+        const std::vector<vid_t> src_ids = {sb, sb + width - 1, sb + width / 2};
+        const std::vector<vid_t> dst_ids = {db, db + width - 1, db + width / 2};
+        for (const vid_t s : src_ids) {
+          for (const vid_t d : dst_ids) {
+            const tile::SnbEdge e = tile::snb_encode(s, d, sb, db);
+            const graph::Edge back = tile::snb_decode(e, sb, db);
+            ASSERT_EQ(back.src, s) << "tile_bits=" << tile_bits;
+            ASSERT_EQ(back.dst, d) << "tile_bits=" << tile_bits;
+          }
+        }
+      }
+    }
+
+    // Random sweep inside random tiles.
+    Xoshiro256 rng(tile_bits * 271 + 9);
+    for (int trial = 0; trial < 2000; ++trial) {
+      const auto i = static_cast<std::uint32_t>(rng.next_below(grid.p()));
+      const auto j = static_cast<std::uint32_t>(rng.next_below(grid.p()));
+      const vid_t s = grid.tile_base(i) + rng.next_below(width);
+      const vid_t d = grid.tile_base(j) + rng.next_below(width);
+      const graph::Edge back = tile::snb_decode(
+          tile::snb_encode(s, d, grid.tile_base(i), grid.tile_base(j)),
+          grid.tile_base(i), grid.tile_base(j));
+      ASSERT_EQ(back.src, s);
+      ASSERT_EQ(back.dst, d);
+    }
+  }
+}
+
+// ---- compressed degrees: MSB overflow flagging ------------------------------
+
+TEST(PropertyDegrees, OverflowFlagRoundTrips) {
+  using graph::CompressedDegrees;
+  using graph::degree_t;
+  Xoshiro256 rng(4242);
+
+  std::vector<degree_t> degrees(20'000);
+  std::size_t want_overflow = 0;
+  for (auto& d : degrees) {
+    if (rng.next_below(50) == 0) {
+      // Power-law tail: exceeds the 15-bit inline range, must take the
+      // overflow path (MSB set, low bits index the 4-byte table).
+      d = CompressedDegrees::kInlineMax + 1 +
+          static_cast<degree_t>(rng.next_below(1'000'000));
+      ++want_overflow;
+    } else {
+      d = static_cast<degree_t>(rng.next_below(CompressedDegrees::kInlineMax + 1));
+    }
+  }
+  // Pin the boundary values explicitly.
+  degrees[0] = 0;
+  degrees[1] = CompressedDegrees::kInlineMax;       // largest inline
+  degrees[2] = CompressedDegrees::kInlineMax + 1;   // smallest overflow
+  want_overflow = static_cast<std::size_t>(
+      std::count_if(degrees.begin(), degrees.end(), [](degree_t d) {
+        return d > CompressedDegrees::kInlineMax;
+      }));
+
+  const auto cd = CompressedDegrees::build(degrees);
+  ASSERT_TRUE(cd.compressed());
+  ASSERT_EQ(cd.size(), degrees.size());
+  ASSERT_EQ(cd.overflow_count(), want_overflow);
+  for (vid_t v = 0; v < cd.size(); ++v)
+    ASSERT_EQ(cd[v], degrees[v]) << "vertex " << v;
+  // 2-byte inline entries + 4-byte overflow table beats the plain array.
+  ASSERT_LT(cd.storage_bytes(), degrees.size() * sizeof(degree_t));
+
+  // Too many heavy vertices → format falls back, still lossless.
+  std::vector<degree_t> heavy(CompressedDegrees::kMaxOverflow + 1,
+                              CompressedDegrees::kInlineMax + 7);
+  const auto fallback = CompressedDegrees::build(heavy);
+  ASSERT_FALSE(fallback.compressed());
+  for (vid_t v = 0; v < fallback.size(); ++v) ASSERT_EQ(fallback[v], heavy[v]);
 }
 
 }  // namespace

@@ -5,6 +5,7 @@
 
 #include "util/aligned_buffer.h"
 #include "util/bitops.h"
+#include "util/dcheck.h"
 #include "util/histogram.h"
 #include "util/options.h"
 #include "util/rng.h"
@@ -312,6 +313,74 @@ TEST(ThreadPool, DefaultsToAtLeastOneWorker) {
   ThreadPool pool(0);
   EXPECT_GE(pool.size(), 1u);
 }
+
+// Regression: several workers throw at once. The first exception captured
+// must be rethrown exactly once and the rest discarded without racing on the
+// shared exception slot (this is the case TSan flagged before parallel_for
+// used call_once + a release/acquire failure flag).
+TEST(ThreadPool, ParallelForManyConcurrentThrowers) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 20; ++round) {
+    std::atomic<int> ran{0};
+    try {
+      pool.parallel_for(
+          400,
+          [&](std::size_t i) {
+            ran.fetch_add(1, std::memory_order_relaxed);
+            throw Error("worker " + std::to_string(i));
+          },
+          /*grain=*/1);
+      FAIL() << "parallel_for swallowed the exceptions";
+    } catch (const Error& e) {
+      // Whichever worker won, the message must be one we actually threw.
+      EXPECT_NE(std::string(e.what()).find("worker "), std::string::npos);
+    }
+    EXPECT_GT(ran.load(), 0);
+    // The pool must still be usable after an aborted parallel_for.
+    std::atomic<bool> alive{false};
+    pool.submit([&] { alive.store(true); }).get();
+    EXPECT_TRUE(alive.load());
+  }
+}
+
+TEST(Dcheck, EnabledMatchesBuildMode) {
+#if GSTORE_DCHECK_ENABLED
+  EXPECT_TRUE(true);  // sanitizer/debug presets: checks are live (see below)
+#else
+  EXPECT_TRUE(true);  // release: checks compile away (see below)
+#endif
+}
+
+#if GSTORE_DCHECK_ENABLED
+TEST(DcheckDeathTest, FailingCheckAborts) {
+  EXPECT_DEATH_IF_SUPPORTED(GSTORE_DCHECK(1 + 1 == 3), "GSTORE_DCHECK");
+}
+
+TEST(DcheckDeathTest, ComparisonFormPrintsOperands) {
+  EXPECT_DEATH_IF_SUPPORTED(GSTORE_DCHECK_EQ(2 + 2, 5), "GSTORE_DCHECK");
+}
+
+TEST(Dcheck, PassingChecksAreSilent) {
+  GSTORE_DCHECK(true);
+  GSTORE_DCHECK_MSG(1 < 2, "never printed");
+  GSTORE_DCHECK_EQ(4, 2 + 2);
+  GSTORE_DCHECK_LT(1, 2);
+}
+#else
+TEST(Dcheck, DisabledChecksAreTrueNoOps) {
+  // Release builds: the condition must not be evaluated at all, so a check
+  // whose predicate would abort (or has side effects) is inert.
+  int evaluations = 0;
+  auto would_fail = [&] {
+    ++evaluations;
+    return false;
+  };
+  GSTORE_DCHECK(would_fail());
+  GSTORE_DCHECK_MSG(would_fail(), "never printed");
+  EXPECT_EQ(evaluations, 0);
+  GSTORE_DCHECK_EQ(1, 2);  // operands unevaluated, nothing aborts
+}
+#endif
 
 }  // namespace
 }  // namespace gstore

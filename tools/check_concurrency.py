@@ -1,0 +1,180 @@
+#!/usr/bin/env python3
+"""Project-specific concurrency/I/O lint for the G-Store core.
+
+Three rule families clang-tidy cannot express for us:
+
+R1 cross-thread annotations.
+   A member documented as shared across threads carries the token
+   `cross-thread` in the comment block or trailing comment of its
+   declaration. The lint enforces that such a member is declared
+   std::atomic<...> (or std::atomic_ref-accessed raw storage explicitly
+   tagged `cross-thread-via-atomic_ref`), and that no source file mutates it
+   with plain `=` / `+=` / `++` / `--` syntax. Atomic types overload those
+   operators with seq_cst, which compiles fine but hides the memory-order
+   decision — this codebase requires explicit .store()/.load()/.fetch_*().
+
+R2 raw buffer management on I/O paths.
+   `new[]` / `delete[]` / malloc / free / aligned_alloc are banned in
+   src/io, src/store and src/tile except inside util/aligned_buffer.h.
+   I/O buffers must be AlignedBuffer (O_DIRECT alignment, RAII) or
+   std::vector (non-DMA scratch).
+
+R3 O_DIRECT alignment.
+   Constructing AlignedBuffer with an explicit alignment argument other
+   than kIoAlignment on an I/O path defeats the 4096-byte contract that
+   O_DIRECT reads rely on.
+
+Exit status 0 when clean, 1 with findings (one per line, grep-style).
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+CROSS_THREAD = "cross-thread"
+VIA_ATOMIC_REF = "cross-thread-via-atomic_ref"
+IO_DIRS = ("src/io", "src/store", "src/tile")
+RAW_ALLOC = re.compile(
+    r"(?<![\w.])(new\s+[\w:<>]+\s*\[|delete\s*\[\]|std::malloc\b|(?<!std::)\bmalloc\s*\(|"
+    r"std::free\b|aligned_alloc\s*\(|posix_memalign\s*\()"
+)
+# Matches "AlignedBuffer(size, alignment)" — two top-level arguments.
+ALIGNED_BUFFER_2ARG = re.compile(r"AlignedBuffer\s*\(([^(),]+),([^()]+)\)")
+MEMBER_DECL = re.compile(
+    r"^\s*(?:mutable\s+)?(?P<type>[\w:][\w:<>,\s*&]*?)\s+(?P<name>\w+)\s*(?:=[^;]*|\{[^;]*\})?;"
+)
+LINE_COMMENT = re.compile(r"//.*$")
+
+
+def strip_strings(line: str) -> str:
+    """Blank out string/char literals so their contents never match rules."""
+    out = []
+    quote = None
+    prev = ""
+    for ch in line:
+        if quote:
+            out.append(" ")
+            if ch == quote and prev != "\\":
+                quote = None
+        elif ch in "\"'":
+            quote = ch
+            out.append(" ")
+        else:
+            out.append(ch)
+        prev = ch if prev != "\\" else ""
+    return "".join(out)
+
+
+def find_cross_thread_members(path: Path, lines: list[str]):
+    """Yields (lineno, name, type, via_ref) for annotated member declarations.
+
+    The annotation may sit in the comment lines directly above the
+    declaration or in a trailing comment on the declaration line itself.
+    """
+    pending = False  # annotation seen in the preceding comment block
+    pending_via_ref = False
+    for i, raw in enumerate(lines, start=1):
+        stripped = raw.strip()
+        is_comment = stripped.startswith("//")
+        annotated_here = CROSS_THREAD in raw
+        if is_comment:
+            if annotated_here:
+                pending = True
+                pending_via_ref = pending_via_ref or VIA_ATOMIC_REF in raw
+            continue
+        m = MEMBER_DECL.match(LINE_COMMENT.sub("", raw))
+        if m and (pending or annotated_here):
+            via_ref = pending_via_ref or VIA_ATOMIC_REF in raw
+            yield i, m.group("name"), m.group("type").strip(), via_ref
+        if stripped:  # any non-comment line breaks the comment block
+            pending = False
+            pending_via_ref = False
+
+
+PLAIN_WRITE = (
+    r"(?<![\w.>])({name})\s*(=(?!=)|\+=|-=|\|=|&=|\+\+|--)",
+    r"(\+\+|--)\s*({name})\b",
+)
+
+
+def main(root: Path) -> int:
+    findings: list[str] = []
+    src = root / "src"
+    files = sorted(src.rglob("*.h")) + sorted(src.rglob("*.cpp"))
+
+    # Pass 1: collect annotated members and check their declarations.
+    annotated: dict[str, tuple[Path, bool]] = {}
+    for path in files:
+        lines = path.read_text().splitlines()
+        for lineno, name, type_, via_ref in find_cross_thread_members(path, lines):
+            annotated[name] = (path, via_ref)
+            is_atomic = "atomic" in type_
+            if not is_atomic and not via_ref:
+                findings.append(
+                    f"{path}:{lineno}: R1: member '{name}' is documented "
+                    f"cross-thread but declared '{type_}' — make it "
+                    f"std::atomic or tag it {VIA_ATOMIC_REF}"
+                )
+
+    # Pass 2: per-line rules.
+    for path in files:
+        rel = path.relative_to(root).as_posix()
+        on_io_path = any(rel.startswith(d) for d in IO_DIRS)
+        is_allocator = rel == "src/util/aligned_buffer.h"
+        for lineno, raw in enumerate(path.read_text().splitlines(), start=1):
+            code = strip_strings(LINE_COMMENT.sub("", raw))
+            if not code.strip():
+                continue
+            # A declaration's default initializer (`= 0`) is not a write.
+            is_declaration = MEMBER_DECL.match(code) is not None
+
+            for name, (decl_path, _) in annotated.items():
+                if is_declaration:
+                    break
+                # Same component only: the declaring file and its
+                # header/source sibling (throttle.h <-> throttle.cpp). A
+                # same-named field elsewhere is a different member.
+                if decl_path.parent != path.parent or decl_path.stem != path.stem:
+                    continue
+                for pat in PLAIN_WRITE:
+                    if re.search(pat.format(name=name), code):
+                        findings.append(
+                            f"{path}:{lineno}: R1: plain write to "
+                            f"cross-thread member '{name}' — use explicit "
+                            f".store()/.fetch_*() (or atomic_ref) with a "
+                            f"memory order"
+                        )
+                        break
+
+            if on_io_path and not is_allocator and RAW_ALLOC.search(code):
+                findings.append(
+                    f"{path}:{lineno}: R2: raw allocation on an I/O path — "
+                    f"use gstore::AlignedBuffer or std::vector"
+                )
+
+            if on_io_path:
+                for m in ALIGNED_BUFFER_2ARG.finditer(code):
+                    align = m.group(2).strip()
+                    if align not in ("kIoAlignment", "gstore::kIoAlignment"):
+                        findings.append(
+                            f"{path}:{lineno}: R3: AlignedBuffer with "
+                            f"alignment '{align}' on an I/O path — O_DIRECT "
+                            f"requires kIoAlignment"
+                        )
+
+    for f in findings:
+        print(f)
+    if findings:
+        print(f"check_concurrency: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    print("check_concurrency: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    root = Path(sys.argv[1]) if len(sys.argv) > 1 else Path.cwd()
+    if root.name == "src":  # accept either the repo root or src/ itself
+        root = root.parent
+    sys.exit(main(root))
