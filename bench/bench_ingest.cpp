@@ -1,0 +1,133 @@
+// bench_ingest — throughput of the online write path (docs/INGEST.md).
+//
+// Measures, on a Kronecker graph split 90/10 into a base store and a delta
+// batch stream:
+//   * ingest rate   — edges/s through WAL append (fsync per frame) + delta
+//   * replay rate   — edges/s re-reading and CRC-checking the whole WAL
+//   * compaction    — edges/s and MB/s folding the WAL into generation 1
+//   * overlay tax   — PageRank runtime with the delta overlaid vs after
+//                     compaction (the read-path cost of un-compacted edges)
+//
+// Prints a table and writes BENCH_ingest.json for machine consumption.
+#include <cstdio>
+
+#include "algo/pagerank.h"
+#include "bench_common.h"
+#include "ingest/ingestor.h"
+#include "ingest/wal.h"
+
+namespace gstore::bench {
+namespace {
+
+double run_pagerank(tile::TileStore& store) {
+  algo::PageRankOptions popt;
+  popt.max_iterations = 5;
+  popt.tolerance = 0;
+  algo::TilePageRank pr(popt);
+  Timer t;
+  store::ScrEngine(store, store::EngineConfig{}).run(pr);
+  return t.seconds();
+}
+
+int run() {
+  banner("bench_ingest: WAL + delta overlay + compaction throughput",
+         "new subsystem (no paper counterpart; G-Store is convert-once)");
+
+  const unsigned s = scale() > 2 ? scale() - 2 : scale();
+  graph::EdgeList full =
+      graph::kronecker(s, edge_factor(), graph::GraphKind::kUndirected, 11);
+  // Self loops are dropped by ingest and by the converter; strip them up
+  // front so both paths see identical work and the .deg files agree.
+  {
+    std::vector<graph::Edge> kept;
+    kept.reserve(full.edge_count());
+    for (const graph::Edge& e : full.edges())
+      if (e.src != e.dst) kept.push_back(e);
+    full = graph::EdgeList(std::move(kept), full.vertex_count(), full.kind());
+  }
+  const auto cut = static_cast<std::size_t>(full.edge_count() * 0.9);
+  graph::EdgeList base({full.edges().begin(), full.edges().begin() + cut},
+                       full.vertex_count(), full.kind());
+  const std::vector<graph::Edge> delta(full.edges().begin() + cut,
+                                       full.edges().end());
+
+  io::TempDir dir;
+  tile::ConvertOptions copt = default_tile_opts();
+  tile::convert_to_tiles(base, dir.file("g"), copt);
+
+  // --- ingest rate (batched WAL appends, one fsync each) ---
+  ingest::IngestorOptions iopt;
+  iopt.delta_budget_bytes = 1ull << 30;  // never auto-compact mid-measurement
+  ingest::EdgeIngestor ingestor(dir.file("g"), iopt);
+  constexpr std::size_t kBatch = 65536;
+  Timer t_ingest;
+  std::uint64_t ingested = 0;
+  for (std::size_t at = 0; at < delta.size(); at += kBatch)
+    ingested += ingestor.ingest(std::span<const graph::Edge>(delta).subspan(
+        at, std::min(kBatch, delta.size() - at)));
+  const double ingest_s = t_ingest.seconds();
+  const double ingest_eps = ingested / std::max(ingest_s, 1e-9);
+
+  // --- replay rate (full CRC-checked scan of the log) ---
+  Timer t_replay;
+  const ingest::WalReplay replayed =
+      ingest::EdgeWal::replay(ingest::EdgeWal::path_for(dir.file("g")));
+  const double replay_s = t_replay.seconds();
+  const double replay_eps = replayed.edges.size() / std::max(replay_s, 1e-9);
+
+  // --- read-path tax of the overlay ---
+  const double pr_overlay_s = run_pagerank(ingestor.store());
+
+  // --- compaction throughput ---
+  const ingest::CompactStats cs = ingestor.compact();
+  const double compact_eps = cs.merged_edges / std::max(cs.seconds, 1e-9);
+  const double compact_mbps =
+      cs.bytes_written / double(1 << 20) / std::max(cs.seconds, 1e-9);
+
+  const double pr_compacted_s = run_pagerank(ingestor.store());
+
+  Table table({"metric", "value"});
+  table.row({"graph", "Kron-" + std::to_string(s) + " (" +
+                          std::to_string(full.edge_count()) + " edges)"})
+      .row({"delta edges", std::to_string(ingested)})
+      .row({"ingest rate", fmt(ingest_eps / 1e6, 2) + " Medges/s"})
+      .row({"replay rate", fmt(replay_eps / 1e6, 2) + " Medges/s"})
+      .row({"compaction rate", fmt(compact_eps / 1e6, 2) + " Medges/s"})
+      .row({"compaction write", fmt(compact_mbps, 1) + " MB/s"})
+      .row({"pagerank w/ overlay", fmt(pr_overlay_s, 3) + " s"})
+      .row({"pagerank compacted", fmt(pr_compacted_s, 3) + " s"});
+  table.print();
+
+  std::FILE* json = std::fopen("BENCH_ingest.json", "w");
+  if (json != nullptr) {
+    std::fprintf(
+        json,
+        "{\n"
+        "  \"bench\": \"ingest\",\n"
+        "  \"scale\": %u,\n"
+        "  \"edge_factor\": %u,\n"
+        "  \"base_edges\": %llu,\n"
+        "  \"delta_edges\": %llu,\n"
+        "  \"ingest_edges_per_sec\": %.0f,\n"
+        "  \"replay_edges_per_sec\": %.0f,\n"
+        "  \"compaction_edges_per_sec\": %.0f,\n"
+        "  \"compaction_write_mb_per_sec\": %.1f,\n"
+        "  \"compaction_seconds\": %.4f,\n"
+        "  \"pagerank_overlay_seconds\": %.4f,\n"
+        "  \"pagerank_compacted_seconds\": %.4f,\n"
+        "  \"new_generation\": %u\n"
+        "}\n",
+        s, edge_factor(), static_cast<unsigned long long>(cs.base_edges),
+        static_cast<unsigned long long>(ingested), ingest_eps, replay_eps,
+        compact_eps, compact_mbps, cs.seconds, pr_overlay_s, pr_compacted_s,
+        cs.new_generation);
+    std::fclose(json);
+    std::printf("\nwrote BENCH_ingest.json\n");
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace gstore::bench
+
+int main() { return gstore::bench::run(); }

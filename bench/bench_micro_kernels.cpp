@@ -4,15 +4,20 @@
 // extension), the cache model, and the degree-array representations.
 #include <benchmark/benchmark.h>
 
+#include <cstring>
 #include <numeric>
+#include <string>
 #include <vector>
 
 #include "cachesim/cache_model.h"
 #include "graph/degree.h"
 #include "graph/generator.h"
+#include "ingest/delta.h"
 #include "tile/compress.h"
+#include "tile/grid.h"
 #include "tile/snb.h"
 #include "tile/tile_file.h"
+#include "util/crc32.h"
 #include "util/rng.h"
 
 namespace gstore {
@@ -145,7 +150,63 @@ void BM_KroneckerGeneration(benchmark::State& state) {
 }
 BENCHMARK(BM_KroneckerGeneration)->Arg(14)->Unit(benchmark::kMillisecond);
 
+// WAL framing cost: every ingest batch is CRC'd before the fsync.
+void BM_Crc32(benchmark::State& state) {
+  std::vector<std::uint8_t> buf(static_cast<std::size_t>(state.range(0)));
+  std::iota(buf.begin(), buf.end(), std::uint8_t{0});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crc32(buf.data(), buf.size()));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Crc32)->Arg(1 << 12)->Arg(1 << 20);
+
+// Delta-buffer insertion: tile lookup + SNB encode + degree bump per edge.
+void BM_DeltaBufferAdd(benchmark::State& state) {
+  constexpr graph::vid_t kN = 1 << 20;
+  tile::TileStoreMeta meta;
+  meta.flags = 1;  // symmetric, undirected
+  meta.vertex_count = kN;
+  meta.tile_bits = 12;
+  const tile::Grid grid(kN, /*symmetric=*/true, 12, 8);
+  Xoshiro256 rng(6);
+  std::vector<graph::Edge> edges(1 << 14);
+  for (auto& e : edges) {
+    e.src = static_cast<graph::vid_t>(rng.next_below(kN));
+    e.dst = static_cast<graph::vid_t>(rng.next_below(kN));
+    if (e.src == e.dst) e.dst = (e.dst + 1) % kN;
+  }
+  for (auto _ : state) {
+    ingest::DeltaBuffer delta(grid, meta, ~std::uint64_t{0});
+    delta.add_batch(edges);
+    benchmark::DoNotOptimize(delta.edge_count());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(edges.size()));
+}
+BENCHMARK(BM_DeltaBufferAdd)->Unit(benchmark::kMillisecond);
+
 }  // namespace
 }  // namespace gstore
 
-BENCHMARK_MAIN();
+// Custom main: default to machine-readable JSON next to the binary, so CI
+// and scripts get BENCH_micro_kernels.json without extra flags. Any explicit
+// --benchmark_out on the command line wins.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::strncmp(argv[i], "--benchmark_out", 15) == 0) has_out = true;
+  std::string out_flag = "--benchmark_out=BENCH_micro_kernels.json";
+  std::string fmt_flag = "--benchmark_out_format=json";
+  if (!has_out) {
+    args.push_back(out_flag.data());
+    args.push_back(fmt_flag.data());
+  }
+  int n = static_cast<int>(args.size());
+  benchmark::Initialize(&n, args.data());
+  if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

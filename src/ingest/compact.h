@@ -1,0 +1,68 @@
+// Snapshot-safe compaction: fold the WAL into a new store generation.
+//
+// Protocol (docs/INGEST.md has the full walk-through):
+//   1. Decode the live generation's tiles back to original-orientation edges
+//      and merge them with the WAL's replayed edges (the WAL — not the
+//      in-memory delta — is the source of truth for un-compacted writes).
+//   2. Re-run the two-pass converter into a fresh file set
+//      <base>.g<N>.tiles/.sei/.deg, N = old generation + 1, fsync them.
+//   3. Write <base>.current.tmp naming N, fsync, then atomically rename it
+//      over <base>.current and fsync the parent directory — the publish
+//      point. A crash before the rename leaves the old generation live; a
+//      crash after leaves the new one. Never both, never neither.
+//   4. Reset the WAL, stamping it with N. If a crash lands between 3 and 4,
+//      the stale generation number in the WAL header tells the next process
+//      those edges are already compacted in — they are discarded, not
+//      replayed twice.
+//   5. Best-effort removal of the old generation's files. In-flight readers
+//      that opened them keep valid fds (POSIX unlink semantics) and finish
+//      their run on the old snapshot.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+namespace gstore::ingest {
+
+// Crash-injection points for recovery tests: compact_store throws
+// CrashInjected immediately after completing the named step, simulating a
+// process kill at the worst moments of the protocol.
+enum class CrashPoint {
+  kNone,
+  kAfterNewGeneration,  // new g<N> files durable, manifest untouched
+  kAfterManifestTemp,   // .current.tmp durable, rename not yet done
+  kAfterPublish,        // manifest renamed, WAL not yet reset
+};
+
+struct CrashInjected : Error {
+  explicit CrashInjected(const std::string& where)
+      : Error("crash injected " + where) {}
+};
+
+struct CompactOptions {
+  CrashPoint crash = CrashPoint::kNone;
+  // Unlink the previous generation's files after publish. Disable to keep
+  // them around (e.g. to prove in-flight readers survive).
+  bool remove_old_generation = true;
+};
+
+struct CompactStats {
+  std::uint32_t old_generation = 0;
+  std::uint32_t new_generation = 0;
+  std::uint64_t base_edges = 0;    // logical edges decoded from the old tiles
+  std::uint64_t wal_edges = 0;     // logical edges folded in from the WAL
+  std::uint64_t merged_edges = 0;  // edges handed to the converter
+  std::uint64_t bytes_written = 0;
+  double seconds = 0;
+};
+
+// Compacts the store at logical base `base` (the path gstore_convert was
+// given, not a generation-suffixed file base). Safe to run when the WAL is
+// missing, empty, or stale — it then just rewrites the store as the next
+// generation. Single-writer: the caller must ensure no other compaction or
+// ingest writer is active on `base`.
+CompactStats compact_store(const std::string& base, CompactOptions opts = {});
+
+}  // namespace gstore::ingest

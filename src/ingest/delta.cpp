@@ -1,0 +1,117 @@
+#include "ingest/delta.h"
+
+#include <algorithm>
+
+#include "util/status.h"
+
+namespace gstore::ingest {
+
+namespace {
+// Rough per-entry footprint of the bookkeeping maps (bucket pointer, hash
+// node, key, vector header). Exact malloc accounting is not worth the
+// complexity — this only drives the compaction trigger.
+constexpr std::uint64_t kTileEntryOverhead = 96;
+constexpr std::uint64_t kDegreeEntryOverhead = 48;
+}  // namespace
+
+DeltaBuffer::DeltaBuffer(const tile::Grid& grid, const tile::TileStoreMeta& meta,
+                         std::uint64_t budget_bytes)
+    : grid_(grid),
+      symmetric_(meta.symmetric()),
+      directed_(meta.directed()),
+      in_edges_(meta.in_edges()),
+      n_(static_cast<graph::vid_t>(meta.vertex_count)),
+      budget_bytes_(budget_bytes) {
+  GS_CHECK_MSG(!meta.fat_tuples(),
+               "delta overlay supports SNB stores only (fat-tuple stores are "
+               "an ablation format)");
+}
+
+void DeltaBuffer::push_tuple(graph::vid_t src, graph::vid_t dst) {
+  const tile::TileCoord c = grid_.tile_of(src, dst);
+  const std::uint64_t idx = grid_.layout_index(c.i, c.j);
+  auto [it, inserted] = tiles_.try_emplace(idx);
+  if (inserted) memory_bytes_ += kTileEntryOverhead;
+  it->second.push_back(tile::snb_encode(src, dst, grid_.tile_base(c.i),
+                                        grid_.tile_base(c.j)));
+  memory_bytes_ += sizeof(tile::SnbEdge);
+  ++tuple_count_;
+}
+
+bool DeltaBuffer::add(graph::Edge e) {
+  if (e.src >= n_ || e.dst >= n_)
+    throw InvalidArgument(
+        "ingested edge (" + std::to_string(e.src) + ", " +
+        std::to_string(e.dst) + ") is outside the store's vertex range [0, " +
+        std::to_string(n_) + ") — the vertex set is fixed at conversion time");
+  if (e.src == e.dst) return false;  // converter drops self loops too
+
+  // Degree deltas first, in the .deg file's semantics (out-degree for
+  // directed stores, total degree for undirected), in the edge's original
+  // orientation.
+  auto bump = [&](graph::vid_t v) {
+    auto [it, inserted] = degree_delta_.try_emplace(v, 0);
+    if (inserted) memory_bytes_ += kDegreeEntryOverhead;
+    ++it->second;
+  };
+  if (directed_) {
+    bump(e.src);
+  } else {
+    bump(e.src);
+    bump(e.dst);
+  }
+
+  // Tuples exactly as the converter stores them.
+  if (directed_) {
+    if (in_edges_) push_tuple(e.dst, e.src);
+    else push_tuple(e.src, e.dst);
+  } else if (symmetric_) {
+    if (e.src > e.dst) std::swap(e.src, e.dst);
+    push_tuple(e.src, e.dst);
+  } else {
+    // Full-matrix undirected ablation: both orientations are stored.
+    push_tuple(e.src, e.dst);
+    push_tuple(e.dst, e.src);
+  }
+  ++ingested_;
+  return true;
+}
+
+std::uint64_t DeltaBuffer::add_batch(std::span<const graph::Edge> edges) {
+  std::uint64_t accepted = 0;
+  for (const graph::Edge& e : edges) accepted += add(e) ? 1 : 0;
+  return accepted;
+}
+
+void DeltaBuffer::clear() {
+  tiles_.clear();
+  degree_delta_.clear();
+  memory_bytes_ = 0;
+  tuple_count_ = 0;
+  ingested_ = 0;
+}
+
+std::span<const tile::SnbEdge> DeltaBuffer::tile_edges(
+    std::uint64_t layout_idx) const {
+  const auto it = tiles_.find(layout_idx);
+  if (it == tiles_.end()) return {};
+  return it->second;
+}
+
+std::vector<std::uint64_t> DeltaBuffer::nonempty_tiles() const {
+  std::vector<std::uint64_t> out;
+  out.reserve(tiles_.size());
+  for (const auto& [idx, edges] : tiles_)
+    if (!edges.empty()) out.push_back(idx);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void DeltaBuffer::apply_degree_deltas(std::span<graph::degree_t> deg) const {
+  for (const auto& [v, d] : degree_delta_) {
+    GS_CHECK_MSG(v < deg.size(), "degree delta for vertex outside .deg range");
+    deg[v] += d;
+  }
+}
+
+}  // namespace gstore::ingest

@@ -1,0 +1,72 @@
+#include "ingest/ingestor.h"
+
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace gstore::ingest {
+
+EdgeIngestor::EdgeIngestor(std::string base, IngestorOptions options)
+    : base_(std::move(base)), options_(options) {
+  open_generation();
+}
+
+void EdgeIngestor::open_generation() {
+  store_.emplace(tile::TileStore::open(base_, options_.device));
+  delta_ = std::make_unique<DeltaBuffer>(store_->grid(), store_->meta(),
+                                         options_.delta_budget_bytes);
+
+  // Crash recovery: edges the WAL acknowledged under this generation were
+  // never compacted — rebuild the overlay from them. A WAL stamped with a
+  // different generation is stale (a crash landed between manifest publish
+  // and WAL reset); its edges already live in the tiles, and the EdgeWal
+  // constructor below resets it rather than letting them be replayed twice.
+  const std::uint32_t gen = store_->meta().generation;
+  const WalReplay replayed = EdgeWal::replay(EdgeWal::path_for(base_));
+  if (replayed.exists && replayed.generation == gen)
+    delta_->add_batch(replayed.edges);
+  wal_ = std::make_unique<EdgeWal>(EdgeWal::path_for(base_), gen);
+
+  store_->attach_overlay(delta_.get());
+}
+
+std::uint64_t EdgeIngestor::ingest(std::span<const graph::Edge> edges) {
+  // Validate the whole batch before the WAL sees any of it, so a rejected
+  // batch leaves both the log and the overlay untouched.
+  const graph::vid_t n = store_->vertex_count();
+  std::vector<graph::Edge> accepted;
+  accepted.reserve(edges.size());
+  for (const graph::Edge& e : edges) {
+    if (e.src >= n || e.dst >= n)
+      throw InvalidArgument(
+          "ingested edge (" + std::to_string(e.src) + ", " +
+          std::to_string(e.dst) + ") is outside the store's vertex range [0, " +
+          std::to_string(n) + ")");
+    if (e.src == e.dst) continue;  // same drop rule as the converter
+    accepted.push_back(e);
+  }
+  if (accepted.empty()) return 0;
+
+  wal_->append(accepted);  // durability point
+  const std::uint64_t added = delta_->add_batch(accepted);
+  GS_CHECK(added == accepted.size());
+
+  if (options_.auto_compact && delta_->full()) compact();
+  return added;
+}
+
+CompactStats EdgeIngestor::compact(CompactOptions opts) {
+  // Release the store (and its overlay pointer) before compaction rewrites
+  // the file set; reopen picks up the published generation, whose WAL is
+  // empty, so the fresh delta buffer starts empty too.
+  store_->attach_overlay(nullptr);
+  store_.reset();
+  delta_.reset();
+  wal_.reset();
+  const CompactStats stats = compact_store(base_, opts);
+  open_generation();
+  return stats;
+}
+
+}  // namespace gstore::ingest

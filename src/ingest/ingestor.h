@@ -1,0 +1,80 @@
+// EdgeIngestor: the online write path's front door.
+//
+// Owns the open TileStore, the WAL writer, and the delta overlay for one
+// logical store base, wiring them together:
+//
+//   ingest(batch)  →  WAL append + fsync (durability point)
+//                  →  delta buffer (grouped by tile, SNB-encoded)
+//                  →  visible to the attached store's tile scans immediately
+//
+//   compact()      →  ingest::compact_store + reopen on the new generation
+//
+// On construction it recovers: a WAL for the store's current generation is
+// replayed into the delta buffer (edges acknowledged before a crash are
+// queryable again); a stale-generation WAL is discarded (its edges already
+// live in the tiles).
+//
+// Single-writer, engine-reads-between-writes — the TileOverlay contract.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+
+#include "graph/types.h"
+#include "ingest/compact.h"
+#include "ingest/delta.h"
+#include "ingest/wal.h"
+#include "io/device.h"
+#include "tile/tile_file.h"
+
+namespace gstore::ingest {
+
+struct IngestorOptions {
+  // Delta-buffer allocation; full() past this triggers compaction when
+  // auto_compact is set, otherwise ingest() keeps accepting (callers that
+  // manage compaction themselves can watch delta().full()).
+  std::uint64_t delta_budget_bytes = 64ull << 20;
+  bool auto_compact = false;
+  io::DeviceConfig device;
+};
+
+class EdgeIngestor {
+ public:
+  explicit EdgeIngestor(std::string base, IngestorOptions options = {});
+
+  // Durably appends the batch to the WAL (one frame, one fsync), then makes
+  // it visible through the overlay. Edges are given in original (src, dst)
+  // orientation; self loops are dropped; endpoints outside the store's
+  // vertex range throw InvalidArgument before anything is written. Returns
+  // the number of edges accepted. May trigger a compaction afterwards when
+  // auto_compact is set and the delta is over budget.
+  std::uint64_t ingest(std::span<const graph::Edge> edges);
+
+  // Folds the WAL into a new store generation and reopens on it. The delta
+  // buffer is empty afterwards. Invalidates references from store() across
+  // the call.
+  CompactStats compact(CompactOptions opts = {});
+
+  // The open store, with the delta overlay attached: run algorithms against
+  // it and they observe base + un-compacted edges.
+  tile::TileStore& store() noexcept { return *store_; }
+  const tile::TileStore& store() const noexcept { return *store_; }
+  const DeltaBuffer& delta() const noexcept { return *delta_; }
+  std::uint32_t generation() const noexcept { return store_->meta().generation; }
+  std::uint64_t wal_bytes() const noexcept { return wal_->size_bytes(); }
+  const std::string& base() const noexcept { return base_; }
+
+ private:
+  void open_generation();
+
+  std::string base_;
+  IngestorOptions options_;
+  std::optional<tile::TileStore> store_;
+  std::unique_ptr<DeltaBuffer> delta_;
+  std::unique_ptr<EdgeWal> wal_;
+};
+
+}  // namespace gstore::ingest

@@ -1,0 +1,133 @@
+#include "ingest/wal.h"
+
+#include <cstddef>
+#include <cstring>
+
+#include "util/crc32.h"
+#include "util/status.h"
+
+namespace gstore::ingest {
+
+namespace {
+std::uint32_t frame_crc(const WalFrameHeader& h,
+                        std::span<const graph::Edge> edges) {
+  // The CRC chains over the header prefix (magic/length/count) and the
+  // payload so a torn header and a torn payload both fail the check.
+  const std::uint32_t seed = crc32(&h, offsetof(WalFrameHeader, crc));
+  return crc32(edges.data(), edges.size_bytes(), seed);
+}
+}  // namespace
+
+WalReplay EdgeWal::replay(const std::string& path) {
+  WalReplay out;
+  if (!io::File::exists(path)) return out;
+  io::File f(path, io::OpenMode::kRead);
+  const std::uint64_t size = f.size();
+  if (size < sizeof(WalFileHeader)) {
+    // A file this short cannot even hold the header — treat as absent (a
+    // crash during initial creation); the writer rewrites it from scratch.
+    out.dropped_bytes = size;
+    out.tail = size == 0 ? WalTail::kClean : WalTail::kTruncated;
+    return out;
+  }
+
+  WalFileHeader fh;
+  f.pread_full(&fh, sizeof(fh), 0);
+  if (fh.magic != kWalFileMagic)
+    throw FormatError(path + " is not a g-store WAL (magic mismatch)");
+  if (fh.version != kWalVersion)
+    throw FormatError(path + " has WAL version " + std::to_string(fh.version) +
+                      "; this reader understands only " +
+                      std::to_string(kWalVersion));
+  out.exists = true;
+  out.generation = fh.generation;
+  out.valid_bytes = sizeof(fh);
+
+  std::uint64_t off = sizeof(fh);
+  std::vector<graph::Edge> payload;
+  while (off < size) {
+    const std::uint64_t remaining = size - off;
+    if (remaining < sizeof(WalFrameHeader)) {
+      out.tail = WalTail::kTruncated;
+      break;
+    }
+    WalFrameHeader h;
+    f.pread_full(&h, sizeof(h), off);
+    if (h.payload_bytes > remaining - sizeof(h)) {
+      // Header names more payload than the file holds: a torn append.
+      out.tail = WalTail::kTruncated;
+      break;
+    }
+    if (h.magic != kWalFrameMagic || h.payload_bytes > kWalMaxFrameBytes ||
+        h.payload_bytes !=
+            static_cast<std::uint64_t>(h.edge_count) * sizeof(graph::Edge)) {
+      out.tail = WalTail::kCorrupt;
+      break;
+    }
+    payload.resize(h.edge_count);
+    if (h.edge_count > 0)
+      f.pread_full(payload.data(), h.payload_bytes, off + sizeof(h));
+    if (frame_crc(h, payload) != h.crc) {
+      out.tail = WalTail::kCorrupt;
+      break;
+    }
+    out.edges.insert(out.edges.end(), payload.begin(), payload.end());
+    ++out.frames;
+    off += sizeof(h) + h.payload_bytes;
+    out.valid_bytes = off;
+  }
+  out.dropped_bytes = size - out.valid_bytes;
+  return out;
+}
+
+EdgeWal::EdgeWal(std::string path, std::uint32_t generation)
+    : path_(std::move(path)), generation_(generation) {
+  const WalReplay existing = replay(path_);
+  file_ = io::File(path_, io::OpenMode::kReadWrite);
+  if (!existing.exists || existing.generation != generation) {
+    // Fresh log, a torn initial creation, or a log for a generation that has
+    // already been compacted away: start over.
+    write_file_header();
+    return;
+  }
+  end_offset_ = existing.valid_bytes;
+  if (existing.dropped_bytes > 0) {
+    file_.truncate(end_offset_);
+    file_.sync();
+  }
+}
+
+void EdgeWal::write_file_header() {
+  file_.truncate(0);
+  WalFileHeader fh;
+  fh.generation = generation_;
+  file_.pwrite_full(&fh, sizeof(fh), 0);
+  file_.sync();
+  end_offset_ = sizeof(fh);
+}
+
+void EdgeWal::append(std::span<const graph::Edge> edges) {
+  if (edges.empty()) return;
+  GS_CHECK_MSG(edges.size_bytes() <= kWalMaxFrameBytes,
+               "WAL batch exceeds the per-frame cap; split it");
+  WalFrameHeader h;
+  h.payload_bytes = static_cast<std::uint32_t>(edges.size_bytes());
+  h.edge_count = static_cast<std::uint32_t>(edges.size());
+  h.crc = frame_crc(h, edges);
+
+  // One buffer, one pwrite: the kernel may still tear it on crash, but the
+  // CRC makes any torn prefix detectable on replay.
+  std::vector<std::uint8_t> buf(sizeof(h) + edges.size_bytes());
+  std::memcpy(buf.data(), &h, sizeof(h));
+  std::memcpy(buf.data() + sizeof(h), edges.data(), edges.size_bytes());
+  file_.pwrite_full(buf.data(), buf.size(), end_offset_);
+  file_.sync();
+  end_offset_ += buf.size();
+}
+
+void EdgeWal::reset(std::uint32_t generation) {
+  generation_ = generation;
+  write_file_header();
+}
+
+}  // namespace gstore::ingest

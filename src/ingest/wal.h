@@ -1,0 +1,109 @@
+// Crash-safe write-ahead edge log: <base>.wal.
+//
+// Layout: one 16-byte file header (magic, version, store generation) followed
+// by CRC32-framed batches. Each frame is
+//
+//   u32 frame magic | u32 payload bytes | u32 edge count | u32 crc
+//   payload: edge_count × graph::Edge (8 bytes each, original orientation)
+//
+// where the CRC covers the first 12 header bytes plus the payload, so replay
+// can tell an intact frame from a torn tail. append() fsyncs after every
+// frame — that fsync is the durability point an ingest acknowledgement rests
+// on. Replay walks frames front to back and stops at the first frame that is
+// incomplete (torn tail, the normal crash artifact — silently truncated on
+// the next writer open) or that fails its CRC/sanity checks while fully
+// present (real corruption, reported distinctly so verify can flag it).
+//
+// The file header records the store generation the frames apply to.
+// Compaction folds the WAL into the next generation and resets the log; if a
+// crash lands between publish and reset, the stale generation number tells
+// the next process that these edges are already in the tiles and must be
+// discarded, never replayed twice.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/types.h"
+#include "io/file.h"
+
+namespace gstore::ingest {
+
+inline constexpr std::uint64_t kWalFileMagic = 0x4753544f52453157ULL;  // "GSTORE1W"
+inline constexpr std::uint32_t kWalFrameMagic = 0x4c415747u;           // "GWAL"
+inline constexpr std::uint32_t kWalVersion = 1;
+// Sanity cap on a single frame's payload: headers claiming more are treated
+// as corruption, bounding what a garbled length field can make replay
+// allocate.
+inline constexpr std::uint32_t kWalMaxFrameBytes = 64u << 20;
+
+struct WalFileHeader {
+  std::uint64_t magic = kWalFileMagic;
+  std::uint32_t version = kWalVersion;
+  std::uint32_t generation = 0;
+};
+static_assert(sizeof(WalFileHeader) == 16);
+
+struct WalFrameHeader {
+  std::uint32_t magic = kWalFrameMagic;
+  std::uint32_t payload_bytes = 0;
+  std::uint32_t edge_count = 0;
+  std::uint32_t crc = 0;  // crc32 over the 12 bytes above + payload
+};
+static_assert(sizeof(WalFrameHeader) == 16);
+
+enum class WalTail {
+  kClean,      // file ends exactly on a frame boundary
+  kTruncated,  // torn trailing frame (crash artifact); ignored on replay
+  kCorrupt,    // a fully present frame failed CRC/sanity checks
+};
+
+struct WalReplay {
+  std::vector<graph::Edge> edges;
+  std::uint32_t generation = 0;
+  std::uint64_t frames = 0;
+  std::uint64_t valid_bytes = 0;    // file header + every intact frame
+  std::uint64_t dropped_bytes = 0;  // bytes past valid_bytes
+  WalTail tail = WalTail::kClean;
+  // File present with an intact header. A missing or sub-header-size file
+  // replays as empty with exists=false (a fresh store simply has no WAL).
+  bool exists = false;
+};
+
+class EdgeWal {
+ public:
+  static std::string path_for(const std::string& base) { return base + ".wal"; }
+
+  // Scans `path`, CRC-checking every frame; tolerates a torn tail.
+  static WalReplay replay(const std::string& path);
+
+  // Opens (creating if needed) the WAL for appending on behalf of a store at
+  // `generation`. A stale-generation or torn log is reset/truncated here, so
+  // the first append lands on a durable, frame-aligned tail. Callers that
+  // need the old contents must replay() before constructing the writer.
+  EdgeWal(std::string path, std::uint32_t generation);
+
+  // Appends one CRC-framed batch and fsyncs it (the durability point).
+  // Empty batches are a no-op.
+  void append(std::span<const graph::Edge> edges);
+
+  // Empties the log and stamps it with `generation` (the post-compaction
+  // reset). Durable before return.
+  void reset(std::uint32_t generation);
+
+  std::uint64_t size_bytes() const noexcept { return end_offset_; }
+  std::uint32_t generation() const noexcept { return generation_; }
+  const std::string& path() const noexcept { return path_; }
+
+ private:
+  void write_file_header();
+
+  std::string path_;
+  io::File file_;
+  std::uint32_t generation_ = 0;
+  std::uint64_t end_offset_ = 0;
+};
+
+}  // namespace gstore::ingest

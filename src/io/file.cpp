@@ -152,6 +152,36 @@ std::uint64_t File::file_size(const std::string& path) {
   return static_cast<std::uint64_t>(st.st_size);
 }
 
+void File::rename(const std::string& from, const std::string& to) {
+  if (::rename(from.c_str(), to.c_str()) != 0)
+    throw IoError("rename " + from + " -> " + to);
+}
+
+void fsync_dir(const std::string& dir_path) {
+  const int fd = ::open(dir_path.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) throw IoError("open dir " + dir_path);
+  const int rc = ::fsync(fd);
+  const int saved = errno;
+  ::close(fd);
+  // Some filesystems (notably overlayfs) reject directory fsync with EINVAL;
+  // there is nothing more we can do for durability there, and failing the
+  // publish over it would make the protocol unusable on those mounts.
+  if (rc != 0 && saved != EINVAL)
+    throw IoError("fsync dir " + dir_path, saved);
+}
+
+std::string parent_dir(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+void atomic_publish(const std::string& from, const std::string& to) {
+  File::rename(from, to);
+  fsync_dir(parent_dir(to));
+}
+
 TempDir::TempDir(const std::string& prefix) {
   const char* base = std::getenv("TMPDIR");
   std::string tmpl = std::string(base ? base : "/tmp") + "/" + prefix + ".XXXXXX";

@@ -52,6 +52,7 @@ class File : public Source {
   static bool exists(const std::string& path);
   static void remove(const std::string& path);
   static std::uint64_t file_size(const std::string& path);
+  static void rename(const std::string& from, const std::string& to);
 
  private:
   int fd_ = -1;
@@ -59,6 +60,16 @@ class File : public Source {
   bool direct_ = false;
   std::uint64_t append_offset_ = 0;
 };
+
+// Durability helpers for atomic-publish protocols (ingest compaction):
+// fsync a directory so just-created/renamed entries survive power loss.
+void fsync_dir(const std::string& dir_path);
+// Directory component of `path` ("." when there is none).
+std::string parent_dir(const std::string& path);
+// rename(2) + fsync of the destination's parent directory: after this
+// returns, a crash leaves exactly one of {from, to} visible — the publish
+// primitive the compaction protocol builds on.
+void atomic_publish(const std::string& from, const std::string& to);
 
 // Creates a unique temporary directory (under $TMPDIR or /tmp) and removes
 // it with all contents on destruction. Used by tests and benches.

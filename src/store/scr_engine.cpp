@@ -5,6 +5,7 @@
 
 #include "store/cache_pool.h"
 #include "store/segment.h"
+#include "tile/overlay.h"
 #include "util/dcheck.h"
 #include "util/logging.h"
 #include "util/status.h"
@@ -37,11 +38,15 @@ struct ScrEngine::Runner {
         config(config),
         algo(algo),
         pool(budget.pool_bytes),
-        policy(CachingPolicy::make(config.policy)) {
+        policy(CachingPolicy::make(config.policy)),
+        overlay(store.overlay()) {
     const std::uint64_t cap =
         std::max<std::uint64_t>(budget.segment_bytes, store.max_tile_bytes());
     segments[0] = Segment(cap);
     segments[1] = Segment(cap);
+    // The overlay is frozen for the duration of a run (reader/writer
+    // contract in tile/overlay.h), so its tile list can be taken once.
+    if (overlay != nullptr) overlay_tiles = overlay->nonempty_tiles();
   }
 
   // ---- helpers -----------------------------------------------------------
@@ -52,9 +57,23 @@ struct ScrEngine::Runner {
     return algo.tile_needed(c.i, c.j);
   }
 
+  std::uint64_t overlay_count(std::uint64_t layout_idx) const {
+    return overlay == nullptr ? 0 : overlay->tile_edges(layout_idx).size();
+  }
+
   void process_one(std::uint64_t layout_idx, const std::uint8_t* data) {
     const tile::TileView v = store.view(layout_idx, data);
     algo.process_tile(v);
+    if (overlay == nullptr) return;
+    // Splice the overlay's un-compacted tuples into the scan as a second
+    // view of the same tile: same coordinates, same SNB bases, extra edges.
+    const std::span<const tile::SnbEdge> extra = overlay->tile_edges(layout_idx);
+    if (extra.empty()) return;
+    tile::TileView ov = v;
+    ov.fat = false;  // overlays exist only for SNB stores
+    ov.fat_edges = {};
+    ov.edges = extra;
+    algo.process_tile(ov);
   }
 
   // Greedily packs tiles from fetch[pos..] into `seg` and submits the reads
@@ -143,8 +162,11 @@ struct ScrEngine::Runner {
 #endif
     for (std::size_t k = 0; k < slots.size(); ++k)
       process_one(slots[k].layout_idx, seg.slot_data(slots[k]));
-    for (const auto& slot : slots)
-      stats.edges_processed += store.tile_edge_count(slot.layout_idx);
+    for (const auto& slot : slots) {
+      const std::uint64_t oc = overlay_count(slot.layout_idx);
+      stats.edges_processed += store.tile_edge_count(slot.layout_idx) + oc;
+      stats.overlay_edges += oc;
+    }
     stats.compute_seconds += t.seconds();
 
     // CACHE step of slide-cache-rewind.
@@ -186,7 +208,9 @@ struct ScrEngine::Runner {
         if (!needed_now(e.layout_idx)) continue;
         pool.touch(e.layout_idx);
         stats.tiles_from_cache += 1;
-        stats.edges_processed += store.tile_edge_count(e.layout_idx);
+        const std::uint64_t oc = overlay_count(e.layout_idx);
+        stats.edges_processed += store.tile_edge_count(e.layout_idx) + oc;
+        stats.overlay_edges += oc;
       }
       stats.compute_seconds += t.seconds();
     } else if (!config.rewind) {
@@ -233,6 +257,29 @@ struct ScrEngine::Runner {
     GSTORE_DCHECK_EQ(pending[0], 0);
     GSTORE_DCHECK_EQ(pending[1], 0);
 
+    // Overlay tiles with no base bytes are invisible to the fetch list (and
+    // never enter the cache), so they get their own no-I/O pass.
+    if (overlay != nullptr) {
+      Timer t;
+      std::vector<std::uint64_t> delta_only;
+      for (const std::uint64_t idx : overlay_tiles) {
+        if (store.tile_bytes(idx) != 0) continue;  // spliced in during SLIDE/REWIND
+        if (!needed_now(idx)) continue;
+        delta_only.push_back(idx);
+      }
+#ifdef _OPENMP
+#pragma omp parallel for schedule(dynamic, 1)
+#endif
+      for (std::size_t k = 0; k < delta_only.size(); ++k)
+        process_one(delta_only[k], nullptr);
+      for (const std::uint64_t idx : delta_only) {
+        const std::uint64_t oc = overlay_count(idx);
+        stats.edges_processed += oc;
+        stats.overlay_edges += oc;
+      }
+      stats.compute_seconds += t.seconds();
+    }
+
     // Iteration-boundary cache analysis. Runs *before* end_iteration(): the
     // tile_useful_next oracle refers to the upcoming iteration, and
     // end_iteration typically promotes next-iteration metadata (e.g. BFS
@@ -270,6 +317,8 @@ struct ScrEngine::Runner {
   TileAlgorithm& algo;
   CachePool pool;
   std::unique_ptr<CachingPolicy> policy;
+  const tile::TileOverlay* overlay = nullptr;
+  std::vector<std::uint64_t> overlay_tiles;  // nonempty, ascending
   Segment segments[2];
   std::size_t pending[2] = {0, 0};
   std::uint64_t next_serial = 0;

@@ -49,6 +49,10 @@ struct EngineStats {
   std::uint64_t tiles_from_cache = 0;
   std::uint64_t tiles_skipped = 0;   // selective fetch: not needed this iter
   std::uint64_t edges_processed = 0;
+  // Un-compacted edges spliced into tile scans from an attached overlay
+  // (counted once per iteration they were processed, like base edges; also
+  // included in edges_processed).
+  std::uint64_t overlay_edges = 0;
   std::uint64_t io_batches = 0;      // submit() calls (paper: batching saves syscalls)
   double io_wait_seconds = 0;
   double compute_seconds = 0;

@@ -16,7 +16,7 @@ namespace gstore::tile {
 namespace {
 struct TilesFileHeader {
   std::uint64_t magic = kTileFileMagic;
-  std::uint32_t version = 1;
+  std::uint32_t version = kTileStoreVersionCurrent;
   std::uint32_t pad = 0;
   std::uint64_t edge_count = 0;
   std::uint64_t reserved[5] = {0, 0, 0, 0, 0};
@@ -118,6 +118,7 @@ ConvertStats convert_to_tiles(const graph::EdgeList& el, const std::string& base
     meta.tile_bits = options.tile_bits;
     meta.group_side = grid.group_side();
     meta.tile_count = grid.tile_count();
+    meta.generation = options.generation;
     sei.append(&meta, sizeof(meta));
     sei.append(start.data(), start.size() * sizeof(std::uint64_t));
     sei.sync();

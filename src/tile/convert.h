@@ -25,6 +25,9 @@ struct ConvertOptions {
   // Upper-triangle storage for undirected graphs; false stores both
   // orientations ("no symmetry", the traditional 2D-partitioned layout).
   bool symmetry = true;
+  // Compaction generation stamped into TileStoreMeta. gstore_convert always
+  // writes 0; ingest::compact_store reuses the converter with old+1.
+  std::uint32_t generation = 0;
 };
 
 struct ConvertStats {

@@ -1,0 +1,46 @@
+// Read-side interface for un-compacted edge deltas layered over a TileStore.
+//
+// The ingest subsystem buffers freshly written edges in memory, grouped by
+// tile and held in the store's own SNB encoding (src/ingest/delta.h). When an
+// overlay is attached to a TileStore, the SCR engine splices these tuples
+// into every tile scan, so algorithms observe base-tile edges plus delta
+// edges without any format translation — and load_degrees() reports degrees
+// that include the overlay's contribution.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/types.h"
+#include "tile/snb.h"
+
+namespace gstore::tile {
+
+class TileOverlay {
+ public:
+  virtual ~TileOverlay() = default;
+
+  // Extra SNB tuples for the tile at `layout_idx`, in the same encoding and
+  // canonical orientation as the base tile's tuples. Empty span when the
+  // overlay holds nothing for this tile. The span (and the overlay contents
+  // as a whole) must stay valid and unchanged for the duration of any engine
+  // run that reads it — the engine is a reader, the ingestor the single
+  // writer, and the two must not overlap.
+  virtual std::span<const SnbEdge> tile_edges(std::uint64_t layout_idx) const = 0;
+
+  // Layout indices holding at least one overlay edge, ascending. The engine
+  // uses this to process tiles that have delta edges but no base bytes.
+  virtual std::vector<std::uint64_t> nonempty_tiles() const = 0;
+
+  // Total overlay tuples across all tiles (same counting as the store's
+  // stored-edge count: one per tuple, so a full-matrix undirected store
+  // counts both orientations).
+  virtual std::uint64_t edge_count() const = 0;
+
+  // Adds the overlay's degree contributions to `deg`, with the .deg file's
+  // semantics: out-degrees for directed stores, total degrees otherwise.
+  virtual void apply_degree_deltas(std::span<graph::degree_t> deg) const = 0;
+};
+
+}  // namespace gstore::tile

@@ -1,8 +1,10 @@
 #include "tile/tile_file.h"
 
 #include <algorithm>
+#include <cctype>
 
 #include "io/file.h"
+#include "tile/overlay.h"
 #include "util/status.h"
 
 namespace gstore::tile {
@@ -10,26 +12,62 @@ namespace gstore::tile {
 namespace {
 struct TilesFileHeader {
   std::uint64_t magic = kTileFileMagic;
-  std::uint32_t version = 1;
+  std::uint32_t version = kTileStoreVersionCurrent;
   std::uint32_t pad = 0;
   std::uint64_t edge_count = 0;
   std::uint64_t reserved[5] = {0, 0, 0, 0, 0};
 };
 static_assert(sizeof(TilesFileHeader) == 64);
+
+void check_version(std::uint32_t version, const std::string& path) {
+  if (version < kTileStoreVersionMin || version > kTileStoreVersionCurrent)
+    throw FormatError(
+        path + " has format version " + std::to_string(version) +
+        "; this reader understands versions " +
+        std::to_string(kTileStoreVersionMin) + ".." +
+        std::to_string(kTileStoreVersionCurrent) +
+        (version > kTileStoreVersionCurrent
+             ? " (written by a newer gstore?)"
+             : ""));
+}
 }  // namespace
+
+std::string TileStore::generation_base(const std::string& base,
+                                       std::uint32_t gen) {
+  return gen == 0 ? base : base + ".g" + std::to_string(gen);
+}
+
+std::string TileStore::resolve(const std::string& base) {
+  const std::string cur = current_path(base);
+  if (!io::File::exists(cur)) return base;
+  io::File f(cur, io::OpenMode::kRead);
+  const std::uint64_t n = f.size();
+  if (n == 0 || n > 16)
+    throw FormatError("generation manifest " + cur + " has implausible size " +
+                      std::to_string(n));
+  std::string text(n, '\0');
+  f.pread_full(text.data(), n, 0);
+  while (!text.empty() && (text.back() == '\n' || text.back() == '\r'))
+    text.pop_back();
+  if (text.empty() ||
+      text.find_first_not_of("0123456789") != std::string::npos)
+    throw FormatError("generation manifest " + cur +
+                      " is garbled (expected a decimal generation)");
+  return generation_base(base, static_cast<std::uint32_t>(std::stoul(text)));
+}
 
 TileStore TileStore::open(const std::string& base_path, io::DeviceConfig config) {
   TileStore store;
-  store.base_path_ = base_path;
+  store.base_path_ = resolve(base_path);
 
   // Start-edge file: metadata + index.
   {
-    io::File sei(sei_path(base_path), io::OpenMode::kRead);
+    io::File sei(sei_path(store.base_path_), io::OpenMode::kRead);
     sei.pread_full(&store.meta_, sizeof(store.meta_), 0);
     if (store.meta_.magic != kSeiFileMagic)
-      throw FormatError("bad magic in " + sei.path());
-    if (store.meta_.version != 1)
-      throw FormatError("unsupported version in " + sei.path());
+      throw FormatError(sei.path() +
+                        " is not a g-store start-edge file (magic mismatch)");
+    check_version(store.meta_.version, sei.path());
     store.start_edge_.resize(store.meta_.tile_count + 1);
     sei.pread_full(store.start_edge_.data(),
                    store.start_edge_.size() * sizeof(std::uint64_t),
@@ -52,11 +90,14 @@ TileStore TileStore::open(const std::string& base_path, io::DeviceConfig config)
     store.max_tile_bytes_ = std::max(store.max_tile_bytes_, store.tile_bytes(k));
 
   // Data file via the device model.
-  store.device_ = std::make_unique<io::Device>(tiles_path(base_path), config);
+  store.device_ =
+      std::make_unique<io::Device>(tiles_path(store.base_path_), config);
   TilesFileHeader th;
   store.device_->file().pread_full(&th, sizeof(th), 0);
   if (th.magic != kTileFileMagic)
-    throw FormatError("bad magic in " + tiles_path(base_path));
+    throw FormatError(tiles_path(store.base_path_) +
+                      " is not a g-store tile file (magic mismatch)");
+  check_version(th.version, tiles_path(store.base_path_));
   if (th.edge_count != store.meta_.edge_count)
     throw FormatError("edge count mismatch between .tiles and .sei");
   store.data_offset_ = sizeof(TilesFileHeader);
@@ -64,7 +105,7 @@ TileStore TileStore::open(const std::string& base_path, io::DeviceConfig config)
   const std::uint64_t expect =
       store.data_offset_ + store.meta_.edge_count * store.meta_.tuple_bytes();
   if (store.device_->size() != expect)
-    throw FormatError(tiles_path(base_path) + " truncated");
+    throw FormatError(tiles_path(store.base_path_) + " truncated");
   return store;
 }
 
@@ -146,6 +187,7 @@ graph::CompressedDegrees TileStore::load_degrees() const {
     throw FormatError("degree file size mismatch for " + base_path_);
   std::vector<graph::degree_t> deg(n);
   if (n > 0) f.pread_full(deg.data(), n * sizeof(graph::degree_t), 0);
+  if (overlay_ != nullptr) overlay_->apply_degree_deltas(deg);
   return graph::CompressedDegrees::build(deg);
 }
 

@@ -29,9 +29,16 @@ namespace gstore::tile {
 inline constexpr std::uint64_t kTileFileMagic = 0x4753544f52453154ULL;  // "GSTORE1T"
 inline constexpr std::uint64_t kSeiFileMagic = 0x4753544f52453153ULL;   // "GSTORE1S"
 
+// On-disk format versions this reader understands. v2 added the
+// `generation` field (carved out of bytes v1 wrote as zero, so v1 files read
+// back exactly as generation 0). Readers must reject anything newer than
+// kTileStoreVersionCurrent: trusting an unknown layout silently misparses.
+inline constexpr std::uint32_t kTileStoreVersionMin = 1;
+inline constexpr std::uint32_t kTileStoreVersionCurrent = 2;
+
 struct TileStoreMeta {
   std::uint64_t magic = kSeiFileMagic;
-  std::uint32_t version = 1;
+  std::uint32_t version = kTileStoreVersionCurrent;
   // bit0: symmetric, bit1: directed, bit2: in-edges, bit3: fat (8B) tuples
   std::uint32_t flags = 0;
   std::uint64_t vertex_count = 0;
@@ -39,7 +46,11 @@ struct TileStoreMeta {
   std::uint32_t tile_bits = 16;
   std::uint32_t group_side = 256;
   std::uint64_t tile_count = 0;
-  std::uint64_t reserved[4] = {0, 0, 0, 0};
+  // Compaction generation: 0 for freshly converted stores, bumped each time
+  // the ingest subsystem folds a WAL into a new set of files (docs/INGEST.md).
+  std::uint32_t generation = 0;
+  std::uint32_t reserved32 = 0;
+  std::uint64_t reserved[3] = {0, 0, 0};
 
   bool symmetric() const noexcept { return flags & 1u; }
   bool directed() const noexcept { return (flags >> 1) & 1u; }
@@ -88,8 +99,14 @@ enum class TierPolicy {
   kLargestTiles,  // biggest tiles on SSD — the power-law mass lives there
 };
 
+class TileOverlay;
+
 class TileStore {
  public:
+  // Opens the live generation of the store at `base_path`: if a
+  // `<base>.current` manifest exists (written by compaction) the
+  // generation it names is opened, otherwise the legacy `<base>.tiles/.sei`
+  // files themselves.
   static TileStore open(const std::string& base_path, io::DeviceConfig config = {});
 
   // Opens with tiered storage: `hot_fraction` of the data bytes are placed
@@ -141,7 +158,9 @@ class TileStore {
   // (e.g. inside a segment buffer that holds a contiguous range).
   TileView view(std::uint64_t layout_idx, const std::uint8_t* data) const;
 
-  // Loads the degree file (throws if it was not written).
+  // Loads the degree file (throws if it was not written). When an overlay is
+  // attached, its degree deltas are folded in, so algorithms see degrees
+  // consistent with the edges the overlay read path will deliver.
   graph::CompressedDegrees load_degrees() const;
 
   io::Device& device() noexcept { return *device_; }
@@ -150,6 +169,25 @@ class TileStore {
   static std::string tiles_path(const std::string& base) { return base + ".tiles"; }
   static std::string sei_path(const std::string& base) { return base + ".sei"; }
   static std::string deg_path(const std::string& base) { return base + ".deg"; }
+
+  // Generation manifest (compaction's publish point): a tiny file holding
+  // the decimal generation number whose files are live. Swapped by atomic
+  // rename so a reader always sees exactly one complete generation.
+  static std::string current_path(const std::string& base) {
+    return base + ".current";
+  }
+  // File base of generation `gen`: the logical base itself for generation 0
+  // (the layout gstore_convert writes), "<base>.g<N>" afterwards.
+  static std::string generation_base(const std::string& base, std::uint32_t gen);
+  // Maps a logical base to the file base of the live generation by reading
+  // the manifest (if present). Throws FormatError on a garbled manifest.
+  static std::string resolve(const std::string& base);
+
+  // Attaches (or detaches, with nullptr) an overlay of un-compacted edges.
+  // The overlay must outlive every subsequent read; see tile/overlay.h for
+  // the reader/writer contract.
+  void attach_overlay(const TileOverlay* overlay) noexcept { overlay_ = overlay; }
+  const TileOverlay* overlay() const noexcept { return overlay_; }
 
   // Total on-disk footprint (tiles + start-edge index), the quantity the
   // paper's Table II calls "G-Store Size".
@@ -165,6 +203,7 @@ class TileStore {
   std::uint64_t data_offset_ = 0;
   std::uint64_t max_tile_bytes_ = 0;
   std::unique_ptr<io::Device> device_;
+  const TileOverlay* overlay_ = nullptr;
 };
 
 }  // namespace gstore::tile

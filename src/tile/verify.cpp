@@ -3,7 +3,10 @@
 #include <optional>
 #include <vector>
 
+#include <numeric>
+
 #include "graph/degree.h"
+#include "ingest/wal.h"
 #include "io/file.h"
 #include "tile/tile_file.h"
 #include "util/status.h"
@@ -63,24 +66,77 @@ VerifyReport verify_store(const std::string& base_path,
     });
   }
 
+  // Counting symmetry: every stored tuple bumps the recomputed degrees a
+  // fixed number of times (twice in upper-triangle stores — each tuple is
+  // both directions — once everywhere else), so their sum must reproduce the
+  // header's edge count exactly. A diagonal tuple in a symmetric store, a
+  // lost tuple, or a header miscount all break this identity.
+  if (report.ok) {
+    const std::uint64_t sum = std::accumulate(
+        recomputed.begin(), recomputed.end(), std::uint64_t{0},
+        [](std::uint64_t acc, graph::degree_t d) { return acc + d; });
+    const std::uint64_t expect =
+        symmetric ? 2 * store.edge_count() : store.edge_count();
+    if (sum != expect)
+      report.fail("counting symmetry broken: tuple-derived degree sum is " +
+                  std::to_string(sum) + ", header edge count requires " +
+                  std::to_string(expect));
+  }
+
   // Degree cross-check (optional file). The .deg file records edge-list
   // degrees, which include self loops the converter drops, so tile-derived
   // degrees are a lower bound. In-edge stores record out-degrees while the
   // tiles yield in-degrees — no comparison is possible there.
-  if (report.ok && io::File::exists(TileStore::deg_path(base_path))) {
-    const bool comparable =
-        symmetric || (store.meta().directed() && !store.meta().in_edges());
-    if (comparable) {
-      const graph::CompressedDegrees deg = store.load_degrees();
-      for (graph::vid_t v = 0; v < n; ++v) {
-        if (deg[v] < recomputed[v]) {
-          report.fail("degree mismatch at vertex " + std::to_string(v) +
-                      ": file says " + std::to_string(deg[v]) +
-                      ", tiles require at least " +
-                      std::to_string(recomputed[v]));
-          if (report.problems.size() >= max_problems) break;
+  const std::string live_base = TileStore::resolve(base_path);
+  if (report.ok && io::File::exists(TileStore::deg_path(live_base))) {
+    const std::uint64_t deg_bytes =
+        io::File::file_size(TileStore::deg_path(live_base));
+    if (deg_bytes != n * sizeof(graph::degree_t)) {
+      report.fail("degree file holds " + std::to_string(deg_bytes) +
+                  " bytes; " + std::to_string(n) + " vertices require " +
+                  std::to_string(n * sizeof(graph::degree_t)));
+    } else {
+      const bool comparable =
+          symmetric || (store.meta().directed() && !store.meta().in_edges());
+      if (comparable) {
+        const graph::CompressedDegrees deg = store.load_degrees();
+        for (graph::vid_t v = 0; v < n; ++v) {
+          if (deg[v] < recomputed[v]) {
+            report.fail("degree mismatch at vertex " + std::to_string(v) +
+                        ": file says " + std::to_string(deg[v]) +
+                        ", tiles require at least " +
+                        std::to_string(recomputed[v]));
+            if (report.problems.size() >= max_problems) break;
+          }
         }
       }
+    }
+  }
+
+  // WAL cross-check (optional file, lives at the *logical* base — it spans
+  // generations). Torn tails are a legal crash artifact, but a fully present
+  // frame failing its CRC is corruption, as is a replayed edge outside the
+  // store's vertex range.
+  const std::string wal_path = ingest::EdgeWal::path_for(base_path);
+  if (io::File::exists(wal_path)) {
+    try {
+      const ingest::WalReplay wal = ingest::EdgeWal::replay(wal_path);
+      report.wal_frames_checked = wal.frames;
+      report.wal_edges_checked = wal.edges.size();
+      if (wal.tail == ingest::WalTail::kCorrupt)
+        report.fail("WAL " + wal_path + " holds a corrupt frame after " +
+                    std::to_string(wal.frames) + " intact frames");
+      if (wal.exists && wal.generation == store.meta().generation) {
+        for (const graph::Edge& e : wal.edges) {
+          if (e.src >= n || e.dst >= n) {
+            report.fail("WAL edge (" + std::to_string(e.src) + "," +
+                        std::to_string(e.dst) + ") outside vertex range");
+            break;
+          }
+        }
+      }
+    } catch (const Error& e) {
+      report.fail(std::string("WAL replay failed: ") + e.what());
     }
   }
   return report;

@@ -16,6 +16,8 @@ struct VerifyReport {
   std::vector<std::string> problems;
   std::uint64_t tiles_checked = 0;
   std::uint64_t edges_checked = 0;
+  std::uint64_t wal_frames_checked = 0;
+  std::uint64_t wal_edges_checked = 0;
 
   void fail(std::string what) {
     ok = false;
@@ -23,13 +25,21 @@ struct VerifyReport {
   }
 };
 
-// Verifies <base>.tiles/.sei[/.deg]:
+// Verifies <base>.tiles/.sei[/.deg][/.wal] (following the generation
+// manifest, if one exists):
 //  * headers consistent (open-level checks);
 //  * every SNB/fat tuple decodes to vertex ids inside its tile's ranges and
 //    inside the graph;
 //  * symmetric stores hold only upper-triangle tuples;
-//  * the degree file (if present) matches degrees recomputed from tiles,
-//    accounting for each stored tuple once per direction it represents.
+//  * counting symmetry: tuple-derived degree sums add up to the header's
+//    edge count (2× for upper-triangle stores, where each tuple stands for
+//    both directions);
+//  * the degree file (if present) is exactly vertex_count entries long and
+//    matches degrees recomputed from tiles, accounting for each stored
+//    tuple once per direction it represents;
+//  * the WAL (if present) has an intact header, every fully-present frame
+//    passes its CRC, and — when the WAL belongs to this generation — its
+//    edges land inside the vertex range.
 // Stops early after `max_problems` findings.
 VerifyReport verify_store(const std::string& base_path,
                           std::size_t max_problems = 16);

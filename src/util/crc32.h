@@ -1,0 +1,39 @@
+// CRC-32 (IEEE 802.3 / zlib polynomial), table-driven, header-only.
+//
+// Used to frame the write-ahead edge log: every WAL frame carries the CRC of
+// its header+payload so replay can distinguish intact frames from a torn
+// tail after a crash (see src/ingest/wal.h).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace gstore {
+
+namespace detail {
+constexpr std::array<std::uint32_t, 256> make_crc32_table() {
+  std::array<std::uint32_t, 256> t{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k)
+      c = (c & 1u) ? (0xedb88320u ^ (c >> 1)) : (c >> 1);
+    t[i] = c;
+  }
+  return t;
+}
+inline constexpr std::array<std::uint32_t, 256> kCrc32Table = make_crc32_table();
+}  // namespace detail
+
+// Chainable: pass a previous return value as `seed` to continue a checksum
+// over discontiguous buffers.
+inline std::uint32_t crc32(const void* data, std::size_t n,
+                           std::uint32_t seed = 0) noexcept {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  std::uint32_t c = ~seed;
+  for (std::size_t i = 0; i < n; ++i)
+    c = detail::kCrc32Table[(c ^ p[i]) & 0xffu] ^ (c >> 8);
+  return ~c;
+}
+
+}  // namespace gstore

@@ -9,10 +9,13 @@
 // algorithm-specific summary.
 #include <algorithm>
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <unordered_set>
 
 #include "algo/bfs.h"
+#include "ingest/delta.h"
+#include "ingest/wal.h"
 #include "algo/bfs_async.h"
 #include "algo/cc.h"
 #include "algo/kcore.h"
@@ -75,6 +78,8 @@ int main(int argc, char** argv) {
   opts.add_flag("no-rewind", "disable the rewind phase (base policy)");
   opts.add("devices", "0", "emulate N SSDs (0 = native speed)");
   opts.add("stripe", "0", "read .tiles from a striped set of N members");
+  opts.add_flag("follow-wal",
+                "overlay un-compacted edges from <store>.wal onto the run");
   opts.add_flag("trace", "print per-iteration engine statistics");
 
   try {
@@ -88,10 +93,28 @@ int main(int argc, char** argv) {
     dev.devices = static_cast<unsigned>(opts.get_int("devices"));
     dev.stripe_files = static_cast<unsigned>(opts.get_int("stripe"));
     auto store = tile::TileStore::open(opts.get("store"), dev);
-    std::printf("store: %u vertices, %llu stored edges, %llu tiles, %s%s%s\n",
+
+    // --follow-wal: replay un-compacted edges into a read-only overlay so
+    // the run observes them without waiting for a compaction.
+    std::unique_ptr<ingest::DeltaBuffer> overlay;
+    if (opts.get_bool("follow-wal")) {
+      const auto wal =
+          ingest::EdgeWal::replay(ingest::EdgeWal::path_for(opts.get("store")));
+      overlay = std::make_unique<ingest::DeltaBuffer>(
+          store.grid(), store.meta(), ~std::uint64_t{0});
+      if (wal.exists && wal.generation == store.meta().generation)
+        overlay->add_batch(wal.edges);
+      store.attach_overlay(overlay.get());
+      std::printf("wal: generation %u, %llu edges overlaid\n", wal.generation,
+                  static_cast<unsigned long long>(overlay->ingested_edges()));
+    }
+
+    std::printf("store: %u vertices, %llu stored edges, %llu tiles, "
+                "generation %u, %s%s%s\n",
                 store.vertex_count(),
                 static_cast<unsigned long long>(store.edge_count()),
                 static_cast<unsigned long long>(store.grid().tile_count()),
+                store.meta().generation,
                 store.meta().symmetric() ? "symmetric" : "full",
                 store.meta().directed() ? ", directed" : ", undirected",
                 store.meta().fat_tuples() ? ", 8B tuples" : ", SNB");
@@ -176,6 +199,12 @@ int main(int argc, char** argv) {
     return 0;
   } catch (const Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  } catch (...) {
+    std::fputs("error: unknown exception\n", stderr);
     return 1;
   }
 }
