@@ -1,0 +1,163 @@
+// Standalone driver for the fuzz harnesses when libFuzzer is unavailable
+// (any non-Clang toolchain). Replicates the two libFuzzer behaviours the CI
+// and local workflows rely on:
+//
+//   fuzz_foo corpus_dir file1 ...          run every input once (regression)
+//   fuzz_foo --runs=N [--seed=S] corpus/   mutate corpus inputs N times
+//
+// Before each execution the candidate input is persisted to
+// ./<harness>.cur_input, so a crash (abort, sanitizer report) always leaves
+// the reproducer behind, mirroring libFuzzer's crash-* artifact.
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size);
+
+namespace {
+
+namespace fs = std::filesystem;
+
+std::vector<std::uint8_t> read_file(const fs::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  return std::vector<std::uint8_t>(std::istreambuf_iterator<char>(in),
+                                   std::istreambuf_iterator<char>());
+}
+
+void write_file(const fs::path& p, const std::vector<std::uint8_t>& bytes) {
+  std::ofstream out(p, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+}
+
+// Small splitmix-style generator: deterministic across platforms, no
+// <random> engine-state differences between libstdc++ versions.
+struct Rng {
+  std::uint64_t state;
+  std::uint64_t next() {
+    state += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+  std::uint64_t below(std::uint64_t n) { return n == 0 ? 0 : next() % n; }
+};
+
+void mutate(std::vector<std::uint8_t>& input, Rng& rng, std::size_t max_len) {
+  const std::uint64_t op = rng.below(5);
+  switch (op) {
+    case 0: {  // flip random bytes
+      if (input.empty()) break;
+      const std::uint64_t n = 1 + rng.below(8);
+      for (std::uint64_t i = 0; i < n; ++i)
+        input[rng.below(input.size())] =
+            static_cast<std::uint8_t>(rng.next());
+      break;
+    }
+    case 1: {  // truncate
+      if (input.empty()) break;
+      input.resize(rng.below(input.size()));
+      break;
+    }
+    case 2: {  // insert random bytes
+      const std::uint64_t n = 1 + rng.below(16);
+      const std::size_t at = rng.below(input.size() + 1);
+      std::vector<std::uint8_t> junk(n);
+      for (auto& b : junk) b = static_cast<std::uint8_t>(rng.next());
+      input.insert(input.begin() + static_cast<std::ptrdiff_t>(at),
+                   junk.begin(), junk.end());
+      break;
+    }
+    case 3: {  // overwrite a 4-byte window with an interesting value
+      if (input.size() < 4) break;
+      static constexpr std::uint32_t kInteresting[] = {
+          0u,          1u,          0x7fffffffu, 0x80000000u,
+          0xffffffffu, 0xfffffffeu, 0x00010000u, 64u << 20};
+      const std::uint32_t v =
+          kInteresting[rng.below(std::size(kInteresting))];
+      std::memcpy(&input[rng.below(input.size() - 3)], &v, 4);
+      break;
+    }
+    default: {  // duplicate a slice (grows structure-ish inputs)
+      if (input.empty()) break;
+      const std::size_t from = rng.below(input.size());
+      const std::size_t len =
+          1 + rng.below(std::min<std::size_t>(input.size() - from, 64));
+      std::vector<std::uint8_t> slice(input.begin() + static_cast<std::ptrdiff_t>(from),
+                                      input.begin() + static_cast<std::ptrdiff_t>(from + len));
+      input.insert(input.begin() + static_cast<std::ptrdiff_t>(rng.below(input.size() + 1)),
+                   slice.begin(), slice.end());
+      break;
+    }
+  }
+  if (input.size() > max_len) input.resize(max_len);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint64_t runs = 0;
+  std::uint64_t seed = 1;
+  std::size_t max_len = 1 << 20;
+  std::vector<fs::path> inputs;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--runs=", 0) == 0) {
+      runs = std::stoull(arg.substr(7));
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      seed = std::stoull(arg.substr(7));
+    } else if (arg.rfind("--max-len=", 0) == 0) {
+      max_len = std::stoull(arg.substr(10));
+    } else if (arg.rfind("-", 0) == 0) {
+      // Ignore unknown libFuzzer-style flags so CI invocations stay
+      // interchangeable between the two drivers.
+      std::fprintf(stderr, "driver: ignoring flag %s\n", arg.c_str());
+    } else if (fs::is_directory(arg)) {
+      for (const auto& e : fs::directory_iterator(arg))
+        if (e.is_regular_file()) inputs.push_back(e.path());
+    } else {
+      inputs.push_back(arg);
+    }
+  }
+
+  const fs::path cur = fs::path(argv[0]).filename().string() + ".cur_input";
+  std::uint64_t execs = 0;
+
+  auto run_one = [&](const std::vector<std::uint8_t>& bytes) {
+    write_file(cur, bytes);  // reproducer survives an abort below
+    LLVMFuzzerTestOneInput(bytes.data(), bytes.size());
+    ++execs;
+  };
+
+  std::vector<std::vector<std::uint8_t>> corpus;
+  for (const auto& p : inputs) corpus.push_back(read_file(p));
+
+  for (const auto& bytes : corpus) run_one(bytes);
+
+  if (runs > 0) {
+    Rng rng{seed};
+    std::vector<std::uint8_t> scratch;
+    for (std::uint64_t i = 0; i < runs; ++i) {
+      if (!corpus.empty() && rng.below(8) != 0) {
+        scratch = corpus[rng.below(corpus.size())];
+      } else {
+        scratch.assign(rng.below(256), 0);
+        for (auto& b : scratch) b = static_cast<std::uint8_t>(rng.next());
+      }
+      const std::uint64_t stack = 1 + rng.below(4);
+      for (std::uint64_t m = 0; m < stack; ++m) mutate(scratch, rng, max_len);
+      run_one(scratch);
+    }
+  }
+
+  std::remove(cur.string().c_str());
+  std::printf("driver: %llu execs, 0 crashes\n",
+              static_cast<unsigned long long>(execs));
+  return 0;
+}

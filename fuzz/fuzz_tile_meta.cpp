@@ -1,0 +1,84 @@
+// Fuzz target: the tile-store open path over untrusted on-disk files.
+//
+// The input is a little container of the four files a store base can carry:
+//
+//   [u32 len][bytes] × 4   →  <base>.sei  <base>.tiles  <base>.deg  <base>.current
+//
+// (a length past the input's end is clamped; a missing trailing section
+// means the file is absent). TileStore::open / load_degrees / read_range /
+// verify_store must reject any inconsistency with a typed error — never a
+// crash, a wrapped size computation, or an attacker-sized allocation.
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "io/file.h"
+#include "tile/tile_file.h"
+#include "tile/verify.h"
+#include "util/status.h"
+
+namespace {
+
+struct Cursor {
+  const std::uint8_t* data;
+  std::size_t size;
+  std::size_t pos = 0;
+
+  // Returns whether the section exists; fills `bytes` with its payload.
+  bool next_section(std::vector<std::uint8_t>& bytes) {
+    if (pos + 4 > size) return false;
+    std::uint32_t len;
+    std::memcpy(&len, data + pos, 4);
+    pos += 4;
+    const std::size_t avail = size - pos;
+    const std::size_t take = std::min<std::size_t>(len, avail);
+    bytes.assign(data + pos, data + pos + take);
+    pos += take;
+    return true;
+  }
+};
+
+void place_file(const std::string& path, bool present,
+                const std::vector<std::uint8_t>& bytes) {
+  std::filesystem::remove(path);
+  if (!present) return;
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  static gstore::io::TempDir* scratch = new gstore::io::TempDir("tilefuzz");
+  const std::string base = scratch->file("store");
+
+  Cursor cur{data, size};
+  std::vector<std::uint8_t> bytes;
+  const char* suffixes[4] = {".sei", ".tiles", ".deg", ".current"};
+  for (const char* suffix : suffixes) {
+    const bool present = cur.next_section(bytes);
+    place_file(base + suffix, present, bytes);
+  }
+
+  gstore::io::DeviceConfig config;
+  config.backend = gstore::io::Backend::kSync;  // no per-exec worker threads
+  try {
+    gstore::tile::TileStore store = gstore::tile::TileStore::open(base, config);
+    (void)store.load_degrees();
+    if (store.meta().tile_count > 0) {
+      std::vector<std::uint8_t> buf(store.bytes_of_range(0, 1));
+      store.read_range(0, 1, buf.data());
+      (void)store.view(0, buf.data());
+    }
+    // Only well-formed headers get the (expensive) deep walk.
+    (void)gstore::tile::verify_store(base);
+  } catch (const gstore::Error&) {
+    // Typed rejection is the expected outcome for garbled inputs.
+  }
+  return 0;
+}

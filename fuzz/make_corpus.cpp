@@ -1,0 +1,151 @@
+// Seed-corpus generator for the fuzz harnesses.
+//
+//   fuzz_make_corpus <out_dir>
+//
+// writes <out_dir>/wal_replay/* and <out_dir>/tile_meta/* — structurally
+// valid inputs (plus near-valid crash artifacts like torn tails) so the
+// fuzzers start from deep inside the parsers instead of bouncing off the
+// magic-number checks. The checked-in corpora under fuzz/corpus/ were
+// produced by this tool; rerun it after any format change.
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "graph/edge_list.h"
+#include "graph/types.h"
+#include "ingest/wal.h"
+#include "io/file.h"
+#include "tile/convert.h"
+#include "tile/tile_file.h"
+
+namespace fs = std::filesystem;
+using namespace gstore;
+
+namespace {
+
+std::vector<std::uint8_t> slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::vector<std::uint8_t>(std::istreambuf_iterator<char>(in),
+                                   std::istreambuf_iterator<char>());
+}
+
+void spit(const fs::path& path, const std::vector<std::uint8_t>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+}
+
+void append_section(std::vector<std::uint8_t>& out,
+                    const std::vector<std::uint8_t>& bytes) {
+  const std::uint32_t len = static_cast<std::uint32_t>(bytes.size());
+  const std::size_t at = out.size();
+  out.resize(at + 4);
+  std::memcpy(out.data() + at, &len, 4);
+  out.insert(out.end(), bytes.begin(), bytes.end());
+}
+
+void make_wal_seeds(const fs::path& dir) {
+  fs::create_directories(dir);
+  io::TempDir tmp("walcorpus");
+  const std::string path = tmp.file("seed.wal");
+
+  {
+    ingest::EdgeWal wal(path, /*generation=*/0);
+    spit(dir / "empty_gen0.wal", slurp(path));
+
+    wal.append(std::vector<graph::Edge>{{0, 1}, {1, 2}, {2, 3}});
+    wal.append(std::vector<graph::Edge>{{7, 9}});
+    spit(dir / "two_frames.wal", slurp(path));
+  }
+
+  // Torn tail: a crash mid-append leaves a half-written last frame.
+  {
+    std::vector<std::uint8_t> torn = slurp(path);
+    torn.resize(torn.size() - 7);
+    spit(dir / "torn_tail.wal", torn);
+  }
+
+  // Corrupt payload: one flipped byte inside the first frame's edges.
+  {
+    std::vector<std::uint8_t> bad = slurp(path);
+    bad[sizeof(ingest::WalFileHeader) + sizeof(ingest::WalFrameHeader) + 2] ^=
+        0x40;
+    spit(dir / "corrupt_payload.wal", bad);
+  }
+
+  // Stale generation: valid frames stamped for an already-compacted store.
+  {
+    ingest::EdgeWal wal(path, /*generation=*/3);
+    wal.append(std::vector<graph::Edge>{{4, 5}});
+    spit(dir / "stale_gen3.wal", slurp(path));
+  }
+}
+
+void make_tile_seeds(const fs::path& dir) {
+  fs::create_directories(dir);
+  io::TempDir tmp("tilecorpus");
+  const std::string base = tmp.file("g");
+
+  graph::EdgeList el = graph::EdgeList::from_edges(
+      {{0, 1}, {0, 2}, {1, 2}, {2, 3}, {3, 4}, {1, 4}, {0, 4}},
+      graph::GraphKind::kUndirected);
+  tile::ConvertOptions opts;
+  opts.tile_bits = 1;  // several tiles even for this 5-vertex graph
+  opts.group_side = 2;
+  tile::convert_to_tiles(el, base, opts);
+
+  const auto sei = slurp(base + ".sei");
+  const auto tiles = slurp(base + ".tiles");
+  const auto deg = slurp(base + ".deg");
+
+  std::vector<std::uint8_t> full;
+  append_section(full, sei);
+  append_section(full, tiles);
+  append_section(full, deg);
+  spit(dir / "store_no_manifest", full);
+
+  // Same store plus a generation-0 manifest naming the base files.
+  {
+    std::vector<std::uint8_t> with_cur = full;
+    append_section(with_cur, {'0', '\n'});
+    spit(dir / "store_manifest_gen0", with_cur);
+  }
+
+  // Directed variant exercises the other tuple orientation.
+  {
+    const std::string dbase = tmp.file("d");
+    graph::EdgeList del = graph::EdgeList::from_edges(
+        {{0, 1}, {1, 0}, {2, 3}, {3, 1}, {4, 0}}, graph::GraphKind::kDirected);
+    tile::convert_to_tiles(del, dbase, opts);
+    std::vector<std::uint8_t> out;
+    append_section(out, slurp(dbase + ".sei"));
+    append_section(out, slurp(dbase + ".tiles"));
+    append_section(out, slurp(dbase + ".deg"));
+    spit(dir / "store_directed", out);
+  }
+
+  // Header-only input: .sei present, data file missing.
+  {
+    std::vector<std::uint8_t> out;
+    append_section(out, sei);
+    spit(dir / "sei_only", out);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::cerr << "usage: fuzz_make_corpus <out_dir>\n";
+    return 2;
+  }
+  const fs::path out = argv[1];
+  make_wal_seeds(out / "wal_replay");
+  make_tile_seeds(out / "tile_meta");
+  std::cout << "corpus written under " << out << "\n";
+  return 0;
+}

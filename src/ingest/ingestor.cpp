@@ -9,6 +9,7 @@ namespace gstore::ingest {
 
 EdgeIngestor::EdgeIngestor(std::string base, IngestorOptions options)
     : base_(std::move(base)), options_(options) {
+  MutexLock lock(mu_);
   open_generation();
 }
 
@@ -32,6 +33,7 @@ void EdgeIngestor::open_generation() {
 }
 
 std::uint64_t EdgeIngestor::ingest(std::span<const graph::Edge> edges) {
+  MutexLock lock(mu_);
   // Validate the whole batch before the WAL sees any of it, so a rejected
   // batch leaves both the log and the overlay untouched.
   const graph::vid_t n = store_->vertex_count();
@@ -52,11 +54,16 @@ std::uint64_t EdgeIngestor::ingest(std::span<const graph::Edge> edges) {
   const std::uint64_t added = delta_->add_batch(accepted);
   GS_CHECK(added == accepted.size());
 
-  if (options_.auto_compact && delta_->full()) compact();
+  if (options_.auto_compact && delta_->full()) compact_locked({});
   return added;
 }
 
 CompactStats EdgeIngestor::compact(CompactOptions opts) {
+  MutexLock lock(mu_);
+  return compact_locked(opts);
+}
+
+CompactStats EdgeIngestor::compact_locked(CompactOptions opts) {
   // Release the store (and its overlay pointer) before compaction rewrites
   // the file set; reopen picks up the published generation, whose WAL is
   // empty, so the fresh delta buffer starts empty too.

@@ -14,7 +14,11 @@
 // queryable again); a stale-generation WAL is discarded (its edges already
 // live in the tiles).
 //
-// Single-writer, engine-reads-between-writes — the TileOverlay contract.
+// Synchronization: the write path (ingest/compact) is serialized under an
+// internal mutex, so concurrent writers are safe. Reads through store() /
+// delta() follow the engine-reads-between-writes TileOverlay contract: the
+// caller must not run algorithms against the store while a compact() is in
+// flight (compaction swaps the whole file set out from under the overlay).
 #pragma once
 
 #include <cstdint>
@@ -29,6 +33,7 @@
 #include "ingest/wal.h"
 #include "io/device.h"
 #include "tile/tile_file.h"
+#include "util/sync.h"
 
 namespace gstore::ingest {
 
@@ -51,30 +56,50 @@ class EdgeIngestor {
   // vertex range throw InvalidArgument before anything is written. Returns
   // the number of edges accepted. May trigger a compaction afterwards when
   // auto_compact is set and the delta is over budget.
-  std::uint64_t ingest(std::span<const graph::Edge> edges);
+  std::uint64_t ingest(std::span<const graph::Edge> edges) GSTORE_EXCLUDES(mu_);
 
   // Folds the WAL into a new store generation and reopens on it. The delta
   // buffer is empty afterwards. Invalidates references from store() across
   // the call.
-  CompactStats compact(CompactOptions opts = {});
+  CompactStats compact(CompactOptions opts = {}) GSTORE_EXCLUDES(mu_);
 
   // The open store, with the delta overlay attached: run algorithms against
   // it and they observe base + un-compacted edges.
-  tile::TileStore& store() noexcept { return *store_; }
-  const tile::TileStore& store() const noexcept { return *store_; }
-  const DeltaBuffer& delta() const noexcept { return *delta_; }
-  std::uint32_t generation() const noexcept { return store_->meta().generation; }
-  std::uint64_t wal_bytes() const noexcept { return wal_->size_bytes(); }
+  //
+  // SAFETY: reads are lock-free by design (engine-reads-between-writes — the
+  // overlay contract documented above); the caller guarantees no concurrent
+  // compact(), so the pointers below are stable while a reader holds them.
+  tile::TileStore& store() noexcept GSTORE_NO_THREAD_SAFETY_ANALYSIS {
+    return *store_;
+  }
+  // SAFETY: same reads-between-writes contract as the non-const overload.
+  const tile::TileStore& store() const noexcept GSTORE_NO_THREAD_SAFETY_ANALYSIS {
+    return *store_;
+  }
+  // SAFETY: same reads-between-writes contract as store().
+  const DeltaBuffer& delta() const noexcept GSTORE_NO_THREAD_SAFETY_ANALYSIS {
+    return *delta_;
+  }
+  std::uint32_t generation() const GSTORE_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return store_->meta().generation;
+  }
+  std::uint64_t wal_bytes() const GSTORE_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return wal_->size_bytes();
+  }
   const std::string& base() const noexcept { return base_; }
 
  private:
-  void open_generation();
+  void open_generation() GSTORE_REQUIRES(mu_);
+  CompactStats compact_locked(CompactOptions opts) GSTORE_REQUIRES(mu_);
 
-  std::string base_;
-  IngestorOptions options_;
-  std::optional<tile::TileStore> store_;
-  std::unique_ptr<DeltaBuffer> delta_;
-  std::unique_ptr<EdgeWal> wal_;
+  const std::string base_;
+  const IngestorOptions options_;
+  mutable Mutex mu_{"EdgeIngestor::mu_"};
+  std::optional<tile::TileStore> store_ GSTORE_GUARDED_BY(mu_);
+  std::unique_ptr<DeltaBuffer> delta_ GSTORE_GUARDED_BY(mu_);
+  std::unique_ptr<EdgeWal> wal_ GSTORE_GUARDED_BY(mu_);
 };
 
 }  // namespace gstore::ingest

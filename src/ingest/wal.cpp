@@ -81,7 +81,11 @@ WalReplay EdgeWal::replay(const std::string& path) {
 }
 
 EdgeWal::EdgeWal(std::string path, std::uint32_t generation)
-    : path_(std::move(path)), generation_(generation) {
+    : path_(std::move(path)) {
+  // No other thread can hold a reference yet, but the lock keeps the
+  // GSTORE_REQUIRES(mu_) contract of write_file_header() honest.
+  MutexLock lock(mu_);
+  generation_ = generation;
   const WalReplay existing = replay(path_);
   file_ = io::File(path_, io::OpenMode::kReadWrite);
   if (!existing.exists || existing.generation != generation) {
@@ -120,12 +124,14 @@ void EdgeWal::append(std::span<const graph::Edge> edges) {
   std::vector<std::uint8_t> buf(sizeof(h) + edges.size_bytes());
   std::memcpy(buf.data(), &h, sizeof(h));
   std::memcpy(buf.data() + sizeof(h), edges.data(), edges.size_bytes());
+  MutexLock lock(mu_);
   file_.pwrite_full(buf.data(), buf.size(), end_offset_);
   file_.sync();
   end_offset_ += buf.size();
 }
 
 void EdgeWal::reset(std::uint32_t generation) {
+  MutexLock lock(mu_);
   generation_ = generation;
   write_file_header();
 }

@@ -28,6 +28,7 @@
 
 #include "graph/types.h"
 #include "io/file.h"
+#include "util/sync.h"
 
 namespace gstore::ingest {
 
@@ -86,24 +87,33 @@ class EdgeWal {
   EdgeWal(std::string path, std::uint32_t generation);
 
   // Appends one CRC-framed batch and fsyncs it (the durability point).
-  // Empty batches are a no-op.
-  void append(std::span<const graph::Edge> edges);
+  // Empty batches are a no-op. Safe to call from several writer threads:
+  // frames are serialized under the internal mutex, so each lands intact at
+  // the current tail.
+  void append(std::span<const graph::Edge> edges) GSTORE_EXCLUDES(mu_);
 
   // Empties the log and stamps it with `generation` (the post-compaction
   // reset). Durable before return.
-  void reset(std::uint32_t generation);
+  void reset(std::uint32_t generation) GSTORE_EXCLUDES(mu_);
 
-  std::uint64_t size_bytes() const noexcept { return end_offset_; }
-  std::uint32_t generation() const noexcept { return generation_; }
+  std::uint64_t size_bytes() const GSTORE_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return end_offset_;
+  }
+  std::uint32_t generation() const GSTORE_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return generation_;
+  }
   const std::string& path() const noexcept { return path_; }
 
  private:
-  void write_file_header();
+  void write_file_header() GSTORE_REQUIRES(mu_);
 
-  std::string path_;
-  io::File file_;
-  std::uint32_t generation_ = 0;
-  std::uint64_t end_offset_ = 0;
+  const std::string path_;
+  mutable Mutex mu_{"EdgeWal::mu_"};
+  io::File file_ GSTORE_GUARDED_BY(mu_);
+  std::uint32_t generation_ GSTORE_GUARDED_BY(mu_) = 0;
+  std::uint64_t end_offset_ GSTORE_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace gstore::ingest

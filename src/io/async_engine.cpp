@@ -1,14 +1,13 @@
 #include "io/async_engine.h"
 
 #include <atomic>
-#include <condition_variable>
 #include <deque>
-#include <mutex>
 #include <thread>
 
 #include "io/throttle.h"
 #include "util/dcheck.h"
 #include "util/status.h"
+#include "util/sync.h"
 
 namespace gstore::io {
 
@@ -25,7 +24,7 @@ struct AsyncEngine::Impl {
 
   ~Impl() {
     {
-      std::lock_guard<std::mutex> lock(mutex);
+      MutexLock lock(mutex);
       stopping = true;
     }
     queue_cv.notify_all();
@@ -54,15 +53,15 @@ struct AsyncEngine::Impl {
     for (;;) {
       ReadRequest req;
       {
-        std::unique_lock<std::mutex> lock(mutex);
-        queue_cv.wait(lock, [this] { return stopping || !pending.empty(); });
+        MutexLock lock(mutex);
+        while (!stopping && pending.empty()) queue_cv.wait(mutex);
         if (pending.empty()) return;  // stopping and drained
         req = pending.front();
         pending.pop_front();
       }
       Completion c = execute(req);
       {
-        std::lock_guard<std::mutex> lock(mutex);
+        MutexLock lock(mutex);
         completed.push_back(c);
         GSTORE_DCHECK_GT(inflight, 0);
         --inflight;
@@ -80,14 +79,14 @@ struct AsyncEngine::Impl {
   // cross-thread (same contract as bytes_read).
   std::atomic<std::uint64_t> submit_calls{0};
 
-  mutable std::mutex mutex;
-  std::condition_variable queue_cv;   // workers wait for pending requests
-  std::condition_variable done_cv;    // pollers wait for completions
-  std::condition_variable space_cv;   // submitters wait for queue space
-  std::deque<ReadRequest> pending;
-  std::deque<Completion> completed;
-  std::size_t inflight = 0;  // pending + executing
-  bool stopping = false;
+  Mutex mutex{"AsyncEngine::mutex"};
+  CondVar queue_cv;   // workers wait for pending requests
+  CondVar done_cv;    // pollers wait for completions
+  CondVar space_cv;   // submitters wait for queue space
+  std::deque<ReadRequest> pending GSTORE_GUARDED_BY(mutex);
+  std::deque<Completion> completed GSTORE_GUARDED_BY(mutex);
+  std::size_t inflight GSTORE_GUARDED_BY(mutex) = 0;  // pending + executing
+  bool stopping GSTORE_GUARDED_BY(mutex) = false;
   std::vector<std::thread> threads;
 };
 
@@ -109,21 +108,23 @@ void AsyncEngine::submit(const std::vector<ReadRequest>& batch) {
     std::vector<Completion> results;
     results.reserve(batch.size());
     for (const auto& req : batch) results.push_back(impl_->execute(req));
-    std::lock_guard<std::mutex> lock(impl_->mutex);
-    for (const auto& c : results) impl_->completed.push_back(c);
+    {
+      MutexLock lock(impl_->mutex);
+      for (const auto& c : results) impl_->completed.push_back(c);
+    }
     impl_->done_cv.notify_all();
     return;
   }
 
   for (const auto& req : batch) {
-    std::unique_lock<std::mutex> lock(impl_->mutex);
-    impl_->space_cv.wait(lock,
-                         [this] { return impl_->inflight < impl_->depth; });
-    impl_->pending.push_back(req);
-    ++impl_->inflight;
-    GSTORE_DCHECK_LE(impl_->inflight, impl_->depth);
-    GSTORE_DCHECK_LE(impl_->pending.size(), impl_->inflight);
-    lock.unlock();
+    {
+      MutexLock lock(impl_->mutex);
+      while (impl_->inflight >= impl_->depth) impl_->space_cv.wait(impl_->mutex);
+      impl_->pending.push_back(req);
+      ++impl_->inflight;
+      GSTORE_DCHECK_LE(impl_->inflight, impl_->depth);
+      GSTORE_DCHECK_LE(impl_->pending.size(), impl_->inflight);
+    }
     impl_->queue_cv.notify_one();
   }
 }
@@ -131,12 +132,11 @@ void AsyncEngine::submit(const std::vector<ReadRequest>& batch) {
 std::size_t AsyncEngine::poll(std::size_t min_events, std::size_t max_events,
                               std::vector<Completion>& out) {
   if (max_events == 0) return 0;
-  std::unique_lock<std::mutex> lock(impl_->mutex);
+  MutexLock lock(impl_->mutex);
   if (min_events > 0) {
-    impl_->done_cv.wait(lock, [&] {
-      return impl_->completed.size() >= min_events ||
-             (impl_->completed.size() + impl_->inflight < min_events);
-    });
+    while (impl_->completed.size() < min_events &&
+           impl_->completed.size() + impl_->inflight >= min_events)
+      impl_->done_cv.wait(impl_->mutex);
     GS_CHECK_MSG(impl_->completed.size() + impl_->inflight >= min_events ||
                      !impl_->completed.empty(),
                  "poll(min) exceeds outstanding requests");
@@ -154,10 +154,9 @@ void AsyncEngine::drain() {
   std::vector<Completion> done;
   for (;;) {
     {
-      std::unique_lock<std::mutex> lock(impl_->mutex);
-      impl_->done_cv.wait(lock, [this] {
-        return impl_->inflight == 0 || !impl_->completed.empty();
-      });
+      MutexLock lock(impl_->mutex);
+      while (impl_->inflight != 0 && impl_->completed.empty())
+        impl_->done_cv.wait(impl_->mutex);
       while (!impl_->completed.empty()) {
         done.push_back(impl_->completed.front());
         impl_->completed.pop_front();
@@ -170,7 +169,7 @@ void AsyncEngine::drain() {
 }
 
 std::size_t AsyncEngine::in_flight() const {
-  std::lock_guard<std::mutex> lock(impl_->mutex);
+  MutexLock lock(impl_->mutex);
   return impl_->inflight;
 }
 

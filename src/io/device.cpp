@@ -25,8 +25,19 @@ Device::Device(const std::string& path, DeviceConfig config)
       slow_throttle_(config.slow_tier_bw, config.burst_bytes),
       engine_(config.backend, config.queue_depth, config.io_workers) {}
 
+void Device::set_tier_map(TierMap map) {
+  WriterMutexLock lock(tier_mutex_);
+  tier_map_ = std::move(map);
+}
+
+TierMap Device::tier_map() const {
+  ReaderMutexLock lock(tier_mutex_);
+  return tier_map_;
+}
+
 std::pair<std::uint64_t, std::uint64_t> Device::tier_split(
     std::uint64_t offset, std::size_t n) const {
+  ReaderMutexLock lock(tier_mutex_);
   if (config_.slow_tier_bw == 0 || tier_map_.empty())
     return {n, 0};
   return tier_map_.split(offset, offset + n);
@@ -66,6 +77,7 @@ std::size_t Device::poll(std::size_t min_events, std::size_t max_events,
 void Device::drain() { engine_.drain(); }
 
 DeviceStats Device::stats() const {
+  MutexLock lock(stats_mutex_);
   DeviceStats s;
   s.bytes_read = engine_.bytes_read() - stats_bytes_base_ +
                  sync_bytes_.load(std::memory_order_relaxed);
@@ -75,6 +87,7 @@ DeviceStats Device::stats() const {
 }
 
 void Device::reset_stats() {
+  MutexLock lock(stats_mutex_);
   stats_bytes_base_ = engine_.bytes_read();
   stats_submit_base_ = engine_.submit_calls();
   sync_bytes_.store(0, std::memory_order_relaxed);

@@ -15,6 +15,7 @@
 #include "io/file.h"
 #include "io/throttle.h"
 #include "io/tiering.h"
+#include "util/sync.h"
 
 namespace gstore::io {
 
@@ -69,28 +70,35 @@ class Device {
   const DeviceConfig& config() const noexcept { return config_; }
 
   // Installs the byte-range → tier assignment. Only meaningful when
-  // config.slow_tier_bw > 0.
-  void set_tier_map(TierMap map) { tier_map_ = std::move(map); }
-  const TierMap& tier_map() const noexcept { return tier_map_; }
+  // config.slow_tier_bw > 0. Safe to call while reads are in flight: the
+  // map is swapped under a writer lock and each read routes under a reader
+  // lock.
+  void set_tier_map(TierMap map) GSTORE_EXCLUDES(tier_mutex_);
+  // Snapshot of the installed map (by value: the member may be swapped by
+  // set_tier_map() concurrently).
+  TierMap tier_map() const GSTORE_EXCLUDES(tier_mutex_);
 
  private:
   // Computes the slow-tier portion of a read and returns request routing.
   std::pair<std::uint64_t, std::uint64_t> tier_split(std::uint64_t offset,
-                                                     std::size_t n) const;
+                                                     std::size_t n) const
+      GSTORE_EXCLUDES(tier_mutex_);
 
   DeviceConfig config_;
   std::unique_ptr<Source> source_;
   Throttle throttle_;
   Throttle slow_throttle_;
-  TierMap tier_map_;
+  mutable SharedMutex tier_mutex_{"Device::tier_mutex_"};
+  TierMap tier_map_ GSTORE_GUARDED_BY(tier_mutex_);
   AsyncEngine engine_;
   // cross-thread: TileStore advertises thread-compatible concurrent reads,
   // so the stats counters read()/submit() bump must be atomic.
   std::atomic<std::uint64_t> read_ops_{0};
   // cross-thread (same contract as read_ops_).
   std::atomic<std::uint64_t> sync_bytes_{0};
-  std::uint64_t stats_bytes_base_ = 0;
-  std::uint64_t stats_submit_base_ = 0;
+  mutable Mutex stats_mutex_{"Device::stats_mutex_"};
+  std::uint64_t stats_bytes_base_ GSTORE_GUARDED_BY(stats_mutex_) = 0;
+  std::uint64_t stats_submit_base_ GSTORE_GUARDED_BY(stats_mutex_) = 0;
 };
 
 }  // namespace gstore::io

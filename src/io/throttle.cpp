@@ -11,7 +11,7 @@ Throttle::Throttle(std::uint64_t bytes_per_second, std::uint64_t burst_bytes)
       next_free_(clock::now()) {}
 
 void Throttle::set_rate(std::uint64_t bytes_per_second) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   rate_.store(bytes_per_second, std::memory_order_relaxed);
   next_free_ = clock::now();
 }
@@ -20,7 +20,7 @@ void Throttle::acquire(std::uint64_t bytes) {
   if (rate() == 0) return;
   clock::time_point finish;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     // Re-read under the lock so one consistent rate prices this reservation
     // even if set_rate() lands between the fast path and here.
     const double rate = static_cast<double>(rate_.load(std::memory_order_relaxed));

@@ -17,7 +17,8 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
-#include <mutex>
+
+#include "util/sync.h"
 
 namespace gstore::io {
 
@@ -28,25 +29,26 @@ class Throttle {
                     std::uint64_t burst_bytes = 1 << 20);
 
   // Blocks until `bytes` of device time have been reserved and elapsed.
-  void acquire(std::uint64_t bytes);
+  void acquire(std::uint64_t bytes) GSTORE_EXCLUDES(mutex_);
 
   std::uint64_t rate() const noexcept {
     return rate_.load(std::memory_order_relaxed);
   }
-  void set_rate(std::uint64_t bytes_per_second);
+  void set_rate(std::uint64_t bytes_per_second) GSTORE_EXCLUDES(mutex_);
 
   bool enabled() const noexcept { return rate() != 0; }
 
  private:
   using clock = std::chrono::steady_clock;
 
-  std::mutex mutex_;
+  Mutex mutex_{"Throttle::mutex_"};
   // cross-thread: acquire()'s disabled-throttle fast path and enabled() run
   // on I/O workers concurrently with set_rate() on the control thread, so
   // this is atomic rather than mutex-guarded.
   std::atomic<std::uint64_t> rate_;
-  std::uint64_t burst_;
-  clock::time_point next_free_;  // when the device finishes current work
+  std::uint64_t burst_;  // set once at construction, read-only afterwards
+  // when the device finishes current work
+  clock::time_point next_free_ GSTORE_GUARDED_BY(mutex_);
 };
 
 }  // namespace gstore::io

@@ -10,8 +10,9 @@ namespace gstore::store {
 bool CachePool::insert(std::uint64_t layout_idx, const std::uint8_t* data,
                        std::uint64_t bytes) {
   GSTORE_DCHECK(data != nullptr || bytes == 0);
-  erase(layout_idx);
-  if (bytes > free_bytes()) return false;
+  MutexLock lock(mutex_);
+  erase_locked(layout_idx);
+  if (bytes > free_bytes_locked()) return false;
   Stored s;
   s.data.resize(bytes);
   if (bytes > 0) std::memcpy(s.data.data(), data, bytes);
@@ -23,6 +24,11 @@ bool CachePool::insert(std::uint64_t layout_idx, const std::uint8_t* data,
 }
 
 std::uint64_t CachePool::erase(std::uint64_t layout_idx) {
+  MutexLock lock(mutex_);
+  return erase_locked(layout_idx);
+}
+
+std::uint64_t CachePool::erase_locked(std::uint64_t layout_idx) {
   auto it = tiles_.find(layout_idx);
   if (it == tiles_.end()) return 0;
   const std::uint64_t freed = it->second.data.size();
@@ -33,18 +39,21 @@ std::uint64_t CachePool::erase(std::uint64_t layout_idx) {
 }
 
 void CachePool::clear() {
+  MutexLock lock(mutex_);
   tiles_.clear();
   used_ = 0;
 }
 
 void CachePool::touch(std::uint64_t layout_idx) {
+  MutexLock lock(mutex_);
   auto it = tiles_.find(layout_idx);
   if (it != tiles_.end()) it->second.stamp = ++clock_;
 }
 
 std::uint64_t CachePool::evict_lru(std::uint64_t needed) {
+  MutexLock lock(mutex_);
   std::uint64_t freed = 0;
-  while (free_bytes() + freed < needed && !tiles_.empty()) {
+  while (free_bytes_locked() + freed < needed && !tiles_.empty()) {
     auto victim = tiles_.begin();
     for (auto it = tiles_.begin(); it != tiles_.end(); ++it)
       if (it->second.stamp < victim->second.stamp) victim = it;
@@ -59,6 +68,7 @@ std::uint64_t CachePool::evict_lru(std::uint64_t needed) {
 }
 
 std::vector<CachePool::Entry> CachePool::entries() const {
+  MutexLock lock(mutex_);
   std::vector<Entry> out;
   out.reserve(tiles_.size());
   for (const auto& [idx, stored] : tiles_)

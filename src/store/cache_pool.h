@@ -4,11 +4,21 @@
 // bounded by a byte budget. Iteration order is layout order so the rewind
 // phase processes cached tiles in the same disk order the streaming phase
 // would have. Tracks recency for the LRU baseline policy.
+//
+// Synchronization: all bookkeeping (insert/erase/touch/evict/counters) is
+// internally serialized by `mutex_`, so concurrent metadata operations are
+// safe. The tile *bytes* behind an Entry pointer are a separate contract:
+// entries() hands out pointers into the pool, and the caller must not run
+// erase()/clear()/evict_lru() for those tiles while another thread still
+// dereferences them (the SCR engine satisfies this by structuring each
+// iteration into rewind → slide → cache phases).
 #pragma once
 
 #include <cstdint>
 #include <map>
 #include <vector>
+
+#include "util/sync.h"
 
 namespace gstore::store {
 
@@ -17,31 +27,39 @@ class CachePool {
   explicit CachePool(std::uint64_t budget_bytes = 0) : budget_(budget_bytes) {}
 
   std::uint64_t budget() const noexcept { return budget_; }
-  std::uint64_t used() const noexcept { return used_; }
-  std::uint64_t free_bytes() const noexcept {
-    return budget_ > used_ ? budget_ - used_ : 0;
+  std::uint64_t used() const GSTORE_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    return used_;
   }
-  std::size_t tile_count() const noexcept { return tiles_.size(); }
-  bool contains(std::uint64_t layout_idx) const {
+  std::uint64_t free_bytes() const GSTORE_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    return free_bytes_locked();
+  }
+  std::size_t tile_count() const GSTORE_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    return tiles_.size();
+  }
+  bool contains(std::uint64_t layout_idx) const GSTORE_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     return tiles_.count(layout_idx) != 0;
   }
 
   // Copies a tile into the pool; returns false (and stores nothing) if it
   // does not fit. Replaces an existing entry for the same tile.
   bool insert(std::uint64_t layout_idx, const std::uint8_t* data,
-              std::uint64_t bytes);
+              std::uint64_t bytes) GSTORE_EXCLUDES(mutex_);
 
   // Removes one tile; returns freed bytes (0 if absent).
-  std::uint64_t erase(std::uint64_t layout_idx);
+  std::uint64_t erase(std::uint64_t layout_idx) GSTORE_EXCLUDES(mutex_);
 
-  void clear();
+  void clear() GSTORE_EXCLUDES(mutex_);
 
   // Marks a tile as used this iteration (for LRU recency).
-  void touch(std::uint64_t layout_idx);
+  void touch(std::uint64_t layout_idx) GSTORE_EXCLUDES(mutex_);
 
   // Evicts least-recently-touched tiles until at least `needed` bytes are
   // free. Returns bytes freed.
-  std::uint64_t evict_lru(std::uint64_t needed);
+  std::uint64_t evict_lru(std::uint64_t needed) GSTORE_EXCLUDES(mutex_);
 
   struct Entry {
     std::uint64_t layout_idx;
@@ -49,18 +67,25 @@ class CachePool {
     std::uint64_t bytes;
   };
   // Snapshot of entries in layout order (safe to erase entries *after*
-  // iterating the snapshot, not during).
-  std::vector<Entry> entries() const;
+  // iterating the snapshot, not during — see the class comment).
+  std::vector<Entry> entries() const GSTORE_EXCLUDES(mutex_);
 
  private:
   struct Stored {
     std::vector<std::uint8_t> data;
     std::uint64_t stamp = 0;  // recency
   };
-  std::map<std::uint64_t, Stored> tiles_;  // keyed by layout index (sorted)
-  std::uint64_t budget_;
-  std::uint64_t used_ = 0;
-  std::uint64_t clock_ = 0;
+
+  std::uint64_t free_bytes_locked() const GSTORE_REQUIRES(mutex_) {
+    return budget_ > used_ ? budget_ - used_ : 0;
+  }
+  std::uint64_t erase_locked(std::uint64_t layout_idx) GSTORE_REQUIRES(mutex_);
+
+  mutable Mutex mutex_{"CachePool::mutex_"};
+  std::map<std::uint64_t, Stored> tiles_ GSTORE_GUARDED_BY(mutex_);  // keyed by layout index (sorted)
+  const std::uint64_t budget_;
+  std::uint64_t used_ GSTORE_GUARDED_BY(mutex_) = 0;
+  std::uint64_t clock_ GSTORE_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace gstore::store

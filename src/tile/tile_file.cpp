@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <limits>
 
 #include "io/file.h"
 #include "tile/overlay.h"
@@ -53,21 +54,45 @@ std::string TileStore::resolve(const std::string& base) {
       text.find_first_not_of("0123456789") != std::string::npos)
     throw FormatError("generation manifest " + cur +
                       " is garbled (expected a decimal generation)");
-  return generation_base(base, static_cast<std::uint32_t>(std::stoul(text)));
+  // stoul parses into unsigned long (64-bit here); a manifest naming a value
+  // past uint32 would otherwise truncate silently and open the wrong files.
+  const unsigned long gen = std::stoul(text);
+  if (gen > std::numeric_limits<std::uint32_t>::max())
+    throw FormatError("generation manifest " + cur +
+                      " names out-of-range generation " + text);
+  return generation_base(base, static_cast<std::uint32_t>(gen));
 }
 
 TileStore TileStore::open(const std::string& base_path, io::DeviceConfig config) {
   TileStore store;
   store.base_path_ = resolve(base_path);
 
-  // Start-edge file: metadata + index.
+  // Start-edge file: metadata + index. Every size below is cross-checked
+  // against the actual file size *before* it drives an allocation, so a
+  // garbled header cannot make this reader allocate unbounded memory, wrap
+  // `tile_count + 1` around zero, or index an empty vector.
   {
     io::File sei(sei_path(store.base_path_), io::OpenMode::kRead);
+    const std::uint64_t sei_size = sei.size();
+    if (sei_size < sizeof(store.meta_))
+      throw FormatError(sei.path() + " is too small to hold a start-edge header");
     sei.pread_full(&store.meta_, sizeof(store.meta_), 0);
     if (store.meta_.magic != kSeiFileMagic)
       throw FormatError(sei.path() +
                         " is not a g-store start-edge file (magic mismatch)");
     check_version(store.meta_.version, sei.path());
+    const std::uint64_t index_bytes = sei_size - sizeof(store.meta_);
+    if (index_bytes % sizeof(std::uint64_t) != 0)
+      throw FormatError(sei.path() +
+                        " start-edge index is not a whole number of entries");
+    const std::uint64_t entries = index_bytes / sizeof(std::uint64_t);
+    // The index holds tile_count + 1 offsets; tying the claimed tile count to
+    // the real file size bounds the resize below by bytes that exist on disk.
+    if (entries == 0 || store.meta_.tile_count != entries - 1)
+      throw FormatError(sei.path() + " claims " +
+                        std::to_string(store.meta_.tile_count) +
+                        " tiles but holds " + std::to_string(entries) +
+                        " index entries");
     store.start_edge_.resize(store.meta_.tile_count + 1);
     sei.pread_full(store.start_edge_.data(),
                    store.start_edge_.size() * sizeof(std::uint64_t),
@@ -78,6 +103,37 @@ TileStore TileStore::open(const std::string& base_path, io::DeviceConfig config)
     for (std::size_t k = 0; k + 1 < store.start_edge_.size(); ++k)
       if (store.start_edge_[k] > store.start_edge_[k + 1])
         throw FormatError("non-monotone start-edge index in " + sei.path());
+  }
+
+  if ((store.meta_.flags & ~0xFu) != 0)
+    throw FormatError(sei_path(store.base_path_) +
+                      " carries unknown flag bits (written by a newer gstore?)");
+  if (store.meta_.vertex_count == 0 ||
+      store.meta_.vertex_count > std::numeric_limits<graph::vid_t>::max())
+    throw FormatError(sei_path(store.base_path_) + " names vertex count " +
+                      std::to_string(store.meta_.vertex_count) +
+                      ", outside this build's 32-bit vertex-id range");
+  if (store.meta_.tile_bits < 1 || store.meta_.tile_bits > 16)
+    throw FormatError(sei_path(store.base_path_) + " names tile_bits " +
+                      std::to_string(store.meta_.tile_bits) +
+                      " outside the supported range [1, 16]");
+  if (store.meta_.group_side == 0)
+    throw FormatError(sei_path(store.base_path_) + " names a zero group_side");
+
+  // Check the geometry arithmetically before constructing the Grid: its
+  // layout tables are O(p^2), so a vertex count inconsistent with the
+  // (file-size-bounded) tile count must be rejected while it is still cheap.
+  {
+    const std::uint64_t width = std::uint64_t{1} << store.meta_.tile_bits;
+    const std::uint64_t p = (store.meta_.vertex_count + width - 1) / width;
+    const std::uint64_t expected_tiles =
+        store.meta_.symmetric() ? p * (p + 1) / 2 : p * p;
+    if (expected_tiles != store.meta_.tile_count)
+      throw FormatError(sei_path(store.base_path_) + ": vertex count " +
+                        std::to_string(store.meta_.vertex_count) +
+                        " implies " + std::to_string(expected_tiles) +
+                        " tiles, index holds " +
+                        std::to_string(store.meta_.tile_count));
   }
 
   store.grid_ = Grid(static_cast<graph::vid_t>(store.meta_.vertex_count),
@@ -92,6 +148,9 @@ TileStore TileStore::open(const std::string& base_path, io::DeviceConfig config)
   // Data file via the device model.
   store.device_ =
       std::make_unique<io::Device>(tiles_path(store.base_path_), config);
+  if (store.device_->size() < sizeof(TilesFileHeader))
+    throw FormatError(tiles_path(store.base_path_) +
+                      " is too small to hold a tile-file header");
   TilesFileHeader th;
   store.device_->file().pread_full(&th, sizeof(th), 0);
   if (th.magic != kTileFileMagic)
@@ -102,6 +161,14 @@ TileStore TileStore::open(const std::string& base_path, io::DeviceConfig config)
     throw FormatError("edge count mismatch between .tiles and .sei");
   store.data_offset_ = sizeof(TilesFileHeader);
 
+  // Guard the expected-size arithmetic itself: an edge count near 2^64 would
+  // wrap `edge_count * tuple_bytes` and could collide with the real size.
+  if (store.meta_.edge_count >
+      (std::numeric_limits<std::uint64_t>::max() - store.data_offset_) /
+          store.meta_.tuple_bytes())
+    throw FormatError(sei_path(store.base_path_) + " names edge count " +
+                      std::to_string(store.meta_.edge_count) +
+                      ", larger than any representable file");
   const std::uint64_t expect =
       store.data_offset_ + store.meta_.edge_count * store.meta_.tuple_bytes();
   if (store.device_->size() != expect)

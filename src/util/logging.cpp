@@ -3,13 +3,14 @@
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
-#include <mutex>
+
+#include "util/sync.h"
 
 namespace gstore::log {
 
 namespace {
 std::atomic<Level> g_level{Level::kWarn};
-std::mutex g_emit_mutex;
+Mutex g_emit_mutex{"log::g_emit_mutex"};
 
 Level initial_level() {
   if (const char* env = std::getenv("GSTORE_LOG")) return parse_level(env);
@@ -59,7 +60,7 @@ LineSink::LineSink(Level lvl, const char* file, int line) : lvl_(lvl) {
 LineSink::~LineSink() {
   os_ << "\n";
   const std::string line = os_.str();
-  std::lock_guard<std::mutex> lock(g_emit_mutex);
+  MutexLock lock(g_emit_mutex);
   std::fwrite(line.data(), 1, line.size(), stderr);
   if (lvl_ >= Level::kWarn) std::fflush(stderr);
 }

@@ -2,7 +2,6 @@
 
 #include <atomic>
 #include <exception>
-#include <mutex>
 
 #include "util/dcheck.h"
 
@@ -20,12 +19,15 @@ ThreadPool::ThreadPool(std::size_t n) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     stopping_ = true;
   }
   cv_.notify_all();
   for (auto& w : workers_) w.join();
   // Workers drain the queue before exiting, so nothing may be left behind.
+  // The pool is single-threaded again here (all workers joined), but the
+  // analysis cannot know that, so take the lock — it is uncontended.
+  MutexLock lock(mutex_);
   GSTORE_DCHECK(queue_.empty());
 }
 
@@ -33,8 +35,8 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      MutexLock lock(mutex_);
+      while (!stopping_ && queue_.empty()) cv_.wait(mutex_);
       GSTORE_DCHECK(stopping_ || !queue_.empty());
       if (queue_.empty()) return;  // stopping_ and drained
       task = std::move(queue_.front());

@@ -2,14 +2,15 @@
 // when OpenMP is unavailable.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
 #include <future>
-#include <mutex>
+#include <stdexcept>
 #include <thread>
 #include <vector>
+
+#include "util/sync.h"
 
 namespace gstore {
 
@@ -30,7 +31,7 @@ class ThreadPool {
     auto task = std::make_shared<std::packaged_task<void()>>(std::forward<F>(fn));
     std::future<void> fut = task->get_future();
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       if (stopping_) throw std::runtime_error("ThreadPool: submit after stop");
       queue_.emplace_back([task]() { (*task)(); });
     }
@@ -47,10 +48,10 @@ class ThreadPool {
   void worker_loop();
 
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  bool stopping_ = false;
+  Mutex mutex_{"ThreadPool::mutex_"};
+  CondVar cv_;
+  std::deque<std::function<void()>> queue_ GSTORE_GUARDED_BY(mutex_);
+  bool stopping_ GSTORE_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace gstore

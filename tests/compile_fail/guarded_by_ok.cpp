@@ -1,0 +1,20 @@
+// Positive control for the compile-fail check: identical shape to
+// guarded_by_violation.cpp but correctly locked, so it MUST compile under
+// clang -Wthread-safety -Werror=thread-safety-analysis. If this one fails,
+// the harness flags (not the violation) broke.
+#include "util/sync.h"
+
+struct Counter {
+  gstore::Mutex mu;
+  int value GSTORE_GUARDED_BY(mu) = 0;
+
+  int read_locked() GSTORE_EXCLUDES(mu) {
+    gstore::MutexLock lock(mu);
+    return value;
+  }
+};
+
+int main() {
+  Counter c;
+  return c.read_locked();
+}

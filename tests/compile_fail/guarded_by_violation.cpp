@@ -1,0 +1,19 @@
+// MUST NOT COMPILE under clang -Wthread-safety -Werror=thread-safety-analysis.
+//
+// Reads a GSTORE_GUARDED_BY member without holding its mutex. The
+// try_compile logic in tests/CMakeLists.txt asserts this translation unit is
+// rejected — if it ever compiles, the annotation plumbing in util/sync.h has
+// silently stopped working and lock discipline is no longer enforced.
+#include "util/sync.h"
+
+struct Counter {
+  gstore::Mutex mu;
+  int value GSTORE_GUARDED_BY(mu) = 0;
+
+  int read_unlocked() { return value; }  // BAD: no lock held
+};
+
+int main() {
+  Counter c;
+  return c.read_unlocked();
+}

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Project-specific concurrency/I/O lint for the G-Store core.
 
-Three rule families clang-tidy cannot express for us:
+Five rule families clang-tidy cannot express for us:
 
 R1 cross-thread annotations.
    A member documented as shared across threads carries the token
@@ -24,6 +24,22 @@ R3 O_DIRECT alignment.
    than kIoAlignment on an I/O path defeats the 4096-byte contract that
    O_DIRECT reads rely on.
 
+R4 raw synchronization primitives.
+   std::mutex / std::shared_mutex / std::condition_variable and their lock
+   helpers (lock_guard, unique_lock, scoped_lock, shared_lock) are banned in
+   src/ outside util/sync.{h,cpp}: raw primitives carry no thread-safety
+   annotations and bypass lockdep, so misuse is invisible to both the
+   compile-time and the runtime checkers. Use gstore::Mutex / MutexLock /
+   CondVar etc. from util/sync.h. (Tests and tools may keep raw primitives —
+   they model *external* callers.)
+
+R5 audited thread-safety escape hatches.
+   Every use of GSTORE_NO_THREAD_SAFETY_ANALYSIS outside util/sync.h must
+   carry a `SAFETY:` comment within the three preceding lines (or on the
+   same line) explaining the external synchronization contract the analysis
+   cannot see. An unexplained escape hatch is indistinguishable from a
+   silenced bug.
+
 Exit status 0 when clean, 1 with findings (one per line, grep-style).
 """
 
@@ -42,6 +58,17 @@ RAW_ALLOC = re.compile(
 )
 # Matches "AlignedBuffer(size, alignment)" — two top-level arguments.
 ALIGNED_BUFFER_2ARG = re.compile(r"AlignedBuffer\s*\(([^(),]+),([^()]+)\)")
+# R4: raw standard synchronization primitives (types, helpers, includes).
+RAW_SYNC = re.compile(
+    r"std::(mutex|recursive_mutex|timed_mutex|recursive_timed_mutex|"
+    r"shared_mutex|shared_timed_mutex|condition_variable(?:_any)?|"
+    r"lock_guard|unique_lock|scoped_lock|shared_lock)\b"
+    r"|#\s*include\s*<(?:mutex|shared_mutex|condition_variable)>"
+)
+SYNC_COMPONENT = ("src/util/sync.h", "src/util/sync.cpp")
+# R5: escape hatch + its justification marker.
+NO_TSA = "GSTORE_NO_THREAD_SAFETY_ANALYSIS"
+SAFETY_MARK = re.compile(r"//.*\bSAFETY:")
 MEMBER_DECL = re.compile(
     r"^\s*(?:mutable\s+)?(?P<type>[\w:][\w:<>,\s*&]*?)\s+(?P<name>\w+)\s*(?:=[^;]*|\{[^;]*\})?;"
 )
@@ -123,7 +150,9 @@ def main(root: Path) -> int:
         rel = path.relative_to(root).as_posix()
         on_io_path = any(rel.startswith(d) for d in IO_DIRS)
         is_allocator = rel == "src/util/aligned_buffer.h"
-        for lineno, raw in enumerate(path.read_text().splitlines(), start=1):
+        is_sync_component = rel in SYNC_COMPONENT
+        lines = path.read_text().splitlines()
+        for lineno, raw in enumerate(lines, start=1):
             code = strip_strings(LINE_COMMENT.sub("", raw))
             if not code.strip():
                 continue
@@ -162,6 +191,28 @@ def main(root: Path) -> int:
                             f"{path}:{lineno}: R3: AlignedBuffer with "
                             f"alignment '{align}' on an I/O path — O_DIRECT "
                             f"requires kIoAlignment"
+                        )
+
+            if not is_sync_component:
+                # R4 inspects the raw line (not comment-stripped) so banned
+                # includes are caught too; doc comments naming std::mutex
+                # don't appear in src/ outside sync.h, and a false positive
+                # there would be a prompt to reword, not a real cost.
+                m = RAW_SYNC.search(strip_strings(raw))
+                if m:
+                    findings.append(
+                        f"{path}:{lineno}: R4: raw '{m.group(0).strip()}' "
+                        f"outside util/sync.h — use the annotated wrappers "
+                        f"(gstore::Mutex/MutexLock/CondVar...)"
+                    )
+
+                if NO_TSA in raw:
+                    window = lines[max(0, lineno - 4):lineno]
+                    if not any(SAFETY_MARK.search(w) for w in window):
+                        findings.append(
+                            f"{path}:{lineno}: R5: "
+                            f"{NO_TSA} without a SAFETY: justification "
+                            f"comment in the preceding 3 lines"
                         )
 
     for f in findings:

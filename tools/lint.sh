@@ -3,20 +3,27 @@
 #
 #   tools/lint.sh            # lint src/ (generates build-tidy/ if needed)
 #   tools/lint.sh --no-tidy  # only the python lint (no clang-tidy required)
+#   tools/lint.sh --fix      # let clang-tidy apply its suggested fixes
 #
-# The python lint always runs. clang-tidy runs when installed; when it is
-# not (some CI images and dev boxes carry only gcc), the script says so and
-# still succeeds on the strength of the python lint — CI runs the full
-# version with clang-tidy installed.
+# The python lint always runs (rules R1-R5, including the raw-mutex ban).
+# clang-tidy runs when installed; when it is not (some CI images and dev
+# boxes carry only gcc), the script says so and still succeeds on the
+# strength of the python lint — CI runs the full version with clang-tidy
+# installed.
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 cd "$ROOT"
 
 run_tidy=1
-if [[ "${1:-}" == "--no-tidy" ]]; then
-  run_tidy=0
-fi
+tidy_fix=0
+for arg in "$@"; do
+  case "$arg" in
+    --no-tidy) run_tidy=0 ;;
+    --fix) tidy_fix=1 ;;
+    *) echo "usage: tools/lint.sh [--no-tidy] [--fix]" >&2; exit 2 ;;
+  esac
+done
 
 echo "== check_concurrency.py =="
 python3 tools/check_concurrency.py "$ROOT"
@@ -36,14 +43,19 @@ if [[ ! -f "$TIDY_BUILD/compile_commands.json" ]]; then
   cmake --preset tidy >/dev/null
 fi
 
+fix_args=()
+if [[ $tidy_fix -eq 1 ]]; then
+  fix_args=(-fix)
+fi
+
 # run-clang-tidy parallelizes when available; otherwise loop.
 mapfile -t sources < <(find src tools -name '*.cpp' | sort)
 if command -v run-clang-tidy >/dev/null 2>&1; then
-  run-clang-tidy -quiet -p "$TIDY_BUILD" "${sources[@]}"
+  run-clang-tidy -quiet -p "$TIDY_BUILD" "${fix_args[@]}" "${sources[@]}"
 else
   status=0
   for f in "${sources[@]}"; do
-    clang-tidy -quiet -p "$TIDY_BUILD" "$f" || status=1
+    clang-tidy -quiet -p "$TIDY_BUILD" "${fix_args[@]}" "$f" || status=1
   done
   exit $status
 fi
