@@ -14,6 +14,7 @@
 #include "graph/generator.h"
 #include "ingest/delta.h"
 #include "tile/compress.h"
+#include "tile/edge_block.h"
 #include "tile/grid.h"
 #include "tile/snb.h"
 #include "tile/tile_file.h"
@@ -90,6 +91,84 @@ void BM_VisitEdgesFat(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * edges.size());
 }
 BENCHMARK(BM_VisitEdgesFat)->Arg(1 << 16);
+
+// Pure SoA decode throughput: SNB tuples → widened vid_t arrays, no kernel.
+// The contrast with BM_SnbDecode (scalar, interleaved) is the widening loop
+// the compiler can vectorize.
+void BM_EdgeBlockDecode(benchmark::State& state) {
+  const auto edges = random_tile(static_cast<std::size_t>(state.range(0)), 7);
+  tile::TileView v;
+  v.src_base = 1 << 16;
+  v.dst_base = 2 << 16;
+  v.edges = edges;
+  std::uint64_t sink = 0;
+  for (auto _ : state) {
+    tile::for_each_block(v, [&](const tile::EdgeBlock& b) {
+      sink += b.src[0] + b.dst[b.size - 1];
+    });
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * edges.size());
+}
+BENCHMARK(BM_EdgeBlockDecode)->Arg(1 << 12)->Arg(1 << 16);
+
+// The migration this path exists for: a per-vertex metadata gather (the shape
+// of BFS depth checks / PageRank contribution reads) over tiles whose bases
+// scatter across a working set far larger than the LLC. The per-edge variant
+// interleaves decode + gather one edge at a time; the block variant decodes
+// SoA, prefetches every gather address, then runs the flat kernel.
+struct GatherFixture {
+  static constexpr std::size_t kVertices = 1 << 26;  // 256 MiB of metadata
+  static constexpr std::size_t kTiles = 256;
+  static constexpr std::size_t kEdgesPerTile = 1 << 13;
+  std::vector<std::uint32_t> meta;
+  std::vector<std::vector<tile::SnbEdge>> tiles;
+  std::vector<tile::TileView> views;
+
+  GatherFixture() : meta(kVertices, 1) {
+    Xoshiro256 rng(8);
+    tiles.reserve(kTiles);
+    views.reserve(kTiles);
+    for (std::size_t t = 0; t < kTiles; ++t) {
+      tiles.push_back(random_tile(kEdgesPerTile, 100 + t));
+      tile::TileView v;
+      v.src_base = static_cast<graph::vid_t>(
+          rng.next_below(kVertices - (1ull << 16)));
+      v.dst_base = static_cast<graph::vid_t>(
+          rng.next_below(kVertices - (1ull << 16)));
+      v.edges = tiles.back();
+      views.push_back(v);
+    }
+  }
+  std::size_t edges_total() const { return kTiles * kEdgesPerTile; }
+};
+
+void BM_VisitEdges_vs_ProcessBlock(benchmark::State& state, bool block) {
+  static const GatherFixture fx;  // shared: 64 MiB built once
+  const std::uint32_t* meta = fx.meta.data();
+  std::uint64_t sink = 0;
+  for (auto _ : state) {
+    for (const tile::TileView& v : fx.views) {
+      if (block) {
+        tile::for_each_block(v, [&](const tile::EdgeBlock& b) {
+          b.prefetch_src(meta);
+          b.prefetch_dst(meta);
+          for (std::uint32_t k = 0; k < b.size; ++k)
+            sink += meta[b.src[k]] + meta[b.dst[k]];
+        });
+      } else {
+        tile::visit_edges(v, [&](graph::vid_t a, graph::vid_t b) {
+          sink += meta[a] + meta[b];
+        });
+      }
+    }
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(fx.edges_total()));
+}
+BENCHMARK_CAPTURE(BM_VisitEdges_vs_ProcessBlock, per_edge, false);
+BENCHMARK_CAPTURE(BM_VisitEdges_vs_ProcessBlock, block, true);
 
 void BM_CompressHubTile(benchmark::State& state) {
   const auto edges = hub_tile(static_cast<std::size_t>(state.range(0)));

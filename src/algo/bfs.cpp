@@ -34,19 +34,25 @@ void TileBfs::visit(graph::vid_t v, std::int32_t next_level) {
 }
 
 void TileBfs::process_tile(const tile::TileView& view) {
+  process_tile_blocked(view);
+}
+
+void TileBfs::process_block(const tile::EdgeBlock& block) {
+  // For in-edge stores the tuple is (dst, src): `from` is then the head of
+  // the original edge and `to` its tail, so the frontier test flips.
+  const graph::vid_t* from = in_edges_ ? block.dst : block.src;
+  const graph::vid_t* to = in_edges_ ? block.src : block.dst;
+  block.prefetch_src(depth_.data());
+  block.prefetch_dst(depth_.data());
   const std::int32_t next_level = level_ + 1;
-  tile::visit_edges(view, [&](graph::vid_t a, graph::vid_t b) {
-    // For in-edge stores the tuple is (dst, src): `a` is then the head of
-    // the original edge and `b` its tail, so the frontier test flips.
-    const graph::vid_t from = in_edges_ ? b : a;
-    const graph::vid_t to = in_edges_ ? a : b;
-    if (atomic_load(&depth_[from]) == level_ &&
-        atomic_load(&depth_[to]) == kUnvisited)
-      visit(to, next_level);
-    if (symmetric_ && atomic_load(&depth_[to]) == level_ &&
-        atomic_load(&depth_[from]) == kUnvisited)
-      visit(from, next_level);  // Algorithm 1 lines 8-10
-  });
+  for (std::uint32_t k = 0; k < block.size; ++k) {
+    if (atomic_load(&depth_[from[k]]) == level_ &&
+        atomic_load(&depth_[to[k]]) == kUnvisited)
+      visit(to[k], next_level);
+    if (symmetric_ && atomic_load(&depth_[to[k]]) == level_ &&
+        atomic_load(&depth_[from[k]]) == kUnvisited)
+      visit(from[k], next_level);  // Algorithm 1 lines 8-10
+  }
 }
 
 bool TileBfs::end_iteration(std::uint32_t) {

@@ -34,17 +34,23 @@ void TileBfsAsync::relax(graph::vid_t to, std::int32_t cand) {
 }
 
 void TileBfsAsync::process_tile(const tile::TileView& view) {
-  tile::visit_edges(view, [&](graph::vid_t a, graph::vid_t b) {
-    const graph::vid_t from = in_edges_ ? b : a;
-    const graph::vid_t to = in_edges_ ? a : b;
+  process_tile_blocked(view);
+}
+
+void TileBfsAsync::process_block(const tile::EdgeBlock& block) {
+  const graph::vid_t* from = in_edges_ ? block.dst : block.src;
+  const graph::vid_t* to = in_edges_ ? block.src : block.dst;
+  block.prefetch_src(depth_.data());
+  block.prefetch_dst(depth_.data());
+  for (std::uint32_t k = 0; k < block.size; ++k) {
     // Freshest value, not an iteration snapshot — the "asynchronous" part.
-    const std::int32_t df = atomic_load(&depth_[from]);
-    if (df != kInf) relax(to, df + 1);
+    const std::int32_t df = atomic_load(&depth_[from[k]]);
+    if (df != kInf) relax(to[k], df + 1);
     if (symmetric_) {
-      const std::int32_t dt = atomic_load(&depth_[to]);
-      if (dt != kInf) relax(from, dt + 1);
+      const std::int32_t dt = atomic_load(&depth_[to[k]]);
+      if (dt != kInf) relax(from[k], dt + 1);
     }
-  });
+  }
 }
 
 bool TileBfsAsync::end_iteration(std::uint32_t) {

@@ -18,8 +18,16 @@ void TileWcc::init(const tile::TileStore& store) {
 void TileWcc::begin_iteration(std::uint32_t) { changed_ = 0; }
 
 void TileWcc::process_tile(const tile::TileView& view) {
+  process_tile_blocked(view);
+}
+
+void TileWcc::process_block(const tile::EdgeBlock& block) {
+  block.prefetch_src(label_.data());
+  block.prefetch_dst(label_.data());
   std::uint64_t local_changed = 0;
-  tile::visit_edges(view, [&](graph::vid_t a, graph::vid_t b) {
+  for (std::uint32_t k = 0; k < block.size; ++k) {
+    const graph::vid_t a = block.src[k];
+    const graph::vid_t b = block.dst[k];
     // Snapshot both labels, then CAS-min the larger side down.
     const graph::vid_t la = atomic_load(&label_[a]);
     const graph::vid_t lb = atomic_load(&label_[b]);
@@ -28,7 +36,7 @@ void TileWcc::process_tile(const tile::TileView& view) {
     } else if (lb < la) {
       if (atomic_min(&label_[a], lb)) ++local_changed;
     }
-  });
+  }
   if (local_changed > 0)
     std::atomic_ref<std::uint64_t>(changed_).fetch_add(
         local_changed, std::memory_order_relaxed);

@@ -25,14 +25,22 @@ void TileKCore::begin_iteration(std::uint32_t) {
 }
 
 void TileKCore::process_tile(const tile::TileView& view) {
-  tile::visit_edges(view, [&](graph::vid_t a, graph::vid_t b) {
-    if (!alive_[a] || !alive_[b]) return;
+  process_tile_blocked(view);
+}
+
+void TileKCore::process_block(const tile::EdgeBlock& block) {
+  block.prefetch_src(alive_.data());
+  block.prefetch_dst(alive_.data());
+  for (std::uint32_t k = 0; k < block.size; ++k) {
+    const graph::vid_t a = block.src[k];
+    const graph::vid_t b = block.dst[k];
+    if (!alive_[a] || !alive_[b]) continue;
     // Each stored tuple is one undirected edge: counts toward both ends.
     std::atomic_ref<graph::degree_t>(live_degree_[a])
         .fetch_add(1, std::memory_order_relaxed);
     std::atomic_ref<graph::degree_t>(live_degree_[b])
         .fetch_add(1, std::memory_order_relaxed);
-  });
+  }
 }
 
 bool TileKCore::end_iteration(std::uint32_t) {

@@ -34,18 +34,35 @@ void TilePageRank::begin_iteration(std::uint32_t) {
 }
 
 void TilePageRank::process_tile(const tile::TileView& view) {
-  tile::visit_edges(view, [&](graph::vid_t a, graph::vid_t b) {
-    if (symmetric_) {
-      // One stored tuple represents both directions of an undirected edge.
-      atomic_add(&incoming_[b], contrib_[a]);
-      atomic_add(&incoming_[a], contrib_[b]);
-    } else if (in_edges_) {
-      // Tuple is (dst, src): a receives from b.
-      atomic_add(&incoming_[a], contrib_[b]);
-    } else {
-      atomic_add(&incoming_[b], contrib_[a]);
+  process_tile_blocked(view);
+}
+
+void TilePageRank::process_block(const tile::EdgeBlock& block) {
+  const graph::vid_t* a = block.src;
+  const graph::vid_t* b = block.dst;
+  const std::uint32_t n = block.size;
+  if (symmetric_) {
+    // One stored tuple represents both directions of an undirected edge.
+    block.prefetch_src(contrib_.data());
+    block.prefetch_dst(contrib_.data());
+    block.prefetch_src(incoming_.data());
+    block.prefetch_dst(incoming_.data());
+    for (std::uint32_t k = 0; k < n; ++k) {
+      atomic_add(&incoming_[b[k]], contrib_[a[k]]);
+      atomic_add(&incoming_[a[k]], contrib_[b[k]]);
     }
-  });
+  } else if (in_edges_) {
+    // Tuple is (dst, src): a receives from b.
+    block.prefetch_dst(contrib_.data());
+    block.prefetch_src(incoming_.data());
+    for (std::uint32_t k = 0; k < n; ++k)
+      atomic_add(&incoming_[a[k]], contrib_[b[k]]);
+  } else {
+    block.prefetch_src(contrib_.data());
+    block.prefetch_dst(incoming_.data());
+    for (std::uint32_t k = 0; k < n; ++k)
+      atomic_add(&incoming_[b[k]], contrib_[a[k]]);
+  }
 }
 
 bool TilePageRank::end_iteration(std::uint32_t) {

@@ -33,6 +33,7 @@ class TilePageRank final : public store::TileAlgorithm {
   void init(const tile::TileStore& store) override;
   void begin_iteration(std::uint32_t iter) override;
   void process_tile(const tile::TileView& view) override;
+  void process_block(const tile::EdgeBlock& block) override;
   bool end_iteration(std::uint32_t iter) override;
 
   const std::vector<float>& ranks() const noexcept { return rank_; }

@@ -30,16 +30,24 @@ void TileReach::init(const tile::TileStore& store) {
 void TileReach::begin_iteration(std::uint32_t) { new_reached_ = 0; }
 
 void TileReach::process_tile(const tile::TileView& view) {
-  tile::visit_edges(view, [&](graph::vid_t a, graph::vid_t b) {
+  process_tile_blocked(view);
+}
+
+void TileReach::process_block(const tile::EdgeBlock& block) {
+  block.prefetch_src(reached_.data());
+  block.prefetch_dst(reached_.data());
+  for (std::uint32_t k = 0; k < block.size; ++k) {
+    const graph::vid_t a = block.src[k];
+    const graph::vid_t b = block.dst[k];
     // Tuples followed verbatim: a → b.
-    if (!atomic_load(&reached_[a]) || atomic_load(&reached_[b])) return;
-    if (mask_ != nullptr && (!(*mask_)[a] || !(*mask_)[b])) return;
+    if (!atomic_load(&reached_[a]) || atomic_load(&reached_[b])) continue;
+    if (mask_ != nullptr && (!(*mask_)[a] || !(*mask_)[b])) continue;
     if (atomic_cas<std::uint8_t>(&reached_[b], 0, 1)) {
       atomic_set_flag(&frontier_row_next_[b >> tile_bits_]);
       std::atomic_ref<std::uint64_t>(new_reached_)
           .fetch_add(1, std::memory_order_relaxed);
     }
-  });
+  }
 }
 
 bool TileReach::end_iteration(std::uint32_t) {

@@ -33,17 +33,23 @@ void TileSssp::relax(graph::vid_t to, float cand) {
 }
 
 void TileSssp::process_tile(const tile::TileView& view) {
-  tile::visit_edges(view, [&](graph::vid_t a, graph::vid_t b) {
-    const graph::vid_t from = in_edges_ ? b : a;
-    const graph::vid_t to = in_edges_ ? a : b;
-    const float w = edge_weight(a, b);
-    const float df = atomic_load(&dist_[from]);
-    if (df != kInf) relax(to, df + w);
+  process_tile_blocked(view);
+}
+
+void TileSssp::process_block(const tile::EdgeBlock& block) {
+  const graph::vid_t* from = in_edges_ ? block.dst : block.src;
+  const graph::vid_t* to = in_edges_ ? block.src : block.dst;
+  block.prefetch_src(dist_.data());
+  block.prefetch_dst(dist_.data());
+  for (std::uint32_t k = 0; k < block.size; ++k) {
+    const float w = edge_weight(block.src[k], block.dst[k]);
+    const float df = atomic_load(&dist_[from[k]]);
+    if (df != kInf) relax(to[k], df + w);
     if (symmetric_) {
-      const float dt = atomic_load(&dist_[to]);
-      if (dt != kInf) relax(from, dt + w);
+      const float dt = atomic_load(&dist_[to[k]]);
+      if (dt != kInf) relax(from[k], dt + w);
     }
-  });
+  }
 }
 
 bool TileSssp::end_iteration(std::uint32_t) {

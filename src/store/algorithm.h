@@ -9,11 +9,20 @@
 //                             iteration? (paper §VI-C Rules 1 & 2)
 // process_tile() may be called concurrently for different tiles; metadata
 // updates must be thread-safe.
+//
+// Two compute paths exist (docs/HOTPATH.md):
+//   * per-edge   — process_tile() iterates with tile::visit_edges. Simple,
+//                  and the correctness oracle for the block path.
+//   * block      — process_tile() forwards to process_tile_blocked(), which
+//                  decodes the tile into SoA EdgeBlocks and calls
+//                  process_block() per block. Hot algorithms override
+//                  process_block() with a branch-hoisted, prefetching kernel.
 #pragma once
 
 #include <cstdint>
 #include <string>
 
+#include "tile/edge_block.h"
 #include "tile/tile_file.h"
 
 namespace gstore::store {
@@ -33,6 +42,21 @@ class TileAlgorithm {
   // are view.src_base + e.src16 / view.dst_base + e.dst16.
   virtual void process_tile(const tile::TileView& view) = 0;
 
+  // Process one decoded SoA block of a tile. The default reconstructs the
+  // block's slice of its source view and feeds it back through
+  // process_tile(), so algorithms that only implement the per-edge path
+  // work unchanged when something drives them block-wise. Hot algorithms
+  // override this; their process_tile() then forwards to
+  // process_tile_blocked() so both entry points share one kernel.
+  virtual void process_block(const tile::EdgeBlock& block) {
+    tile::TileView sub = *block.view;
+    if (sub.fat)
+      sub.fat_edges = sub.fat_edges.subspan(block.first, block.size);
+    else
+      sub.edges = sub.edges.subspan(block.first, block.size);
+    process_tile(sub);
+  }
+
   // Returns true if another iteration is required.
   virtual bool end_iteration(std::uint32_t iter) = 0;
 
@@ -45,6 +69,14 @@ class TileAlgorithm {
   // PageRank/WCC, where the whole graph is reused each iteration).
   virtual bool tile_useful_next(std::uint32_t /*i*/, std::uint32_t /*j*/) const {
     return true;
+  }
+
+ protected:
+  // Block-path driver for process_tile() overrides: decodes the view and
+  // dispatches each block through the process_block() virtual.
+  void process_tile_blocked(const tile::TileView& view) {
+    tile::for_each_block(
+        view, [this](const tile::EdgeBlock& b) { process_block(b); });
   }
 };
 

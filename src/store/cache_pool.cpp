@@ -7,19 +7,37 @@
 
 namespace gstore::store {
 
-bool CachePool::insert(std::uint64_t layout_idx, const std::uint8_t* data,
-                       std::uint64_t bytes) {
-  GSTORE_DCHECK(data != nullptr || bytes == 0);
-  MutexLock lock(mutex_);
+bool CachePool::insert_locked(std::uint64_t layout_idx, BufferPin pin,
+                              std::uint64_t bytes) {
   erase_locked(layout_idx);
   if (bytes > free_bytes_locked()) return false;
   Stored s;
-  s.data.resize(bytes);
-  if (bytes > 0) std::memcpy(s.data.data(), data, bytes);
+  s.pin = std::move(pin);
+  s.bytes = bytes;
   s.stamp = ++clock_;
   used_ += bytes;
   GSTORE_DCHECK_LE(used_, budget_);
   tiles_.emplace(layout_idx, std::move(s));
+  return true;
+}
+
+bool CachePool::insert_pinned(std::uint64_t layout_idx, BufferPin pin,
+                              std::uint64_t bytes) {
+  GSTORE_DCHECK(pin != nullptr || bytes == 0);
+  MutexLock lock(mutex_);
+  return insert_locked(layout_idx, std::move(pin), bytes);
+}
+
+bool CachePool::insert(std::uint64_t layout_idx, const std::uint8_t* data,
+                       std::uint64_t bytes) {
+  GSTORE_DCHECK(data != nullptr || bytes == 0);
+  // Copy into an owning buffer, then alias it as a pin (std::vector rather
+  // than a raw array: R2 bans raw allocation in src/store).
+  auto owner = std::make_shared<std::vector<std::uint8_t>>(data, data + bytes);
+  BufferPin pin(owner, owner->data());
+  MutexLock lock(mutex_);
+  if (!insert_locked(layout_idx, std::move(pin), bytes)) return false;
+  bytes_copied_ += bytes;
   return true;
 }
 
@@ -31,7 +49,7 @@ std::uint64_t CachePool::erase(std::uint64_t layout_idx) {
 std::uint64_t CachePool::erase_locked(std::uint64_t layout_idx) {
   auto it = tiles_.find(layout_idx);
   if (it == tiles_.end()) return 0;
-  const std::uint64_t freed = it->second.data.size();
+  const std::uint64_t freed = it->second.bytes;
   GSTORE_DCHECK_GE(used_, freed);
   used_ -= freed;
   tiles_.erase(it);
@@ -57,9 +75,9 @@ std::uint64_t CachePool::evict_lru(std::uint64_t needed) {
     auto victim = tiles_.begin();
     for (auto it = tiles_.begin(); it != tiles_.end(); ++it)
       if (it->second.stamp < victim->second.stamp) victim = it;
-    freed += victim->second.data.size();
-    GSTORE_DCHECK_GE(used_, victim->second.data.size());
-    used_ -= victim->second.data.size();
+    freed += victim->second.bytes;
+    GSTORE_DCHECK_GE(used_, victim->second.bytes);
+    used_ -= victim->second.bytes;
     tiles_.erase(victim);
   }
   // Accounting invariant: an empty pool must report zero bytes in use.
@@ -72,7 +90,7 @@ std::vector<CachePool::Entry> CachePool::entries() const {
   std::vector<Entry> out;
   out.reserve(tiles_.size());
   for (const auto& [idx, stored] : tiles_)
-    out.push_back(Entry{idx, stored.data.data(), stored.data.size()});
+    out.push_back(Entry{idx, stored.pin.get(), stored.bytes});
   return out;
 }
 

@@ -1,5 +1,8 @@
 #include "store/caching_policy.h"
 
+#include <cstdint>
+#include <vector>
+
 namespace gstore::store {
 
 namespace {
@@ -50,11 +53,19 @@ class ProactivePolicy final : public CachingPolicy {
 
   void analyze(CachePool& pool, const tile::Grid& grid,
                const TileAlgorithm& algo) override {
-    for (const auto& e : pool.entries()) {
+    // Two passes because for_each_entry holds the pool lock: collect the
+    // ruled-out tiles first (reused scratch, no per-call allocation), then
+    // drop them.
+    victims_.clear();
+    pool.for_each_entry([&](const CachePool::Entry& e) {
       const tile::TileCoord c = grid.coord_at(e.layout_idx);
-      if (!algo.tile_useful_next(c.i, c.j)) pool.erase(e.layout_idx);
-    }
+      if (!algo.tile_useful_next(c.i, c.j)) victims_.push_back(e.layout_idx);
+    });
+    for (const std::uint64_t idx : victims_) pool.erase(idx);
   }
+
+ private:
+  std::vector<std::uint64_t> victims_;
 };
 
 }  // namespace

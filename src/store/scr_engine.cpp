@@ -28,6 +28,47 @@ constexpr std::uint64_t make_tag(int segment, std::uint64_t serial) {
 constexpr int tag_segment(std::uint64_t tag) {
   return static_cast<int>(tag >> 56);
 }
+
+// Half-open index ranges over a slot list, cut so each chunk carries roughly
+// equal edge cost. Dynamic scheduling over these chunks replaces
+// schedule(dynamic, 1) over raw slots: on a power-law tile grid the latter
+// is either dispatch overhead (swarms of near-empty tiles) or load imbalance
+// (one hub tile per work item with nothing to pair it against).
+struct Chunk {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+};
+
+void cost_chunks(const std::vector<std::uint64_t>& costs,
+                 std::vector<Chunk>& out) {
+  out.clear();
+  if (costs.empty()) return;
+  int threads = 1;
+#ifdef _OPENMP
+  threads = omp_get_max_threads();
+#endif
+  std::uint64_t total = 0;
+  for (const std::uint64_t c : costs) total += c;
+  // ~8 chunks per thread bounds the dynamic-scheduling tail; the floor keeps
+  // tiny tiles batched instead of dispatched one by one.
+  const std::uint64_t target = std::max<std::uint64_t>(
+      total / (8ull * static_cast<unsigned>(threads)) + 1, 4096);
+  Chunk cur;
+  std::uint64_t acc = 0;
+  for (std::size_t k = 0; k < costs.size(); ++k) {
+    acc += costs[k];
+    if (acc >= target) {
+      cur.end = k + 1;
+      out.push_back(cur);
+      cur.begin = k + 1;
+      acc = 0;
+    }
+  }
+  if (cur.begin < costs.size()) {
+    cur.end = costs.size();
+    out.push_back(cur);
+  }
+}
 }  // namespace
 
 struct ScrEngine::Runner {
@@ -82,8 +123,14 @@ struct ScrEngine::Runner {
   std::size_t fill_and_submit(int s, const std::vector<std::uint64_t>& fetch,
                               std::size_t& pos) {
     Segment& seg = segments[s];
-    seg.clear();
-    if (pos >= fetch.size()) return 0;
+    if (pos >= fetch.size()) {
+      seg.clear();  // nothing will be written — pinned bytes stay untouched
+      return 0;
+    }
+    // begin_fill, not clear: if the pool still pins slices of this buffer a
+    // fresh one is allocated, so the cached bytes stay immutable (zero-copy
+    // contract; the old buffer is freed when its last pin drops).
+    seg.begin_fill();
 
     // An oversized first tile grows the segment (tiles are never split:
     // "we do not fetch, process or cache partial data from any tile").
@@ -157,19 +204,30 @@ struct ScrEngine::Runner {
     Segment& seg = segments[s];
     const auto& slots = seg.slots();
     Timer t;
+    slot_costs.clear();
+    slot_costs.reserve(slots.size());
+    for (const auto& slot : slots)
+      slot_costs.push_back(store.tile_edge_count(slot.layout_idx) +
+                           overlay_count(slot.layout_idx));
+    cost_chunks(slot_costs, chunks);
+    std::uint64_t edges = 0;
+    std::uint64_t oedges = 0;
 #ifdef _OPENMP
-#pragma omp parallel for schedule(dynamic, 1)
+#pragma omp parallel for schedule(dynamic) reduction(+ : edges, oedges)
 #endif
-    for (std::size_t k = 0; k < slots.size(); ++k)
-      process_one(slots[k].layout_idx, seg.slot_data(slots[k]));
-    for (const auto& slot : slots) {
-      const std::uint64_t oc = overlay_count(slot.layout_idx);
-      stats.edges_processed += store.tile_edge_count(slot.layout_idx) + oc;
-      stats.overlay_edges += oc;
+    for (std::size_t c = 0; c < chunks.size(); ++c) {
+      for (std::size_t k = chunks[c].begin; k < chunks[c].end; ++k) {
+        process_one(slots[k].layout_idx, seg.slot_data(slots[k]));
+        edges += slot_costs[k];
+        oedges += overlay_count(slots[k].layout_idx);
+      }
     }
+    stats.edges_processed += edges;
+    stats.overlay_edges += oedges;
     stats.compute_seconds += t.seconds();
 
-    // CACHE step of slide-cache-rewind.
+    // CACHE step of slide-cache-rewind: pin refcounted slices of the segment
+    // buffer instead of copying tile bytes into the pool.
     if (pool.budget() == 0) return;
     for (const auto& slot : slots) {
       const tile::TileCoord c = grid.coord_at(slot.layout_idx);
@@ -177,7 +235,7 @@ struct ScrEngine::Runner {
       if (slot.bytes > pool.free_bytes() &&
           !policy->make_room(pool, slot.bytes, grid, algo))
         continue;
-      pool.insert(slot.layout_idx, seg.slot_data(slot), slot.bytes);
+      pool.insert_pinned(slot.layout_idx, seg.pin_slot(slot), slot.bytes);
     }
   }
 
@@ -194,24 +252,41 @@ struct ScrEngine::Runner {
     std::vector<std::uint64_t> cached_indices;
     if (config.rewind && pool.tile_count() > 0) {
       Timer t;
-      const auto entries = pool.entries();
-      cached_indices.reserve(entries.size());
-      for (const auto& e : entries) cached_indices.push_back(e.layout_idx);
+      // Allocation-free snapshot into reused scratch. The fetch list must
+      // exclude *every* cached tile (needed or not), so indices are taken
+      // before filtering; needed_now consults algorithm metadata, so it runs
+      // outside the pool lock.
+      rewind_entries.clear();
+      pool.for_each_entry(
+          [&](const CachePool::Entry& e) { rewind_entries.push_back(e); });
+      cached_indices.reserve(rewind_entries.size());
+      for (const auto& e : rewind_entries)
+        cached_indices.push_back(e.layout_idx);
+      std::erase_if(rewind_entries, [&](const CachePool::Entry& e) {
+        return !needed_now(e.layout_idx);
+      });
+      slot_costs.clear();
+      slot_costs.reserve(rewind_entries.size());
+      for (const auto& e : rewind_entries)
+        slot_costs.push_back(store.tile_edge_count(e.layout_idx) +
+                             overlay_count(e.layout_idx));
+      cost_chunks(slot_costs, chunks);
+      std::uint64_t edges = 0;
+      std::uint64_t oedges = 0;
 #ifdef _OPENMP
-#pragma omp parallel for schedule(dynamic, 1)
+#pragma omp parallel for schedule(dynamic) reduction(+ : edges, oedges)
 #endif
-      for (std::size_t k = 0; k < entries.size(); ++k) {
-        if (!needed_now(entries[k].layout_idx)) continue;
-        process_one(entries[k].layout_idx, entries[k].data);
+      for (std::size_t c = 0; c < chunks.size(); ++c) {
+        for (std::size_t k = chunks[c].begin; k < chunks[c].end; ++k) {
+          process_one(rewind_entries[k].layout_idx, rewind_entries[k].data);
+          edges += slot_costs[k];
+          oedges += overlay_count(rewind_entries[k].layout_idx);
+        }
       }
-      for (const auto& e : entries) {
-        if (!needed_now(e.layout_idx)) continue;
-        pool.touch(e.layout_idx);
-        stats.tiles_from_cache += 1;
-        const std::uint64_t oc = overlay_count(e.layout_idx);
-        stats.edges_processed += store.tile_edge_count(e.layout_idx) + oc;
-        stats.overlay_edges += oc;
-      }
+      for (const auto& e : rewind_entries) pool.touch(e.layout_idx);
+      stats.tiles_from_cache += rewind_entries.size();
+      stats.edges_processed += edges;
+      stats.overlay_edges += oedges;
       stats.compute_seconds += t.seconds();
     } else if (!config.rewind) {
       // Base policy keeps nothing across iterations.
@@ -267,16 +342,23 @@ struct ScrEngine::Runner {
         if (!needed_now(idx)) continue;
         delta_only.push_back(idx);
       }
+      slot_costs.clear();
+      slot_costs.reserve(delta_only.size());
+      for (const std::uint64_t idx : delta_only)
+        slot_costs.push_back(overlay_count(idx));
+      cost_chunks(slot_costs, chunks);
+      std::uint64_t oedges = 0;
 #ifdef _OPENMP
-#pragma omp parallel for schedule(dynamic, 1)
+#pragma omp parallel for schedule(dynamic) reduction(+ : oedges)
 #endif
-      for (std::size_t k = 0; k < delta_only.size(); ++k)
-        process_one(delta_only[k], nullptr);
-      for (const std::uint64_t idx : delta_only) {
-        const std::uint64_t oc = overlay_count(idx);
-        stats.edges_processed += oc;
-        stats.overlay_edges += oc;
+      for (std::size_t c = 0; c < chunks.size(); ++c) {
+        for (std::size_t k = chunks[c].begin; k < chunks[c].end; ++k) {
+          process_one(delta_only[k], nullptr);
+          oedges += slot_costs[k];
+        }
       }
+      stats.edges_processed += oedges;
+      stats.overlay_edges += oedges;
       stats.compute_seconds += t.seconds();
     }
 
@@ -307,6 +389,9 @@ struct ScrEngine::Runner {
     GS_CHECK_MSG(!more, "algorithm did not converge within max_iterations");
     stats.iterations = iter;
     stats.bytes_read = store.device().stats().bytes_read;
+    stats.bytes_copied_to_pool = pool.bytes_copied();
+    stats.segment_refreshes =
+        segments[0].buffer_refreshes() + segments[1].buffer_refreshes();
     stats.elapsed_seconds = total.seconds();
     return stats;
   }
@@ -322,6 +407,11 @@ struct ScrEngine::Runner {
   Segment segments[2];
   std::size_t pending[2] = {0, 0};
   std::uint64_t next_serial = 0;
+  // Reused per-phase scratch (cleared before each use; never allocated on
+  // the per-iteration hot path after warm-up).
+  std::vector<std::uint64_t> slot_costs;
+  std::vector<Chunk> chunks;
+  std::vector<CachePool::Entry> rewind_entries;
   EngineStats stats;
 };
 

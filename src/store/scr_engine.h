@@ -54,6 +54,13 @@ struct EngineStats {
   // included in edges_processed).
   std::uint64_t overlay_edges = 0;
   std::uint64_t io_batches = 0;      // submit() calls (paper: batching saves syscalls)
+  // Bytes memcpy'd into the cache pool. The zero-copy data path pins
+  // segment slices instead of copying, so this stays 0; a nonzero value is
+  // a regression back to the copy path.
+  std::uint64_t bytes_copied_to_pool = 0;
+  // Segment buffers replaced because the pool still pinned slices of them
+  // (the allocate-fresh-on-demand half of the zero-copy contract).
+  std::uint64_t segment_refreshes = 0;
   double io_wait_seconds = 0;
   double compute_seconds = 0;
   double elapsed_seconds = 0;

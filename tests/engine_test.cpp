@@ -101,6 +101,23 @@ TEST(ScrEngine, RewindServesTilesFromCache) {
   EXPECT_EQ(stats.bytes_read, store.bytes_of_range(0, store.grid().tile_count()));
 }
 
+TEST(ScrEngine, RewindIsZeroCopy) {
+  io::TempDir dir;
+  auto store = kron_store(dir, 9, 6);
+  EngineConfig c = tiny_memory();
+  c.stream_memory_bytes = 64 << 10;
+  c.segment_bytes = 4 << 10;
+  RecordingAlgo algo(3);
+  const auto stats = ScrEngine(store, c).run(algo);
+  // Tiles were served from the cache, and none of them was memcpy'd into
+  // the pool: REWIND reads the segments' own pinned bytes.
+  EXPECT_GT(stats.tiles_from_cache, 0u);
+  EXPECT_EQ(stats.bytes_copied_to_pool, 0u);
+  // The zero-copy contract's other half: refilling a segment whose slices
+  // are pinned must swap in a fresh buffer, never overwrite in place.
+  EXPECT_GT(stats.segment_refreshes, 0u);
+}
+
 TEST(ScrEngine, NoCacheBaselineRereadsEveryIteration) {
   io::TempDir dir;
   auto store = kron_store(dir, 8, 4);

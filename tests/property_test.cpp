@@ -5,7 +5,9 @@
 
 #include <algorithm>
 #include <map>
+#include <memory>
 #include <set>
+#include <utility>
 
 #include "algo/bfs.h"
 #include "algo/cc.h"
@@ -13,11 +15,13 @@
 #include "algo/reference.h"
 #include "graph/degree.h"
 #include "graph/generator.h"
+#include "ingest/delta.h"
 #include "io/tiering.h"
 #include "store/cache_pool.h"
 #include "store/scr_engine.h"
 #include "test_util.h"
 #include "tile/compress.h"
+#include "tile/edge_block.h"
 #include "tile/grid.h"
 #include "tile/snb.h"
 #include "util/histogram.h"
@@ -76,6 +80,83 @@ TEST_P(RandomConfigTest, ResultsInvariantToEngineConfig) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomConfigTest, ::testing::Range(0, 6));
+
+// ---- block decode equals per-edge decode ------------------------------------
+//
+// for_each_block() is the hot path; visit_edges() is the oracle. Whatever the
+// tile geometry, tuple format, or overlay splicing, both must visit the same
+// edge multiset — and the block metadata (view/first/size) must tile the view
+// exactly.
+
+using EdgeMultiset = std::multiset<std::pair<vid_t, vid_t>>;
+
+EdgeMultiset per_edge_multiset(const tile::TileView& v) {
+  EdgeMultiset out;
+  tile::visit_edges(v, [&](vid_t a, vid_t b) { out.insert({a, b}); });
+  return out;
+}
+
+EdgeMultiset block_multiset(const tile::TileView& v) {
+  EdgeMultiset out;
+  std::size_t covered = 0;
+  tile::for_each_block(v, [&](const tile::EdgeBlock& b) {
+    EXPECT_EQ(b.view, &v);
+    EXPECT_EQ(b.first, covered);
+    EXPECT_GT(b.size, 0u);
+    EXPECT_LE(b.size, tile::EdgeBlock::kMaxEdges);
+    covered += b.size;
+    for (std::uint32_t k = 0; k < b.size; ++k) out.insert({b.src[k], b.dst[k]});
+  });
+  EXPECT_EQ(covered, v.edge_count());
+  return out;
+}
+
+TEST(PropertyEdgeBlock, BlockAndPerEdgeVisitIdenticalMultisets) {
+  for (unsigned tb = 4; tb <= 16; ++tb) {
+    const vid_t n = static_cast<vid_t>((3u << tb) + 17);  // ragged tile rows
+    const std::uint64_t m = std::min<std::uint64_t>(2 * n, 60'000);
+    auto el = graph::uniform_random(n, m, GraphKind::kDirected, 600 + tb);
+    io::TempDir dir;
+    tile::ConvertOptions o;
+    o.tile_bits = tb;
+    o.snb = tb % 3 != 0;  // exercise the fat-tuple branch too
+    auto store = gstore::testing::make_store(dir, el, o);
+
+    // Overlay splicing only exists for SNB stores.
+    std::unique_ptr<ingest::DeltaBuffer> delta;
+    if (o.snb) {
+      delta = std::make_unique<ingest::DeltaBuffer>(store.grid(), store.meta(),
+                                                    1 << 20);
+      auto extra = graph::uniform_random(n, 500, GraphKind::kDirected, 900 + tb);
+      delta->add_batch(extra.edges());
+      store.attach_overlay(delta.get());
+    }
+
+    std::vector<std::uint8_t> buf;
+    for (std::uint64_t k = 0; k < store.grid().tile_count(); ++k) {
+      const std::uint64_t bytes = store.tile_bytes(k);
+      if (bytes > 0) {
+        buf.resize(bytes);
+        store.read_range(k, k + 1, buf.data());
+      }
+      const tile::TileView v = store.view(k, bytes > 0 ? buf.data() : nullptr);
+      // Base tile, no overlay splicing.
+      ASSERT_EQ(block_multiset(v), per_edge_multiset(v))
+          << "tile_bits " << tb << " tile " << k;
+      // Spliced overlay view, the way the engine builds it in process_one.
+      if (delta != nullptr) {
+        const std::span<const tile::SnbEdge> extra = delta->tile_edges(k);
+        if (extra.empty()) continue;
+        tile::TileView ov = v;
+        ov.fat = false;
+        ov.fat_edges = {};
+        ov.edges = extra;
+        ASSERT_EQ(block_multiset(ov), per_edge_multiset(ov))
+            << "overlay tile_bits " << tb << " tile " << k;
+      }
+    }
+  }
+}
 
 // ---- conversion round-trip over random graphs -------------------------------
 

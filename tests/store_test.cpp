@@ -147,6 +147,107 @@ TEST(CachePool, ZeroBudgetAcceptsNothing) {
   EXPECT_FALSE(pool.insert(0, d.data(), d.size()));
 }
 
+// ---- zero-copy pinning ------------------------------------------------------
+
+TEST(Segment, BeginFillReusesBufferWhenUnpinned) {
+  Segment s(64);
+  s.try_add(0, 16);
+  const std::uint8_t* before = s.data();
+  s.begin_fill();
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.data(), before);
+  EXPECT_EQ(s.buffer_refreshes(), 0u);
+}
+
+TEST(Segment, BeginFillRefreshesBufferWhilePinned) {
+  Segment s(64);
+  ASSERT_TRUE(s.try_add(0, 16));
+  std::memset(s.slot_data(s.slots()[0]), 0xab, 16);
+  const BufferPin pin = s.pin_slot(s.slots()[0]);
+  const std::uint8_t* old_buf = s.data();
+  s.begin_fill();
+  EXPECT_NE(s.data(), old_buf);
+  EXPECT_EQ(s.buffer_refreshes(), 1u);
+  // Scribbling over the fresh buffer must not disturb the pinned slice.
+  ASSERT_TRUE(s.try_add(1, 16));
+  std::memset(s.slot_data(s.slots()[0]), 0x11, 16);
+  for (int i = 0; i < 16; ++i) ASSERT_EQ(pin.get()[i], 0xab);
+}
+
+// ASan regression: the pinned slice must keep the backing buffer alive even
+// after the segment itself is gone (a use-after-free here is exactly the bug
+// the refcounted design exists to prevent).
+TEST(Segment, PinOutlivesSegment) {
+  BufferPin pin;
+  {
+    Segment s(32);
+    ASSERT_TRUE(s.try_add(0, 8));
+    std::memset(s.slot_data(s.slots()[0]), 0xcd, 8);
+    pin = s.pin_slot(s.slots()[0]);
+  }
+  for (int i = 0; i < 8; ++i) ASSERT_EQ(pin.get()[i], 0xcd);
+}
+
+TEST(Segment, PinSurvivesEnsureCapacityReplacement) {
+  Segment s(16);
+  ASSERT_TRUE(s.try_add(0, 8));
+  std::memset(s.slot_data(s.slots()[0]), 0x42, 8);
+  const BufferPin pin = s.pin_slot(s.slots()[0]);
+  s.clear();
+  s.ensure_capacity(4096);  // replaces the buffer; the pin holds the old one
+  ASSERT_TRUE(s.try_add(1, 4096));
+  std::memset(s.slot_data(s.slots()[0]), 0x00, 4096);
+  for (int i = 0; i < 8; ++i) ASSERT_EQ(pin.get()[i], 0x42);
+}
+
+TEST(CachePool, InsertPinnedIsZeroCopy) {
+  Segment s(64);
+  ASSERT_TRUE(s.try_add(0, 16));
+  std::memset(s.slot_data(s.slots()[0]), 0x7e, 16);
+  CachePool pool(100);
+  EXPECT_TRUE(pool.insert_pinned(4, s.pin_slot(s.slots()[0]), 16));
+  EXPECT_EQ(pool.bytes_copied(), 0u);
+  EXPECT_EQ(pool.used(), 16u);
+  // Zero-copy means the pool serves the segment's own bytes.
+  EXPECT_EQ(pool.entries()[0].data, s.data());
+}
+
+TEST(CachePool, BytesCopiedCountsCopyingInserts) {
+  CachePool pool(100);
+  const auto d = bytes(8, 1);
+  EXPECT_TRUE(pool.insert(0, d.data(), d.size()));
+  EXPECT_EQ(pool.bytes_copied(), 8u);
+  EXPECT_TRUE(pool.insert(1, d.data(), d.size()));
+  EXPECT_EQ(pool.bytes_copied(), 16u);
+}
+
+TEST(CachePool, ErasedPinReleasesBuffer) {
+  Segment s(64);
+  ASSERT_TRUE(s.try_add(0, 16));
+  CachePool pool(100);
+  ASSERT_TRUE(pool.insert_pinned(0, s.pin_slot(s.slots()[0]), 16));
+  pool.erase(0);
+  // With the pin dropped, begin_fill can reuse the buffer in place.
+  s.begin_fill();
+  EXPECT_EQ(s.buffer_refreshes(), 0u);
+}
+
+TEST(CachePool, ForEachEntryMatchesEntries) {
+  CachePool pool(1000);
+  const auto d = bytes(10, 3);
+  pool.insert(9, d.data(), d.size());
+  pool.insert(2, d.data(), d.size());
+  std::vector<CachePool::Entry> seen;
+  pool.for_each_entry([&](const CachePool::Entry& e) { seen.push_back(e); });
+  const auto snapshot = pool.entries();
+  ASSERT_EQ(seen.size(), snapshot.size());
+  for (std::size_t i = 0; i < seen.size(); ++i) {
+    EXPECT_EQ(seen[i].layout_idx, snapshot[i].layout_idx);
+    EXPECT_EQ(seen[i].data, snapshot[i].data);
+    EXPECT_EQ(seen[i].bytes, snapshot[i].bytes);
+  }
+}
+
 // ---- policies ------------------------------------------------------------
 
 // Minimal algorithm stub exposing a controllable oracle.

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Project-specific concurrency/I/O lint for the G-Store core.
 
-Five rule families clang-tidy cannot express for us:
+Six rule families clang-tidy cannot express for us:
 
 R1 cross-thread annotations.
    A member documented as shared across threads carries the token
@@ -40,6 +40,13 @@ R5 audited thread-safety escape hatches.
    cannot see. An unexplained escape hatch is indistinguishable from a
    silenced bug.
 
+R6 per-item dynamic scheduling.
+   `schedule(dynamic, 1)` is banned in src/: one work item per dispatch is
+   either pure scheduling overhead (swarms of near-empty tiles) or load
+   imbalance with nothing to steal (one hub tile per item). Chunk by cost
+   first (see cost_chunks in src/store/scr_engine.cpp) and use
+   schedule(dynamic) over the chunks.
+
 Exit status 0 when clean, 1 with findings (one per line, grep-style).
 """
 
@@ -69,6 +76,8 @@ SYNC_COMPONENT = ("src/util/sync.h", "src/util/sync.cpp")
 # R5: escape hatch + its justification marker.
 NO_TSA = "GSTORE_NO_THREAD_SAFETY_ANALYSIS"
 SAFETY_MARK = re.compile(r"//.*\bSAFETY:")
+# R6: one-work-item-per-dispatch OpenMP scheduling.
+DYNAMIC_ONE = re.compile(r"schedule\s*\(\s*dynamic\s*,\s*1\s*\)")
 MEMBER_DECL = re.compile(
     r"^\s*(?:mutable\s+)?(?P<type>[\w:][\w:<>,\s*&]*?)\s+(?P<name>\w+)\s*(?:=[^;]*|\{[^;]*\})?;"
 )
@@ -214,6 +223,13 @@ def main(root: Path) -> int:
                             f"{NO_TSA} without a SAFETY: justification "
                             f"comment in the preceding 3 lines"
                         )
+
+            if DYNAMIC_ONE.search(code):
+                findings.append(
+                    f"{path}:{lineno}: R6: schedule(dynamic, 1) — chunk work "
+                    f"items by cost and use schedule(dynamic) over the "
+                    f"chunks (see cost_chunks in src/store/scr_engine.cpp)"
+                )
 
     for f in findings:
         print(f)
