@@ -19,14 +19,21 @@
 namespace gstore::bench {
 namespace {
 
-double run_pagerank(tile::TileStore& store) {
+struct PrRun {
+  double seconds = 0;
+  store::EngineStats stats;
+};
+
+PrRun run_pagerank(tile::TileStore& store) {
   algo::PageRankOptions popt;
   popt.max_iterations = 5;
   popt.tolerance = 0;
   algo::TilePageRank pr(popt);
   Timer t;
-  store::ScrEngine(store, store::EngineConfig{}).run(pr);
-  return t.seconds();
+  PrRun out;
+  out.stats = store::ScrEngine(store, store::EngineConfig{}).run(pr);
+  out.seconds = t.seconds();
+  return out;
 }
 
 int run() {
@@ -76,7 +83,8 @@ int run() {
   const double replay_eps = replayed.edges.size() / std::max(replay_s, 1e-9);
 
   // --- read-path tax of the overlay ---
-  const double pr_overlay_s = run_pagerank(ingestor.store());
+  const PrRun pr_overlay = run_pagerank(ingestor.store());
+  const double pr_overlay_s = pr_overlay.seconds;
 
   // --- compaction throughput ---
   const ingest::CompactStats cs = ingestor.compact();
@@ -84,7 +92,17 @@ int run() {
   const double compact_mbps =
       cs.bytes_written / double(1 << 20) / std::max(cs.seconds, 1e-9);
 
-  const double pr_compacted_s = run_pagerank(ingestor.store());
+  const PrRun pr_compacted = run_pagerank(ingestor.store());
+  const double pr_compacted_s = pr_compacted.seconds;
+  // I/O resilience context: recovery counters across both engine runs. On
+  // healthy hardware these are all zero; nonzero values explain outliers in
+  // the timing columns (retried reads stall tiles, backoff sleeps serialize).
+  const store::EngineStats& eo = pr_overlay.stats;
+  const store::EngineStats& ec = pr_compacted.stats;
+  const unsigned long long io_retries = eo.retries + ec.retries;
+  const unsigned long long io_short_reads = eo.short_reads + ec.short_reads;
+  const unsigned long long io_failed_reads = eo.failed_reads + ec.failed_reads;
+  const double io_backoff_s = eo.backoff_seconds + ec.backoff_seconds;
 
   Table table({"metric", "value"});
   table.row({"graph", "Kron-" + std::to_string(s) + " (" +
@@ -115,12 +133,17 @@ int run() {
         "  \"compaction_seconds\": %.4f,\n"
         "  \"pagerank_overlay_seconds\": %.4f,\n"
         "  \"pagerank_compacted_seconds\": %.4f,\n"
-        "  \"new_generation\": %u\n"
+        "  \"new_generation\": %u,\n"
+        "  \"io_retries\": %llu,\n"
+        "  \"io_short_reads\": %llu,\n"
+        "  \"io_failed_reads\": %llu,\n"
+        "  \"io_backoff_seconds\": %.4f\n"
         "}\n",
         s, edge_factor(), static_cast<unsigned long long>(cs.base_edges),
         static_cast<unsigned long long>(ingested), ingest_eps, replay_eps,
         compact_eps, compact_mbps, cs.seconds, pr_overlay_s, pr_compacted_s,
-        cs.new_generation);
+        cs.new_generation, io_retries, io_short_reads, io_failed_reads,
+        io_backoff_s);
     std::fclose(json);
     std::printf("\nwrote BENCH_ingest.json\n");
   }

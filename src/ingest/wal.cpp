@@ -19,9 +19,13 @@ std::uint32_t frame_crc(const WalFrameHeader& h,
 }  // namespace
 
 WalReplay EdgeWal::replay(const std::string& path) {
-  WalReplay out;
-  if (!io::File::exists(path)) return out;
+  if (!io::File::exists(path)) return {};
   io::File f(path, io::OpenMode::kRead);
+  return replay(f, path);
+}
+
+WalReplay EdgeWal::replay(const io::Source& f, const std::string& name) {
+  WalReplay out;
   const std::uint64_t size = f.size();
   if (size < sizeof(WalFileHeader)) {
     // A file this short cannot even hold the header — treat as absent (a
@@ -34,9 +38,9 @@ WalReplay EdgeWal::replay(const std::string& path) {
   WalFileHeader fh;
   f.pread_full(&fh, sizeof(fh), 0);
   if (fh.magic != kWalFileMagic)
-    throw FormatError(path + " is not a g-store WAL (magic mismatch)");
+    throw FormatError(name + " is not a g-store WAL (magic mismatch)");
   if (fh.version != kWalVersion)
-    throw FormatError(path + " has WAL version " + std::to_string(fh.version) +
+    throw FormatError(name + " has WAL version " + std::to_string(fh.version) +
                       "; this reader understands only " +
                       std::to_string(kWalVersion));
   out.exists = true;

@@ -28,6 +28,7 @@
 
 #include "graph/types.h"
 #include "io/file.h"
+#include "io/source.h"
 #include "util/sync.h"
 
 namespace gstore::ingest {
@@ -79,6 +80,12 @@ class EdgeWal {
 
   // Scans `path`, CRC-checking every frame; tolerates a torn tail.
   static WalReplay replay(const std::string& path);
+
+  // Same scan over an abstract source (`name` labels error messages). This
+  // is the core implementation; the path overload opens the file and
+  // delegates. Taking a Source lets recovery tests replay through an
+  // io::FaultInjectingSource (torn-tail injection) or a striped set.
+  static WalReplay replay(const io::Source& src, const std::string& name);
 
   // Opens (creating if needed) the WAL for appending on behalf of a store at
   // `generation`. A stale-generation or torn log is reset/truncated here, so

@@ -12,6 +12,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "io/file.h"
@@ -19,6 +20,42 @@
 namespace gstore::io {
 
 class Throttle;
+
+// Errno classification driving the retry decision. The taxonomy follows
+// what the kernel actually hands back from block-device reads:
+//   kInterrupted — EINTR/EAGAIN/EWOULDBLOCK: the syscall never ran to
+//                  completion; reissue immediately (storms are bounded by a
+//                  generous separate budget, no backoff needed).
+//   kTransient   — EIO/ENOMEM/EBUSY/ETIMEDOUT/ENOSPC pressure-class errors
+//                  a retry with backoff can outlive (a flaky link, a
+//                  momentarily saturated controller).
+//   kPermanent   — everything else (EBADF, EINVAL, EFAULT, ENXIO, ...):
+//                  retrying cannot help; fail the request now.
+enum class ErrnoClass { kInterrupted, kTransient, kPermanent };
+ErrnoClass classify_errno(int err) noexcept;
+
+// Bounded-retry contract for one read request. All recovery is performed on
+// the I/O worker executing the request, so submitters and pollers never see
+// a transient failure at all — only requests that exhausted their budget
+// complete with ok == false.
+struct RetryPolicy {
+  int max_retries = 4;         // budget for kTransient failures
+  int max_interrupts = 256;    // budget for kInterrupted storms
+  double backoff_initial_ms = 1.0;   // doubles per transient retry...
+  double backoff_max_ms = 100.0;     // ...capped here
+  // Short reads before EOF are resubmitted for the missing tail (offset,
+  // length and buffer advanced past the delivered bytes). Off = a short
+  // read completes as-is, like plain pread(2).
+  bool resubmit_short_reads = true;
+};
+
+// Recovery counters, aggregated across all requests since construction.
+struct RetryStats {
+  std::uint64_t retries = 0;       // error retries (interrupted + transient)
+  std::uint64_t short_reads = 0;   // tail resubmissions after short reads
+  std::uint64_t failed_reads = 0;  // requests completed with ok == false
+  double backoff_seconds = 0;      // total time spent sleeping in backoff
+};
 
 // One read request: fill `buffer[0..length)` from `file` at `offset`.
 // `file` may be a plain File or any other Source (e.g. a striped set).
@@ -40,7 +77,9 @@ struct ReadRequest {
 struct Completion {
   std::uint64_t tag = 0;
   std::size_t bytes = 0;   // bytes actually read (may be < length at EOF)
-  bool ok = true;          // false if the read failed
+  bool ok = true;          // false if the read failed past its retry budget
+  int error = 0;           // errno-style code when !ok (0 otherwise)
+  std::string message;     // failure detail (exception what()) when !ok
 };
 
 enum class Backend {
@@ -54,7 +93,8 @@ class AsyncEngine {
   // `depth` bounds in-flight requests (like the aio context's nr_events);
   // `workers` is the number of I/O threads for the thread-pool backend.
   explicit AsyncEngine(Backend backend = Backend::kThreadPool,
-                       std::size_t depth = 128, std::size_t workers = 4);
+                       std::size_t depth = 128, std::size_t workers = 4,
+                       RetryPolicy retry = {});
   ~AsyncEngine();
 
   AsyncEngine(const AsyncEngine&) = delete;
@@ -73,9 +113,18 @@ class AsyncEngine {
   std::size_t poll(std::size_t min_events, std::size_t max_events,
                    std::vector<Completion>& out);
 
-  // Convenience: waits until all in-flight requests complete and discards
-  // the completions; throws if any failed.
+  // Convenience: waits until ALL in-flight requests complete (keeping
+  // in_flight() consistent throughout), discards the completions, then — if
+  // any failed — throws a single IoError listing every failed tag. Nothing
+  // is left in flight when the exception propagates.
   void drain();
+
+  // Like drain() but never throws: waits out every in-flight request and
+  // discards all completions. Returns the number of failed completions
+  // discarded. This is the unwind-path primitive — callers about to
+  // propagate an exception call quiesce() first so no worker is still
+  // writing into buffers the unwind is about to free.
+  std::size_t quiesce() noexcept;
 
   std::size_t in_flight() const;
 
@@ -83,6 +132,9 @@ class AsyncEngine {
   std::uint64_t bytes_read() const noexcept;
   // Total submit() calls — the paper counts system calls saved by batching.
   std::uint64_t submit_calls() const noexcept;
+  // Recovery counters (retries, short-read resubmits, failures, backoff).
+  RetryStats retry_stats() const noexcept;
+  const RetryPolicy& retry_policy() const noexcept;
 
  private:
   struct Impl;

@@ -1,6 +1,8 @@
 #include "io/device.h"
 
+#include "io/fault.h"
 #include "io/striped.h"
+#include "util/status.h"
 
 namespace gstore::io {
 
@@ -11,10 +13,18 @@ std::uint64_t aggregate_bw(const DeviceConfig& c) {
 
 std::unique_ptr<Source> open_source(const std::string& path,
                                     const DeviceConfig& c) {
+  std::unique_ptr<Source> src;
   if (c.stripe_files > 0)
-    return std::make_unique<StripedFile>(path, c.stripe_files, c.stripe_bytes,
-                                         c.direct);
-  return std::make_unique<File>(path, OpenMode::kRead, c.direct);
+    src = std::make_unique<StripedFile>(path, c.stripe_files, c.stripe_bytes,
+                                        c.direct);
+  else
+    src = std::make_unique<File>(path, OpenMode::kRead, c.direct);
+  if (!c.fault_spec.empty()) {
+    const FaultSpec spec = FaultSpec::parse(c.fault_spec);
+    if (!spec.empty())
+      src = std::make_unique<FaultInjectingSource>(std::move(src), spec);
+  }
+  return src;
 }
 }  // namespace
 
@@ -23,7 +33,8 @@ Device::Device(const std::string& path, DeviceConfig config)
       source_(open_source(path, config)),
       throttle_(aggregate_bw(config), config.burst_bytes),
       slow_throttle_(config.slow_tier_bw, config.burst_bytes),
-      engine_(config.backend, config.queue_depth, config.io_workers) {}
+      engine_(config.backend, config.queue_depth, config.io_workers,
+              config.retry) {}
 
 void Device::set_tier_map(TierMap map) {
   WriterMutexLock lock(tier_mutex_);
@@ -47,7 +58,30 @@ void Device::read(void* buf, std::size_t n, std::uint64_t offset) {
   const auto [fast, slow] = tier_split(offset, n);
   throttle_.acquire(fast);
   if (slow > 0) slow_throttle_.acquire(slow);
-  source_->pread_full(buf, n, offset);
+  // The synchronous path honors the same retry contract as the async
+  // workers for interrupted/transient errors, so `gstore_run --fault-spec`
+  // behaves the same in overlap and no-overlap modes. Failures past the
+  // budget propagate as the IoError they are.
+  int transient_attempts = 0;
+  int interrupt_attempts = 0;
+  for (;;) {
+    try {
+      source_->pread_full(buf, n, offset);
+      break;
+    } catch (const IoError& e) {
+      switch (classify_errno(e.sys_errno())) {
+        case ErrnoClass::kInterrupted:
+          if (++interrupt_attempts <= config_.retry.max_interrupts) continue;
+          break;
+        case ErrnoClass::kTransient:
+          if (++transient_attempts <= config_.retry.max_retries) continue;
+          break;
+        case ErrnoClass::kPermanent:
+          break;
+      }
+      throw;
+    }
+  }
   sync_bytes_.fetch_add(n, std::memory_order_relaxed);
   read_ops_.fetch_add(1, std::memory_order_relaxed);
 }
@@ -76,6 +110,8 @@ std::size_t Device::poll(std::size_t min_events, std::size_t max_events,
 
 void Device::drain() { engine_.drain(); }
 
+std::size_t Device::quiesce() noexcept { return engine_.quiesce(); }
+
 DeviceStats Device::stats() const {
   MutexLock lock(stats_mutex_);
   DeviceStats s;
@@ -83,6 +119,11 @@ DeviceStats Device::stats() const {
                  sync_bytes_.load(std::memory_order_relaxed);
   s.read_ops = read_ops_.load(std::memory_order_relaxed);
   s.submit_calls = engine_.submit_calls() - stats_submit_base_;
+  const RetryStats r = engine_.retry_stats();
+  s.retries = r.retries - stats_retry_base_.retries;
+  s.short_reads = r.short_reads - stats_retry_base_.short_reads;
+  s.failed_reads = r.failed_reads - stats_retry_base_.failed_reads;
+  s.backoff_seconds = r.backoff_seconds - stats_retry_base_.backoff_seconds;
   return s;
 }
 
@@ -90,6 +131,7 @@ void Device::reset_stats() {
   MutexLock lock(stats_mutex_);
   stats_bytes_base_ = engine_.bytes_read();
   stats_submit_base_ = engine_.submit_calls();
+  stats_retry_base_ = engine_.retry_stats();
   sync_bytes_.store(0, std::memory_order_relaxed);
   read_ops_.store(0, std::memory_order_relaxed);
 }

@@ -39,12 +39,27 @@ struct DeviceConfig {
   std::size_t queue_depth = 128;
   std::size_t io_workers = 4;
   bool direct = false;  // request O_DIRECT where the filesystem allows it
+  // Bounded-retry contract applied by the async engine's workers (and the
+  // synchronous baseline) to every read. See io/async_engine.h.
+  RetryPolicy retry;
+  // Fault injection (io/fault.h): when non-empty, the opened source is
+  // wrapped in a FaultInjectingSource with FaultSpec::parse(fault_spec).
+  // Drives `gstore_run --fault-spec` and the chaos tests; empty in
+  // production use.
+  std::string fault_spec;
 };
 
 struct DeviceStats {
   std::uint64_t bytes_read = 0;
   std::uint64_t read_ops = 0;
   std::uint64_t submit_calls = 0;
+  // Recovery counters from the async engine (see RetryStats): how many
+  // reads were retried, how many short reads were resubmitted for their
+  // tail, how many exhausted the budget, and the total backoff slept.
+  std::uint64_t retries = 0;
+  std::uint64_t short_reads = 0;
+  std::uint64_t failed_reads = 0;
+  double backoff_seconds = 0;
 };
 
 class Device {
@@ -60,6 +75,9 @@ class Device {
   std::size_t poll(std::size_t min_events, std::size_t max_events,
                    std::vector<Completion>& out);
   void drain();
+  // Waits out every in-flight request without throwing (unwind-path
+  // barrier); returns the number of failed completions discarded.
+  std::size_t quiesce() noexcept;
 
   const Source& file() const noexcept { return *source_; }
   std::uint64_t size() const { return source_->size(); }
@@ -99,6 +117,7 @@ class Device {
   mutable Mutex stats_mutex_{"Device::stats_mutex_"};
   std::uint64_t stats_bytes_base_ GSTORE_GUARDED_BY(stats_mutex_) = 0;
   std::uint64_t stats_submit_base_ GSTORE_GUARDED_BY(stats_mutex_) = 0;
+  RetryStats stats_retry_base_ GSTORE_GUARDED_BY(stats_mutex_);
 };
 
 }  // namespace gstore::io

@@ -1,0 +1,177 @@
+#include "io/fault.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <sstream>
+#include <thread>
+
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace gstore::io {
+
+namespace {
+
+double parse_probability(const std::string& key, const std::string& text) {
+  char* end = nullptr;
+  const double v = std::strtod(text.c_str(), &end);
+  if (end == text.c_str() || *end != '\0' || v < 0.0 || v > 1.0)
+    throw InvalidArgument("fault-spec: " + key + "=" + text +
+                          " is not a probability in [0, 1]");
+  return v;
+}
+
+std::uint64_t parse_u64(const std::string& key, const std::string& text) {
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+  if (end == text.c_str() || *end != '\0')
+    throw InvalidArgument("fault-spec: " + key + "=" + text +
+                          " is not an unsigned integer");
+  return v;
+}
+
+// Per-read decision stream: every fault type gets an independent uniform
+// draw derived from (seed, read index) alone, so the schedule is a pure
+// function of the read sequence.
+struct Draws {
+  Draws(std::uint64_t seed, std::uint64_t read_idx) : state_(seed ^ (read_idx * 0x9e3779b97f4a7c15ULL + 1)) {}
+  double uniform() {
+    return static_cast<double>(splitmix64(state_) >> 11) * 0x1.0p-53;
+  }
+  std::uint64_t state_;
+};
+
+}  // namespace
+
+FaultSpec FaultSpec::parse(const std::string& text) {
+  FaultSpec spec;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t comma = text.find(',', pos);
+    if (comma == std::string::npos) comma = text.size();
+    const std::string item = text.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (item.empty()) continue;
+    const std::size_t eq = item.find('=');
+    if (eq == std::string::npos)
+      throw InvalidArgument("fault-spec: '" + item + "' is not key=value");
+    const std::string key = item.substr(0, eq);
+    const std::string val = item.substr(eq + 1);
+    if (key == "seed") {
+      spec.seed = parse_u64(key, val);
+    } else if (key == "eio-nth") {
+      spec.eio_nth = parse_u64(key, val);
+    } else if (key == "eio") {
+      spec.eio_rate = parse_probability(key, val);
+    } else if (key == "eintr") {
+      spec.eintr_rate = parse_probability(key, val);
+    } else if (key == "eagain") {
+      spec.eagain_rate = parse_probability(key, val);
+    } else if (key == "short") {
+      spec.short_rate = parse_probability(key, val);
+    } else if (key == "torn-tail") {
+      spec.torn_tail_bytes = parse_u64(key, val);
+    } else if (key == "latency") {
+      // latency=P:MS — probability and spike duration together.
+      const std::size_t colon = val.find(':');
+      if (colon == std::string::npos)
+        throw InvalidArgument("fault-spec: latency wants P:MS, got " + val);
+      spec.latency_rate = parse_probability(key, val.substr(0, colon));
+      char* end = nullptr;
+      const std::string ms = val.substr(colon + 1);
+      spec.latency_ms = std::strtod(ms.c_str(), &end);
+      if (end == ms.c_str() || *end != '\0' || spec.latency_ms < 0)
+        throw InvalidArgument("fault-spec: latency duration '" + ms +
+                              "' is not a non-negative number");
+    } else {
+      throw InvalidArgument("fault-spec: unknown key '" + key + "'");
+    }
+  }
+  return spec;
+}
+
+std::string FaultSpec::to_string() const {
+  std::ostringstream os;
+  os << "seed=" << seed;
+  if (eio_nth != 0) os << ",eio-nth=" << eio_nth;
+  if (eio_rate != 0) os << ",eio=" << eio_rate;
+  if (eintr_rate != 0) os << ",eintr=" << eintr_rate;
+  if (eagain_rate != 0) os << ",eagain=" << eagain_rate;
+  if (short_rate != 0) os << ",short=" << short_rate;
+  if (latency_rate != 0) os << ",latency=" << latency_rate << ":" << latency_ms;
+  if (torn_tail_bytes != 0) os << ",torn-tail=" << torn_tail_bytes;
+  return os.str();
+}
+
+FaultInjectingSource::FaultInjectingSource(std::unique_ptr<Source> inner,
+                                           FaultSpec spec)
+    : owned_(std::move(inner)), inner_(owned_.get()), spec_(spec) {
+  GS_CHECK_MSG(inner_ != nullptr, "fault injection needs a source to wrap");
+}
+
+FaultInjectingSource::FaultInjectingSource(const Source& inner, FaultSpec spec)
+    : inner_(&inner), spec_(spec) {}
+
+std::uint64_t FaultInjectingSource::size() const {
+  const std::uint64_t inner_size = inner_->size();
+  return inner_size > spec_.torn_tail_bytes
+             ? inner_size - spec_.torn_tail_bytes
+             : 0;
+}
+
+std::size_t FaultInjectingSource::pread_some(void* buf, std::size_t n,
+                                             std::uint64_t offset) const {
+  const std::uint64_t idx =
+      next_read_.fetch_add(1, std::memory_order_relaxed);
+  Draws draws(spec_.seed, idx);
+  // Order: latency (composes with any outcome), then hard errors by
+  // increasing severity of the recovery they demand, then truncation.
+  if (spec_.latency_rate > 0 && draws.uniform() < spec_.latency_rate) {
+    latency_spikes_.fetch_add(1, std::memory_order_relaxed);
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(spec_.latency_ms));
+  }
+  if (spec_.eintr_rate > 0 && draws.uniform() < spec_.eintr_rate) {
+    injected_eintr_.fetch_add(1, std::memory_order_relaxed);
+    throw IoError("injected fault (read " + std::to_string(idx + 1) + ")",
+                  EINTR);
+  }
+  if (spec_.eagain_rate > 0 && draws.uniform() < spec_.eagain_rate) {
+    injected_eagain_.fetch_add(1, std::memory_order_relaxed);
+    throw IoError("injected fault (read " + std::to_string(idx + 1) + ")",
+                  EAGAIN);
+  }
+  if ((spec_.eio_nth != 0 && idx + 1 == spec_.eio_nth) ||
+      (spec_.eio_rate > 0 && draws.uniform() < spec_.eio_rate)) {
+    injected_eio_.fetch_add(1, std::memory_order_relaxed);
+    throw IoError("injected fault (read " + std::to_string(idx + 1) + ")",
+                  EIO);
+  }
+  // Torn tail: the file simply ends early; normal EOF clamping applies.
+  const std::uint64_t effective_size = size();
+  if (offset >= effective_size) return 0;
+  std::size_t want = static_cast<std::size_t>(
+      std::min<std::uint64_t>(n, effective_size - offset));
+  if (spec_.short_rate > 0 && want > 1 && draws.uniform() < spec_.short_rate) {
+    injected_short_.fetch_add(1, std::memory_order_relaxed);
+    // Keep at least one byte so a short read always makes progress — a
+    // zero-byte mid-file read would be indistinguishable from EOF.
+    want = 1 + static_cast<std::size_t>(draws.uniform() * (want - 1));
+  }
+  return inner_->pread_some(buf, want, offset);
+}
+
+FaultStats FaultInjectingSource::stats() const {
+  FaultStats s;
+  s.reads = next_read_.load(std::memory_order_relaxed);
+  s.injected_eio = injected_eio_.load(std::memory_order_relaxed);
+  s.injected_eintr = injected_eintr_.load(std::memory_order_relaxed);
+  s.injected_eagain = injected_eagain_.load(std::memory_order_relaxed);
+  s.injected_short = injected_short_.load(std::memory_order_relaxed);
+  s.latency_spikes = latency_spikes_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace gstore::io

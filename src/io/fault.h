@@ -1,0 +1,113 @@
+// I/O fault injection: a Source wrapper that fails reads on a deterministic,
+// seeded schedule.
+//
+// Disk-backed engines corrupt results on the error path, not the happy path
+// (FlashGraph and GraphChi-DB both grew their recovery layers after field
+// failures). This wrapper lets every recovery mechanism in the stack —
+// AsyncEngine's retry/backoff, ScrEngine's segment quiesce, WAL torn-tail
+// replay — be exercised forever in ordinary unit tests and from the command
+// line (`gstore_run --fault-spec=...`), instead of waiting for a dying SSD.
+//
+// Faults are drawn per read call from a counter-indexed splitmix64 stream,
+// so a given (seed, read-index) pair always yields the same decision: a
+// single-threaded read sequence replays bit-identically, and a concurrent
+// one is reproducible up to read-arrival order.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "io/source.h"
+
+namespace gstore::io {
+
+// What to inject, parsed from a compact `key=value[,key=value...]` spec:
+//
+//   seed=N        stream seed (default 1)
+//   eio-nth=N     exactly one EIO on the Nth read call (1-based; 0 = never)
+//   eio=P         per-read probability of an EIO failure
+//   eintr=P       per-read probability of an EINTR failure (syscall interrupt)
+//   eagain=P      per-read probability of an EAGAIN failure
+//   short=P       per-read probability the read returns fewer bytes than asked
+//   latency=P:MS  per-read probability P of sleeping MS milliseconds
+//   torn-tail=N   the file appears N bytes shorter than it is (models a torn
+//                 append for WAL replay; reads are clamped to the new size)
+//
+// Example: --fault-spec="seed=7,eintr=0.2,short=0.1,eio-nth=40"
+struct FaultSpec {
+  std::uint64_t seed = 1;
+  std::uint64_t eio_nth = 0;
+  double eio_rate = 0;
+  double eintr_rate = 0;
+  double eagain_rate = 0;
+  double short_rate = 0;
+  double latency_rate = 0;
+  double latency_ms = 0;
+  std::uint64_t torn_tail_bytes = 0;
+
+  // True when no fault can ever fire (the wrapper is then a pass-through).
+  bool empty() const noexcept {
+    return eio_nth == 0 && eio_rate == 0 && eintr_rate == 0 &&
+           eagain_rate == 0 && short_rate == 0 && latency_rate == 0 &&
+           torn_tail_bytes == 0;
+  }
+
+  // Parses the spec grammar above; throws InvalidArgument on unknown keys,
+  // malformed numbers, or probabilities outside [0, 1].
+  static FaultSpec parse(const std::string& text);
+  std::string to_string() const;
+};
+
+// Counts of injected events, for tests and tool output.
+struct FaultStats {
+  std::uint64_t reads = 0;
+  std::uint64_t injected_eio = 0;
+  std::uint64_t injected_eintr = 0;
+  std::uint64_t injected_eagain = 0;
+  std::uint64_t injected_short = 0;
+  std::uint64_t latency_spikes = 0;
+};
+
+class FaultInjectingSource final : public Source {
+ public:
+  // Owning: the wrapper keeps `inner` alive (Device's wiring).
+  FaultInjectingSource(std::unique_ptr<Source> inner, FaultSpec spec);
+  // Non-owning: `inner` must outlive the wrapper (test wiring).
+  FaultInjectingSource(const Source& inner, FaultSpec spec);
+
+  // Draws this call's fault from the schedule, then either throws IoError
+  // (EIO/EINTR/EAGAIN), truncates the read, sleeps, or forwards unchanged.
+  // Reads are always clamped to size() so a torn tail behaves exactly like
+  // a shorter file.
+  std::size_t pread_some(void* buf, std::size_t n,
+                         std::uint64_t offset) const override;
+
+  // Inner size minus the torn tail (never underflows).
+  std::uint64_t size() const override;
+
+  const FaultSpec& spec() const noexcept { return spec_; }
+  FaultStats stats() const;
+
+ private:
+  std::unique_ptr<Source> owned_;
+  const Source* inner_;
+  FaultSpec spec_;
+  // cross-thread: read index and stats counters are bumped by concurrent
+  // I/O workers (pread_some is const and thread-compatible like any Source).
+  mutable std::atomic<std::uint64_t> next_read_{0};
+  // cross-thread (same contract as next_read_).
+  mutable std::atomic<std::uint64_t> injected_eio_{0};
+  // cross-thread (same contract as next_read_).
+  mutable std::atomic<std::uint64_t> injected_eintr_{0};
+  // cross-thread (same contract as next_read_).
+  mutable std::atomic<std::uint64_t> injected_eagain_{0};
+  // cross-thread (same contract as next_read_).
+  mutable std::atomic<std::uint64_t> injected_short_{0};
+  // cross-thread (same contract as next_read_).
+  mutable std::atomic<std::uint64_t> latency_spikes_{0};
+};
+
+}  // namespace gstore::io

@@ -81,7 +81,8 @@ void File::close() {
 void File::pread_full(void* buf, std::size_t n, std::uint64_t offset) const {
   const std::size_t got = pread_some(buf, n, offset);
   if (got != n)
-    throw IoError("short read from " + path_ + " (" + std::to_string(got) +
+    throw IoError("short read from " + path_ + " at offset " +
+                      std::to_string(offset) + " (" + std::to_string(got) +
                       "/" + std::to_string(n) + " bytes)",
                   EIO);
 }
@@ -94,7 +95,8 @@ std::size_t File::pread_some(void* buf, std::size_t n, std::uint64_t offset) con
         ::pread(fd_, p + done, n - done, static_cast<off_t>(offset + done));
     if (got < 0) {
       if (errno == EINTR) continue;
-      throw IoError("pread " + path_);
+      throw IoError("pread " + path_ + " at offset " +
+                    std::to_string(offset + done));
     }
     if (got == 0) break;  // EOF
     done += static_cast<std::size_t>(got);
@@ -110,7 +112,8 @@ void File::pwrite_full(const void* buf, std::size_t n, std::uint64_t offset) con
         ::pwrite(fd_, p + done, n - done, static_cast<off_t>(offset + done));
     if (put < 0) {
       if (errno == EINTR) continue;
-      throw IoError("pwrite " + path_);
+      throw IoError("pwrite " + path_ + " at offset " +
+                    std::to_string(offset + done));
     }
     done += static_cast<std::size_t>(put);
   }

@@ -9,8 +9,9 @@ namespace gstore::io {
 void Source::pread_full(void* buf, std::size_t n, std::uint64_t offset) const {
   const std::size_t got = pread_some(buf, n, offset);
   if (got != n)
-    throw IoError("short read (" + std::to_string(got) + "/" +
-                      std::to_string(n) + " bytes)",
+    throw IoError("short read at offset " + std::to_string(offset) + " (" +
+                      std::to_string(got) + "/" + std::to_string(n) +
+                      " bytes)",
                   EIO);
 }
 
@@ -72,7 +73,20 @@ std::size_t StripedFile::pread_some(void* buf, std::size_t n,
     const std::size_t got =
         files_[member].pread_some(out + done, want, member_off);
     done += got;
-    if (got < want) break;  // member shorter than expected
+    if (got < want) {
+      // `want` was already clamped to the logical size, so a short member
+      // read means the set is internally inconsistent: this member holds
+      // fewer bytes than the round-robin layout requires for the total the
+      // members advertise. Returning a silently truncated buffer here is
+      // how a degraded array corrupts results downstream — fail loudly so
+      // the engine's retry/abort machinery takes over.
+      throw IoError("striped member " + files_[member].path() +
+                        " is truncated: stripe " + std::to_string(stripe) +
+                        " at member offset " + std::to_string(member_off) +
+                        " delivered " + std::to_string(got) + "/" +
+                        std::to_string(want) + " bytes",
+                    EIO);
+    }
   }
   return done;
 }

@@ -1,6 +1,9 @@
 #include "store/scr_engine.h"
 
 #include <algorithm>
+#include <string>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "store/cache_pool.h"
@@ -168,6 +171,10 @@ struct ScrEngine::Runner {
     ++stats.io_batches;
     if (config.overlap_io) {
       const std::size_t n_requests = batch.size();
+      // Remember every request so a failed or truncated completion can be
+      // resubmitted (or reported with its offset) from wait_segment.
+      for (const auto& req : batch)
+        inflight.emplace(req.tag, InFlightRead{req, 0});
       store.device().submit(std::move(batch));
       return n_requests;
     }
@@ -180,22 +187,78 @@ struct ScrEngine::Runner {
   }
 
   // Waits until all in-flight requests for segment s have completed.
+  //
+  // Failure handling (the recovery layer above the async engine's own
+  // per-read retries): a failed completion — or a short one, which means
+  // the async engine already pursued the tail to EOF and the tile file is
+  // genuinely truncated — is never processed as a full tile. The whole
+  // request is resubmitted up to config.read_retry_budget times; past the
+  // budget it is recorded and the iteration fails via fail_iteration(),
+  // which drains *both* segments' in-flight reads before the exception
+  // escapes (the I/O workers write into buffers this Runner owns, so
+  // unwinding under them would be a use-after-free).
   void wait_segment(int s) {
     Timer t;
     while (pending[s] > 0) {
-      std::vector<io::Completion> done;
-      store.device().poll(1, 64, done);
-      for (const auto& c : done) {
-        if (!c.ok)
-          throw IoError("tile read failed (tag " + std::to_string(c.tag) + ")",
-                        EIO);
-        const int seg = tag_segment(c.tag);
-        GSTORE_DCHECK(seg == 0 || seg == 1);
-        GSTORE_DCHECK_GT(pending[seg], 0);
-        --pending[seg];
-      }
+      completions_scratch.clear();
+      store.device().poll(1, 64, completions_scratch);
+      for (const io::Completion& c : completions_scratch)
+        handle_completion(c);
     }
     stats.io_wait_seconds += t.seconds();
+    if (!read_failures.empty()) fail_iteration();
+  }
+
+  void handle_completion(const io::Completion& c) {
+    const int seg = tag_segment(c.tag);
+    GSTORE_DCHECK(seg == 0 || seg == 1);
+    GSTORE_DCHECK_GT(pending[seg], 0);
+    --pending[seg];
+    const auto it = inflight.find(c.tag);
+    GSTORE_DCHECK(it != inflight.end());
+    if (it == inflight.end()) return;  // untracked (sync-mode leftovers)
+    InFlightRead& r = it->second;
+    if (c.ok && c.bytes == r.req.length) {
+      inflight.erase(it);
+      return;
+    }
+    if (r.attempts < config.read_retry_budget) {
+      ++r.attempts;
+      ++stats.tile_resubmits;
+      std::vector<io::ReadRequest> one{r.req};
+      store.device().submit(std::move(one));
+      ++pending[seg];
+      return;
+    }
+    const std::string why =
+        !c.ok ? (c.message.empty() ? "read failed" : c.message)
+              : ("truncated read: " + std::to_string(c.bytes) + "/" +
+                 std::to_string(r.req.length) + " bytes");
+    read_failures.push_back("tile read at offset " +
+                            std::to_string(r.req.offset) + " (tag " +
+                            std::to_string(c.tag) + "): " + why);
+    inflight.erase(it);
+  }
+
+  // Aborts the iteration with one IoError naming every tile read that
+  // exhausted its budget. Quiesces first: no exception may escape while
+  // the async workers can still write into the segment buffers.
+  [[noreturn]] void fail_iteration() {
+    quiesce_all();
+    std::string msg = "iteration aborted: " +
+                      std::to_string(read_failures.size()) +
+                      " tile read(s) failed past the retry budget";
+    for (const auto& f : read_failures) msg += "; " + f;
+    read_failures.clear();
+    throw IoError(msg, EIO);
+  }
+
+  // Unwind-path barrier: waits out every in-flight read for both segments
+  // without throwing, then resets the double-buffer bookkeeping.
+  void quiesce_all() noexcept {
+    store.device().quiesce();
+    pending[0] = pending[1] = 0;
+    inflight.clear();
   }
 
   // Processes every tile resident in segment s (in parallel), then offers
@@ -312,20 +375,29 @@ struct ScrEngine::Runner {
       }
     }
 
-    // SLIDE: double-buffered stream over the fetch list.
+    // SLIDE: double-buffered stream over the fetch list. Any exception —
+    // an I/O failure past the retry budget, or one thrown by the algorithm
+    // itself — must not unwind past this frame while reads are still in
+    // flight into the segment buffers, so the whole phase quiesces before
+    // propagating.
     std::size_t pos = 0;
     int cur = 0;
     pending[0] = pending[1] = 0;
-    pending[cur] = fill_and_submit(cur, fetch, pos);
-    while (!segments[cur].empty()) {
-      const int nxt = cur ^ 1;
-      // Double-buffer state machine: the segment about to prefetch must be
-      // quiescent (its previous I/O reaped, its tiles processed).
-      GSTORE_DCHECK_EQ(pending[nxt], 0);
-      pending[nxt] = fill_and_submit(nxt, fetch, pos);  // prefetch
-      wait_segment(cur);
-      process_segment(cur);
-      cur = nxt;
+    try {
+      pending[cur] = fill_and_submit(cur, fetch, pos);
+      while (!segments[cur].empty()) {
+        const int nxt = cur ^ 1;
+        // Double-buffer state machine: the segment about to prefetch must be
+        // quiescent (its previous I/O reaped, its tiles processed).
+        GSTORE_DCHECK_EQ(pending[nxt], 0);
+        pending[nxt] = fill_and_submit(nxt, fetch, pos);  // prefetch
+        wait_segment(cur);
+        process_segment(cur);
+        cur = nxt;
+      }
+    } catch (...) {
+      quiesce_all();
+      throw;
     }
     // SLIDE consumed the whole fetch list and reaped every read.
     GSTORE_DCHECK_EQ(pos, fetch.size());
@@ -388,7 +460,12 @@ struct ScrEngine::Runner {
     }
     GS_CHECK_MSG(!more, "algorithm did not converge within max_iterations");
     stats.iterations = iter;
-    stats.bytes_read = store.device().stats().bytes_read;
+    const io::DeviceStats dev = store.device().stats();
+    stats.bytes_read = dev.bytes_read;
+    stats.retries = dev.retries;
+    stats.short_reads = dev.short_reads;
+    stats.failed_reads = dev.failed_reads;
+    stats.backoff_seconds = dev.backoff_seconds;
     stats.bytes_copied_to_pool = pool.bytes_copied();
     stats.segment_refreshes =
         segments[0].buffer_refreshes() + segments[1].buffer_refreshes();
@@ -407,6 +484,16 @@ struct ScrEngine::Runner {
   Segment segments[2];
   std::size_t pending[2] = {0, 0};
   std::uint64_t next_serial = 0;
+  // Every submitted request, kept until its completion is accepted, so a
+  // failed or truncated read can be resubmitted whole (tiles are never
+  // processed from partial data).
+  struct InFlightRead {
+    io::ReadRequest req;
+    int attempts = 0;
+  };
+  std::unordered_map<std::uint64_t, InFlightRead> inflight;
+  std::vector<std::string> read_failures;
+  std::vector<io::Completion> completions_scratch;
   // Reused per-phase scratch (cleared before each use; never allocated on
   // the per-iteration hot path after warm-up).
   std::vector<std::uint64_t> slot_costs;

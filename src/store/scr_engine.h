@@ -30,6 +30,11 @@ struct EngineConfig {
   bool selective_fetch = true;  // honour algo.tile_needed when fetching
   bool overlap_io = true;       // double-buffer I/O with compute
   std::uint32_t max_iterations = 100000;
+  // Whole-tile retry budget applied by the engine to failed or truncated
+  // tile reads, layered above the async engine's own per-read retries
+  // (io::RetryPolicy). Past the budget the iteration fails with a clean
+  // quiesce: every in-flight read is drained before the exception escapes.
+  int read_retry_budget = 2;
 };
 
 // Per-iteration breakdown: how the working set and I/O evolve as frontiers
@@ -61,6 +66,17 @@ struct EngineStats {
   // Segment buffers replaced because the pool still pinned slices of them
   // (the allocate-fresh-on-demand half of the zero-copy contract).
   std::uint64_t segment_refreshes = 0;
+  // Recovery counters from the I/O layer (io::DeviceStats): reads retried
+  // by the async workers, short reads resubmitted for their tail, reads
+  // that exhausted the worker budget, and total backoff slept.
+  std::uint64_t retries = 0;
+  std::uint64_t short_reads = 0;
+  std::uint64_t failed_reads = 0;
+  // Whole-tile resubmissions performed by the engine above the async layer
+  // (a tile whose read came back failed or truncated is reissued up to
+  // EngineConfig::read_retry_budget times).
+  std::uint64_t tile_resubmits = 0;
+  double backoff_seconds = 0;
   double io_wait_seconds = 0;
   double compute_seconds = 0;
   double elapsed_seconds = 0;

@@ -152,7 +152,10 @@ TileStore TileStore::open(const std::string& base_path, io::DeviceConfig config)
     throw FormatError(tiles_path(store.base_path_) +
                       " is too small to hold a tile-file header");
   TilesFileHeader th;
-  store.device_->file().pread_full(&th, sizeof(th), 0);
+  // Through Device::read, not file().pread_full: the device's synchronous
+  // path retries interrupted/transient errors, so opening a store survives
+  // the same faults the engine's streaming reads do.
+  store.device_->read(&th, sizeof(th), 0);
   if (th.magic != kTileFileMagic)
     throw FormatError(tiles_path(store.base_path_) +
                       " is not a g-store tile file (magic mismatch)");

@@ -1,0 +1,215 @@
+// Chaos tests: whole-engine runs under injected I/O faults.
+//
+// The contract being proven: transient faults (EINTR/EAGAIN storms, EIO
+// blips, short reads) are fully absorbed by the recovery stack — results are
+// bit-identical to a fault-free run — while faults that exhaust every retry
+// budget surface as ONE clean IoError after a full quiesce, never as partial
+// tile data or a worker scribbling into freed segment buffers (the latter is
+// what ASan/TSan watch for here).
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "algo/bfs.h"
+#include "algo/cc.h"
+#include "algo/pagerank.h"
+#include "graph/generator.h"
+#include "io/file.h"
+#include "store/scr_engine.h"
+#include "test_util.h"
+#include "tile/tile_file.h"
+#include "util/status.h"
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+namespace gstore::store {
+namespace {
+
+using graph::GraphKind;
+
+tile::ConvertOptions small_tiles() {
+  tile::ConvertOptions o;
+  o.tile_bits = 5;   // 32-vertex tiles → many tiles at small scale
+  o.group_side = 3;  // non-dividing group side
+  return o;
+}
+
+EngineConfig tiny_memory() {
+  EngineConfig c;
+  c.stream_memory_bytes = 16 << 10;  // forces many slide phases
+  c.segment_bytes = 2 << 10;
+  return c;
+}
+
+io::DeviceConfig fast_backoff(const std::string& fault_spec) {
+  io::DeviceConfig dev;
+  dev.fault_spec = fault_spec;
+  dev.retry.backoff_initial_ms = 0.1;  // keep injected-failure tests fast
+  dev.retry.backoff_max_ms = 1.0;
+  return dev;
+}
+
+TEST(Chaos, TransientFaultsPreserveResultsBitForBit) {
+#ifdef _OPENMP
+  // PageRank accumulates floats; one thread pins the summation order so the
+  // faulty run can be compared bit-for-bit against the clean one.
+  omp_set_num_threads(1);
+#endif
+  io::TempDir dir;
+  const auto el = graph::kronecker(9, 6, GraphKind::kUndirected, 17);
+  auto clean = gstore::testing::make_store(dir, el, small_tiles());
+  // Same converted files, reopened behind a fault injector throwing a mix
+  // of everything the retry stack claims to absorb.
+  auto faulty = tile::TileStore::open(
+      dir.file("g"),
+      fast_backoff("seed=42,eio=0.05,eintr=0.15,eagain=0.05,short=0.15"));
+
+  std::uint64_t retries = 0, short_reads = 0, failed = 0;
+  const auto track = [&](const EngineStats& s) {
+    retries += s.retries;
+    short_reads += s.short_reads;
+    failed += s.failed_reads;
+  };
+
+  {
+    algo::TileBfs a(1), b(1);
+    ScrEngine(clean, tiny_memory()).run(a);
+    track(ScrEngine(faulty, tiny_memory()).run(b));
+    EXPECT_EQ(a.depth(), b.depth());
+    EXPECT_EQ(a.visited_count(), b.visited_count());
+  }
+  {
+    algo::PageRankOptions popt;
+    popt.max_iterations = 5;
+    popt.tolerance = 0;
+    algo::TilePageRank a(popt), b(popt);
+    ScrEngine(clean, tiny_memory()).run(a);
+    track(ScrEngine(faulty, tiny_memory()).run(b));
+    ASSERT_EQ(a.ranks().size(), b.ranks().size());
+    EXPECT_EQ(std::memcmp(a.ranks().data(), b.ranks().data(),
+                          a.ranks().size() * sizeof(float)),
+              0)
+        << "pagerank diverged under injected faults";
+  }
+  {
+    algo::TileWcc a, b;
+    ScrEngine(clean, tiny_memory()).run(a);
+    track(ScrEngine(faulty, tiny_memory()).run(b));
+    EXPECT_EQ(a.labels(), b.labels());
+    EXPECT_EQ(a.component_count(), b.component_count());
+  }
+
+  // The runs must actually have exercised the recovery machinery — a quiet
+  // pass would mean the injector was wired out, not that the engine is
+  // robust.
+  EXPECT_GT(retries, 0u);
+  EXPECT_GT(short_reads, 0u);
+  EXPECT_EQ(failed, 0u);  // nothing exhausted its budget
+}
+
+TEST(Chaos, FaultPastEveryBudgetIsOneCleanError) {
+  io::TempDir dir;
+  const auto el = graph::kronecker(8, 4, GraphKind::kUndirected, 23);
+  // Read 1 serves TileStore::open's header; read 4 (an engine tile read)
+  // then fails with zero retry budget anywhere, making a single blip behave
+  // like a dead sector.
+  io::DeviceConfig dev = fast_backoff("seed=1,eio-nth=4");
+  dev.retry.max_retries = 0;
+  auto store = gstore::testing::make_store(dir, el, small_tiles(), dev);
+  EngineConfig cfg = tiny_memory();
+  cfg.read_retry_budget = 0;
+
+  algo::TileWcc wcc;
+  try {
+    ScrEngine(store, cfg).run(wcc);
+    FAIL() << "expected the exhausted-budget read to abort the run";
+  } catch (const IoError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("retry budget"), std::string::npos) << what;
+    EXPECT_NE(what.find("tile read at offset"), std::string::npos) << what;
+  }
+  EXPECT_GT(store.device().stats().failed_reads, 0u);
+  // Clean quiesce: nothing is still in flight after the exception.
+  std::vector<io::Completion> none;
+  EXPECT_EQ(store.device().poll(0, 64, none), 0u);
+
+  // The device and store remain usable — the nth-read fault is spent, so a
+  // rerun completes and produces a sane result.
+  algo::TileWcc again;
+  const EngineStats s = ScrEngine(store, cfg).run(again);
+  EXPECT_GT(s.iterations, 0u);
+  EXPECT_GT(again.component_count(), 0u);
+}
+
+TEST(Chaos, FailureWhileSiblingSegmentMidFillUnwindsCleanly) {
+  io::TempDir dir;
+  const auto el = graph::kronecker(9, 6, GraphKind::kUndirected, 29);
+  // Every read sleeps 10ms, so when the doomed read (an early tile read;
+  // read 1 is open's header) surfaces its failure, the prefetching sibling
+  // segment still has reads in flight writing into its buffer.
+  // Unwinding without draining them is a heap-use-after-free ASan catches.
+  io::DeviceConfig dev = fast_backoff("seed=2,eio-nth=3,latency=1:10");
+  dev.retry.max_retries = 0;
+  auto store = gstore::testing::make_store(dir, el, small_tiles(), dev);
+  EngineConfig cfg = tiny_memory();
+  cfg.read_retry_budget = 0;
+
+  algo::TileWcc wcc;
+  EXPECT_THROW(ScrEngine(store, cfg).run(wcc), IoError);
+  std::vector<io::Completion> none;
+  EXPECT_EQ(store.device().poll(0, 64, none), 0u);
+
+  // Rerun to completion on the same device: recovery left no wreckage.
+  algo::TileWcc again;
+  const EngineStats s = ScrEngine(store, cfg).run(again);
+  EXPECT_GT(s.iterations, 0u);
+}
+
+TEST(Chaos, TruncatedTileFileIsRejectedNotProcessed) {
+  // Regression: a Completion with ok == true but bytes < length (the tile
+  // file lost its tail) must fail the read, never be processed as a full
+  // tile — partial tile data silently corrupts every algorithm downstream.
+  io::TempDir dir;
+  const auto el = graph::kronecker(8, 4, GraphKind::kUndirected, 31);
+  auto store = gstore::testing::make_store(dir, el, small_tiles());
+  // Truncate the open .tiles file behind the store's back; the async
+  // engine's EOF handling turns the lost tail into a short completion.
+  {
+    io::File f(tile::TileStore::tiles_path(dir.file("g")),
+               io::OpenMode::kReadWrite);
+    f.truncate(f.size() - 10);
+  }
+  algo::TileWcc wcc;
+  try {
+    ScrEngine(store, tiny_memory()).run(wcc);
+    FAIL() << "expected the truncated tile to abort the run";
+  } catch (const IoError& e) {
+    EXPECT_NE(std::string(e.what()).find("truncated"), std::string::npos)
+        << e.what();
+  }
+  std::vector<io::Completion> none;
+  EXPECT_EQ(store.device().poll(0, 64, none), 0u);
+}
+
+TEST(Chaos, SyncBackendHonorsTheSameRetryContract) {
+  // overlap_io == false exercises Device::read's inline retry loop instead
+  // of the worker-pool path; results must match the clean run just the same.
+  io::TempDir dir;
+  const auto el = graph::kronecker(8, 4, GraphKind::kUndirected, 37);
+  auto clean = gstore::testing::make_store(dir, el, small_tiles());
+  auto faulty = tile::TileStore::open(
+      dir.file("g"), fast_backoff("seed=6,eintr=0.2,eio=0.05"));
+  EngineConfig cfg = tiny_memory();
+  cfg.overlap_io = false;
+  algo::TileWcc a, b;
+  ScrEngine(clean, cfg).run(a);
+  ScrEngine(faulty, cfg).run(b);
+  EXPECT_EQ(a.labels(), b.labels());
+}
+
+}  // namespace
+}  // namespace gstore::store

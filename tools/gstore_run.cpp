@@ -22,6 +22,7 @@
 #include "algo/pagerank.h"
 #include "algo/scc.h"
 #include "algo/sssp.h"
+#include "io/fault.h"
 #include "store/scr_engine.h"
 #include "tile/tile_file.h"
 #include "util/options.h"
@@ -55,6 +56,14 @@ void print_stats(const gstore::store::EngineStats& s, double secs) {
   std::printf("     io-wait %.3fs | compute %.3fs | %llu edges processed\n",
               s.io_wait_seconds, s.compute_seconds,
               static_cast<unsigned long long>(s.edges_processed));
+  if (s.retries || s.short_reads || s.failed_reads || s.tile_resubmits)
+    std::printf("     recovery: %llu retries, %llu short reads, %llu failed "
+                "reads, %llu tile resubmits, %.3fs backoff\n",
+                static_cast<unsigned long long>(s.retries),
+                static_cast<unsigned long long>(s.short_reads),
+                static_cast<unsigned long long>(s.failed_reads),
+                static_cast<unsigned long long>(s.tile_resubmits),
+                s.backoff_seconds);
 }
 
 }  // namespace
@@ -78,6 +87,9 @@ int main(int argc, char** argv) {
   opts.add_flag("no-rewind", "disable the rewind phase (base policy)");
   opts.add("devices", "0", "emulate N SSDs (0 = native speed)");
   opts.add("stripe", "0", "read .tiles from a striped set of N members");
+  opts.add("fault-spec", "",
+           "inject I/O faults, e.g. seed=7,eio=0.01,short=0.05,"
+           "eintr=0.1,latency=0.01:5,torn-tail=64 (see io/fault.h)");
   opts.add_flag("follow-wal",
                 "overlay un-compacted edges from <store>.wal onto the run");
   opts.add_flag("trace", "print per-iteration engine statistics");
@@ -92,6 +104,10 @@ int main(int argc, char** argv) {
     io::DeviceConfig dev;
     dev.devices = static_cast<unsigned>(opts.get_int("devices"));
     dev.stripe_files = static_cast<unsigned>(opts.get_int("stripe"));
+    dev.fault_spec = opts.get("fault-spec");
+    if (!dev.fault_spec.empty())
+      std::printf("fault injection: %s\n",
+                  io::FaultSpec::parse(dev.fault_spec).to_string().c_str());
     auto store = tile::TileStore::open(opts.get("store"), dev);
 
     // --follow-wal: replay un-compacted edges into a read-only overlay so
