@@ -1,0 +1,28 @@
+// Fuzz target: FaultSpec::parse — the one untrusted string parser in the
+// fault-injection layer (it consumes --fault-spec from the CLI and config
+// files). Any input must either parse or be rejected with a typed error;
+// an accepted spec must round-trip exactly through to_string()/parse(),
+// since gstore_run echoes the printed form back into scripts.
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "io/fault.h"
+#include "util/status.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  // Real specs are tens of bytes; capping keeps number-parsing linear.
+  if (size > 4096) return 0;
+  const std::string text(reinterpret_cast<const char*>(data), size);
+  try {
+    const gstore::io::FaultSpec spec = gstore::io::FaultSpec::parse(text);
+    const std::string printed = spec.to_string();
+    const gstore::io::FaultSpec again = gstore::io::FaultSpec::parse(printed);
+    if (again.to_string() != printed) __builtin_trap();
+    if (spec.empty() != again.empty()) __builtin_trap();
+  } catch (const gstore::Error&) {
+    // Rejecting a garbled spec with a typed error is the correct outcome.
+  }
+  return 0;
+}

@@ -10,6 +10,8 @@ namespace gstore::ingest {
 EdgeIngestor::EdgeIngestor(std::string base, IngestorOptions options)
     : base_(std::move(base)), options_(options) {
   MutexLock lock(mu_);
+  // GL-SAFE(GL1): construction is single-threaded; the lock exists only to
+  // honor open_generation()'s GSTORE_REQUIRES(mu_) contract.
   open_generation();
 }
 
@@ -38,6 +40,9 @@ std::uint64_t EdgeIngestor::ingest(std::span<const graph::Edge> edges) {
   // batch leaves both the log and the overlay untouched.
   const graph::vid_t n = store_->vertex_count();
   std::vector<graph::Edge> accepted;
+  // GL-SAFE(GL1): ingest is intentionally serialized — validation must see
+  // the same store generation the WAL append below publishes into, so the
+  // whole batch runs under one lock by design (docs/INGEST.md).
   accepted.reserve(edges.size());
   for (const graph::Edge& e : edges) {
     if (e.src >= n || e.dst >= n)
@@ -46,21 +51,28 @@ std::uint64_t EdgeIngestor::ingest(std::span<const graph::Edge> edges) {
           std::to_string(e.dst) + ") is outside the store's vertex range [0, " +
           std::to_string(n) + ")");
     if (e.src == e.dst) continue;  // same drop rule as the converter
+    // GL-SAFE(GL1): see the serialized-ingest rationale on the reserve.
     accepted.push_back(e);
   }
   if (accepted.empty()) return 0;
 
-  wal_->append(accepted);  // durability point
+  // GL-SAFE(GL1): durability point — the WAL write must happen inside the
+  // ingest lock so on-disk frame order equals overlay apply order.
+  wal_->append(accepted);
   const std::uint64_t added = delta_->add_batch(accepted);
   GS_CHECK(added == accepted.size());
 
+  // GL-SAFE(GL1): compaction is the ingestor's stop-the-world phase; it
+  // rewrites the file set and must exclude concurrent ingest entirely.
   if (options_.auto_compact && delta_->full()) compact_locked({});
   return added;
 }
 
 CompactStats EdgeIngestor::compact(CompactOptions opts) {
+  // GL-SAFE(GL1): compaction is the stop-the-world phase (see ingest());
+  // the whole body runs under the ingest lock by design.
   MutexLock lock(mu_);
-  return compact_locked(opts);
+  return compact_locked(opts);  // GL-SAFE(GL1): stop-the-world (see ingest())
 }
 
 CompactStats EdgeIngestor::compact_locked(CompactOptions opts) {

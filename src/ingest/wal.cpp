@@ -3,6 +3,7 @@
 #include <cstddef>
 #include <cstring>
 
+#include "util/checked.h"
 #include "util/crc32.h"
 #include "util/status.h"
 
@@ -63,8 +64,8 @@ WalReplay EdgeWal::replay(const io::Source& f, const std::string& name) {
       break;
     }
     if (h.magic != kWalFrameMagic || h.payload_bytes > kWalMaxFrameBytes ||
-        h.payload_bytes !=
-            static_cast<std::uint64_t>(h.edge_count) * sizeof(graph::Edge)) {
+        h.payload_bytes != checked_mul(h.edge_count, sizeof(graph::Edge),
+                                       "WAL frame payload size")) {
       out.tail = WalTail::kCorrupt;
       break;
     }
@@ -77,7 +78,8 @@ WalReplay EdgeWal::replay(const io::Source& f, const std::string& name) {
     }
     out.edges.insert(out.edges.end(), payload.begin(), payload.end());
     ++out.frames;
-    off += sizeof(h) + h.payload_bytes;
+    off = checked_add(checked_add(off, sizeof(h)), h.payload_bytes,
+                      "WAL scan offset");
     out.valid_bytes = off;
   }
   out.dropped_bytes = size - out.valid_bytes;
@@ -95,12 +97,16 @@ EdgeWal::EdgeWal(std::string path, std::uint32_t generation)
   if (!existing.exists || existing.generation != generation) {
     // Fresh log, a torn initial creation, or a log for a generation that has
     // already been compacted away: start over.
+    // GL-SAFE(GL1): single-threaded construction; the lock only satisfies
+    // write_file_header()'s GSTORE_REQUIRES(mu_) contract.
     write_file_header();
     return;
   }
   end_offset_ = existing.valid_bytes;
   if (existing.dropped_bytes > 0) {
+    // GL-SAFE(GL1): same single-threaded-construction rationale as above.
     file_.truncate(end_offset_);
+    // GL-SAFE(GL1): same single-threaded-construction rationale as above.
     file_.sync();
   }
 }
@@ -129,7 +135,11 @@ void EdgeWal::append(std::span<const graph::Edge> edges) {
   std::memcpy(buf.data(), &h, sizeof(h));
   std::memcpy(buf.data() + sizeof(h), edges.data(), edges.size_bytes());
   MutexLock lock(mu_);
+  // GL-SAFE(GL1): WAL ordering contract — the write happens under mu_ so
+  // on-disk frame order equals append order; the lock IS the serialization.
   file_.pwrite_full(buf.data(), buf.size(), end_offset_);
+  // GL-SAFE(GL1): the fsync is part of the same durability contract; an
+  // append is not acknowledged until its frame is on disk.
   file_.sync();
   end_offset_ += buf.size();
 }
@@ -137,6 +147,8 @@ void EdgeWal::append(std::span<const graph::Edge> edges) {
 void EdgeWal::reset(std::uint32_t generation) {
   MutexLock lock(mu_);
   generation_ = generation;
+  // GL-SAFE(GL1): reset races with append by design of the compactor —
+  // the truncate+header rewrite must exclude concurrent appends.
   write_file_header();
 }
 

@@ -167,17 +167,21 @@ struct AsyncEngine::Impl {
   // flight, then moves the whole completed queue out. Shared by drain() and
   // quiesce() so both keep in_flight() consistent and leave nothing behind.
   std::vector<Completion> reap_all() {
-    std::vector<Completion> done;
-    MutexLock lock(mutex);
-    // Workers only ever move inflight toward zero (this engine has no
-    // requeue), so a single wait suffices; nothing is popped until
-    // everything has landed.
-    while (inflight != 0) done_cv.wait(mutex);
-    done.reserve(completed.size());
-    while (!completed.empty()) {
-      done.push_back(std::move(completed.front()));
-      completed.pop_front();
+    // Swap the queue out under the lock, then build the result outside
+    // it: reserve/push_back can take the allocator lock or fault pages,
+    // and I/O workers would stall behind `mutex` for the duration.
+    std::deque<Completion> drained;
+    {
+      MutexLock lock(mutex);
+      // Workers only ever move inflight toward zero (this engine has no
+      // requeue), so a single wait suffices; nothing is popped until
+      // everything has landed.
+      while (inflight != 0) done_cv.wait(mutex);
+      drained.swap(completed);
     }
+    std::vector<Completion> done;
+    done.reserve(drained.size());
+    for (Completion& c : drained) done.push_back(std::move(c));
     return done;
   }
 
@@ -194,6 +198,8 @@ struct AsyncEngine::Impl {
       Completion c = execute(req);
       {
         MutexLock lock(mutex);
+        // GL-SAFE(GL1): one-element handoff; the deque grows by at most a
+        // block and the alternative is an extra copy on every completion.
         completed.push_back(std::move(c));
         GSTORE_DCHECK_GT(inflight, 0);
         --inflight;
@@ -253,6 +259,8 @@ void AsyncEngine::submit(const std::vector<ReadRequest>& batch) {
     for (const auto& req : batch) results.push_back(impl_->execute(req));
     {
       MutexLock lock(impl_->mutex);
+      // GL-SAFE(GL1): batch publish point — results were produced outside
+      // the lock; the pushes are the handoff itself.
       for (auto& c : results) impl_->completed.push_back(std::move(c));
     }
     impl_->done_cv.notify_all();
@@ -263,6 +271,8 @@ void AsyncEngine::submit(const std::vector<ReadRequest>& batch) {
     {
       MutexLock lock(impl_->mutex);
       while (impl_->inflight >= impl_->depth) impl_->space_cv.wait(impl_->mutex);
+      // GL-SAFE(GL1): one-element enqueue under the queue's own lock; the
+      // deque is bounded by `depth`, so growth is bounded too.
       impl_->pending.push_back(req);
       ++impl_->inflight;
       GSTORE_DCHECK_LE(impl_->inflight, impl_->depth);
@@ -286,6 +296,8 @@ std::size_t AsyncEngine::poll(std::size_t min_events, std::size_t max_events,
   }
   std::size_t n = 0;
   while (n < max_events && !impl_->completed.empty()) {
+    // GL-SAFE(GL1): poll's contract is to move completions into the
+    // caller's vector; callers reserve `max_events` ahead of the call.
     out.push_back(std::move(impl_->completed.front()));
     impl_->completed.pop_front();
     ++n;

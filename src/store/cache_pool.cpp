@@ -86,10 +86,14 @@ std::uint64_t CachePool::evict_lru(std::uint64_t needed) {
 }
 
 std::vector<CachePool::Entry> CachePool::entries() const {
-  MutexLock lock(mutex_);
   std::vector<Entry> out;
-  out.reserve(tiles_.size());
+  // Size the snapshot before taking the pool lock so the bulk allocation
+  // happens outside it; tile_count() briefly takes its own lock.
+  out.reserve(tile_count());
+  MutexLock lock(mutex_);
   for (const auto& [idx, stored] : tiles_)
+    // GL-SAFE(GL1): capacity was reserved above; push_back reallocates
+    // only if the pool grew between the two lock acquisitions.
     out.push_back(Entry{idx, stored.pin.get(), stored.bytes});
   return out;
 }

@@ -6,6 +6,7 @@
 
 #include "io/file.h"
 #include "tile/overlay.h"
+#include "util/checked.h"
 #include "util/status.h"
 
 namespace gstore::tile {
@@ -93,7 +94,8 @@ TileStore TileStore::open(const std::string& base_path, io::DeviceConfig config)
                         std::to_string(store.meta_.tile_count) +
                         " tiles but holds " + std::to_string(entries) +
                         " index entries");
-    store.start_edge_.resize(store.meta_.tile_count + 1);
+    store.start_edge_.resize(
+        checked_add(store.meta_.tile_count, 1, "start-edge index size"));
     sei.pread_full(store.start_edge_.data(),
                    store.start_edge_.size() * sizeof(std::uint64_t),
                    sizeof(store.meta_));
@@ -124,10 +126,16 @@ TileStore TileStore::open(const std::string& base_path, io::DeviceConfig config)
   // layout tables are O(p^2), so a vertex count inconsistent with the
   // (file-size-bounded) tile count must be rejected while it is still cheap.
   {
-    const std::uint64_t width = std::uint64_t{1} << store.meta_.tile_bits;
-    const std::uint64_t p = (store.meta_.vertex_count + width - 1) / width;
+    const std::uint64_t width =
+        checked_shl(1, store.meta_.tile_bits, "tile width");
+    const std::uint64_t p =
+        checked_add(store.meta_.vertex_count, width - 1, "rounded vertex count") /
+        width;
     const std::uint64_t expected_tiles =
-        store.meta_.symmetric() ? p * (p + 1) / 2 : p * p;
+        store.meta_.symmetric()
+            ? checked_mul(p, checked_add(p, 1, "tile grid side"),
+                          "tile count") / 2
+            : checked_mul(p, p, "tile count");
     if (expected_tiles != store.meta_.tile_count)
       throw FormatError(sei_path(store.base_path_) + ": vertex count " +
                         std::to_string(store.meta_.vertex_count) +
@@ -172,8 +180,11 @@ TileStore TileStore::open(const std::string& base_path, io::DeviceConfig config)
     throw FormatError(sei_path(store.base_path_) + " names edge count " +
                       std::to_string(store.meta_.edge_count) +
                       ", larger than any representable file");
-  const std::uint64_t expect =
-      store.data_offset_ + store.meta_.edge_count * store.meta_.tuple_bytes();
+  const std::uint64_t expect = checked_add(
+      store.data_offset_,
+      checked_mul(store.meta_.edge_count, store.meta_.tuple_bytes(),
+                  "tile data bytes"),
+      "expected tile file size");
   if (store.device_->size() != expect)
     throw FormatError(tiles_path(store.base_path_) + " truncated");
   return store;
@@ -253,10 +264,12 @@ TileView TileStore::view(std::uint64_t layout_idx, const std::uint8_t* data) con
 graph::CompressedDegrees TileStore::load_degrees() const {
   io::File f(deg_path(base_path_), io::OpenMode::kRead);
   const std::uint64_t n = meta_.vertex_count;
-  if (f.size() != n * sizeof(graph::degree_t))
+  const std::uint64_t deg_bytes =
+      checked_mul(n, sizeof(graph::degree_t), "degree file size");
+  if (f.size() != deg_bytes)
     throw FormatError("degree file size mismatch for " + base_path_);
   std::vector<graph::degree_t> deg(n);
-  if (n > 0) f.pread_full(deg.data(), n * sizeof(graph::degree_t), 0);
+  if (n > 0) f.pread_full(deg.data(), deg_bytes, 0);
   if (overlay_ != nullptr) overlay_->apply_degree_deltas(deg);
   return graph::CompressedDegrees::build(deg);
 }

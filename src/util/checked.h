@@ -1,0 +1,45 @@
+// Overflow-checked arithmetic for values decoded from untrusted bytes.
+//
+// Parser code (tile_file.cpp, wal.cpp, fault.cpp) must not apply raw
+// `*`, `+` or `<<` to wire-derived integers: a crafted header can wrap
+// the result and defeat the size cross-checks that gate allocations.
+// gstore-lint's GL4 check enforces this; these helpers are the blessed
+// route. They throw FormatError on overflow, which the parsers already
+// translate into "reject the file" at their call sites.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "util/status.h"
+
+namespace gstore {
+
+inline std::uint64_t checked_add(std::uint64_t a, std::uint64_t b,
+                                 const char* what = "sum") {
+  std::uint64_t out;
+  if (__builtin_add_overflow(a, b, &out))
+    throw FormatError(std::string(what) + " overflows (" +
+                      std::to_string(a) + " + " + std::to_string(b) + ")");
+  return out;
+}
+
+inline std::uint64_t checked_mul(std::uint64_t a, std::uint64_t b,
+                                 const char* what = "product") {
+  std::uint64_t out;
+  if (__builtin_mul_overflow(a, b, &out))
+    throw FormatError(std::string(what) + " overflows (" +
+                      std::to_string(a) + " * " + std::to_string(b) + ")");
+  return out;
+}
+
+inline std::uint64_t checked_shl(std::uint64_t a, unsigned shift,
+                                 const char* what = "shifted value") {
+  if (shift >= 64 || (shift > 0 && a > (std::numeric_limits<std::uint64_t>::max() >> shift)))
+    throw FormatError(std::string(what) + " overflows (" +
+                      std::to_string(a) + " << " + std::to_string(shift) + ")");
+  return a << shift;
+}
+
+}  // namespace gstore

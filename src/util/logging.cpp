@@ -61,7 +61,11 @@ LineSink::~LineSink() {
   os_ << "\n";
   const std::string line = os_.str();
   MutexLock lock(g_emit_mutex);
+  // GL-SAFE(GL1): the emit mutex exists precisely to serialize this write —
+  // interleaved log lines are worse than a blocked logger, and the format
+  // step above already happened outside the lock.
   std::fwrite(line.data(), 1, line.size(), stderr);
+  // GL-SAFE(GL1): same serialization rationale as the fwrite above.
   if (lvl_ >= Level::kWarn) std::fflush(stderr);
 }
 

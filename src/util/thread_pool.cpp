@@ -57,7 +57,7 @@ void ThreadPool::parallel_for(std::size_t count,
   // `failed` is a release/acquire flag so (a) other workers stop claiming
   // chunks promptly and (b) the final first_error read below is ordered
   // after the winning store even if a future's synchronization were absent.
-  std::once_flag error_once;
+  OnceFlag error_once;
   std::exception_ptr first_error;
   std::atomic<bool> failed{false};
 
@@ -71,8 +71,8 @@ void ThreadPool::parallel_for(std::size_t count,
       try {
         for (std::size_t i = begin; i < end; ++i) fn(i);
       } catch (...) {
-        std::call_once(error_once,
-                       [&] { first_error = std::current_exception(); });
+        gstore::call_once(error_once,
+                          [&] { first_error = std::current_exception(); });
         failed.store(true, std::memory_order_release);
         return;
       }

@@ -1,0 +1,26 @@
+// GL1 negative fixture: a blocking syscall and a lexical allocation both
+// happen while a gstore::Mutex guard is held. gstore_lint must flag both.
+#include <unistd.h>
+
+#include <vector>
+
+#include "util/sync.h"
+
+namespace gstore::lintfix {
+
+class Spooler {
+ public:
+  void flush();
+
+ private:
+  Mutex mu_{"lintfix::Spooler"};
+  std::vector<char> log_;
+};
+
+void Spooler::flush() {
+  MutexLock lock(mu_);
+  ::write(2, "x", 1);
+  log_.push_back('x');
+}
+
+}  // namespace gstore::lintfix

@@ -1,0 +1,29 @@
+// GL1 positive fixture: the same shape as gl1_flagged.cpp with audited
+// GL-SAFE waivers on each guarded statement. gstore_lint must stay quiet.
+#include <unistd.h>
+
+#include <vector>
+
+#include "util/sync.h"
+
+namespace gstore::lintfix {
+
+class Spooler {
+ public:
+  void flush();
+
+ private:
+  Mutex mu_{"lintfix::Spooler"};
+  std::vector<char> log_;
+};
+
+void Spooler::flush() {
+  MutexLock lock(mu_);
+  // GL-SAFE(GL1): fixture — the write is the serialized handoff itself.
+  ::write(2, "x", 1);
+  // GL-SAFE(GL1): fixture — the log is the guarded resource; growth is
+  // bounded by the one-byte append.
+  log_.push_back('x');
+}
+
+}  // namespace gstore::lintfix

@@ -1,0 +1,24 @@
+// GL2 negative fixture: BufferPins stored into a member and into a
+// container that both outlive the fill scope. gstore_lint must flag both.
+#include <utility>
+#include <vector>
+
+#include "store/segment.h"
+
+namespace gstore::lintfix {
+
+class PinHoarder {
+ public:
+  void adopt(store::BufferPin p);
+  void stash(const store::BufferPin& p);
+
+ private:
+  store::BufferPin kept_;
+  std::vector<store::BufferPin> pile_;
+};
+
+void PinHoarder::adopt(store::BufferPin p) { kept_ = std::move(p); }
+
+void PinHoarder::stash(const store::BufferPin& p) { pile_.push_back(p); }
+
+}  // namespace gstore::lintfix

@@ -1,0 +1,31 @@
+// GL2 positive fixture: the same pin stores carrying audited GL-SAFE
+// waivers (the fixture plays a cache-pool-style owner). Must stay quiet.
+#include <utility>
+#include <vector>
+
+#include "store/segment.h"
+
+namespace gstore::lintfix {
+
+class PinHoarder {
+ public:
+  void adopt(store::BufferPin p);
+  void stash(const store::BufferPin& p);
+
+ private:
+  store::BufferPin kept_;
+  std::vector<store::BufferPin> pile_;
+};
+
+void PinHoarder::adopt(store::BufferPin p) {
+  // GL-SAFE(GL2): fixture — this class models an audited pin owner whose
+  // release path is tested elsewhere.
+  kept_ = std::move(p);
+}
+
+void PinHoarder::stash(const store::BufferPin& p) {
+  // GL-SAFE(GL2): fixture — audited owner (see adopt).
+  pile_.push_back(p);
+}
+
+}  // namespace gstore::lintfix

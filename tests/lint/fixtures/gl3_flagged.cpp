@@ -1,0 +1,15 @@
+// GL3 negative fixture: a Completion's byte count is consumed before its
+// ok/error fields were inspected. gstore_lint must flag the read.
+#include <cstddef>
+
+#include "io/async_engine.h"
+
+namespace gstore::lintfix {
+
+std::size_t consume(const io::Completion& c);
+
+std::size_t consume(const io::Completion& c) {
+  return c.bytes;
+}
+
+}  // namespace gstore::lintfix

@@ -1,0 +1,25 @@
+// GL3 positive fixture: one consumer checks ok first (the idiomatic shape)
+// and one carries an audited waiver. gstore_lint must stay quiet on both.
+#include <cstddef>
+
+#include "io/async_engine.h"
+
+namespace gstore::lintfix {
+
+std::size_t checked_consume(const io::Completion& c);
+std::size_t waived_consume(const io::Completion& c);
+
+std::size_t checked_consume(const io::Completion& c) {
+  if (!c.ok) return 0;
+  return c.bytes;
+}
+
+// GL-SAFE(GL3): fixture — the byte count is advisory in this consumer.
+// (GENERIC attributes a single-statement body to the header line, so the
+// waiver sits on both the header and the return.)
+std::size_t waived_consume(const io::Completion& c) {
+  // GL-SAFE(GL3): fixture — advisory byte count (see above).
+  return c.bytes;
+}
+
+}  // namespace gstore::lintfix

@@ -1,0 +1,15 @@
+// GL4 negative fixture (run with --gl4-all): unchecked arithmetic on a
+// field read from a wire record. gstore_lint must flag the multiply.
+#include <cstdint>
+
+#include "ingest/wal.h"
+
+namespace gstore::lintfix {
+
+std::uint64_t payload_bytes(const ingest::WalFrameHeader& h);
+
+std::uint64_t payload_bytes(const ingest::WalFrameHeader& h) {
+  return static_cast<std::uint64_t>(h.edge_count) * 24;
+}
+
+}  // namespace gstore::lintfix

@@ -1,0 +1,14 @@
+// GL5 negative fixture: a noexcept quiesce root calls a function that can
+// throw, unshielded. gstore_lint must flag the call.
+#include <vector>
+
+namespace gstore::lintfix5 {
+
+void grow(std::vector<int>& v);
+void quiesce(std::vector<int>& v) noexcept;
+
+void grow(std::vector<int>& v) { v.resize(v.size() + 1); }
+
+void quiesce(std::vector<int>& v) noexcept { grow(v); }
+
+}  // namespace gstore::lintfix5

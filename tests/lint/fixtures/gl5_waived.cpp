@@ -1,0 +1,23 @@
+// GL5 positive fixture: the unwind-path callee is noexcept itself and a
+// second, throwing callee carries an audited waiver. Must stay quiet.
+#include <vector>
+
+namespace gstore::lintfix5 {
+
+void shrink(std::vector<int>& v) noexcept;
+void grow(std::vector<int>& v);
+void quiesce(std::vector<int>& v) noexcept;
+
+void shrink(std::vector<int>& v) noexcept {
+  if (!v.empty()) v.pop_back();
+}
+
+void grow(std::vector<int>& v) { v.resize(v.size() + 1); }
+
+void quiesce(std::vector<int>& v) noexcept {
+  shrink(v);
+  // GL-SAFE(GL5): fixture — growth failure here terminates by design.
+  grow(v);
+}
+
+}  // namespace gstore::lintfix5

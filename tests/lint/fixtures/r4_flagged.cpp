@@ -1,0 +1,23 @@
+// R4 negative fixture: raw std synchronization hidden behind a typedef —
+// invisible to the textual lint, visible to the AST. Must be flagged.
+#include <mutex>
+
+namespace gstore::lintfixr4 {
+
+using Hidden = std::mutex;
+
+class Counter {
+ public:
+  void bump();
+
+ private:
+  Hidden mu_;
+  int n_ = 0;
+};
+
+void Counter::bump() {
+  std::lock_guard<Hidden> g(mu_);
+  ++n_;
+}
+
+}  // namespace gstore::lintfixr4

@@ -1,0 +1,27 @@
+// R4 positive fixture: the same typedef-hidden raw mutex carrying audited
+// waivers (fixtures model external callers). gstore_lint must stay quiet.
+#include <mutex>
+
+namespace gstore::lintfixr4 {
+
+// GL-SAFE(R4): fixture — models an external caller outside the gstore
+// wrapper discipline.
+using Hidden = std::mutex;
+
+class Counter {
+ public:
+  void bump();
+
+ private:
+  // GL-SAFE(R4): fixture — see the typedef note above.
+  Hidden mu_;
+  int n_ = 0;
+};
+
+void Counter::bump() {
+  // GL-SAFE(R4): fixture — see the typedef note above.
+  std::lock_guard<Hidden> g(mu_);
+  ++n_;
+}
+
+}  // namespace gstore::lintfixr4

@@ -1,0 +1,24 @@
+// Waiver-audit fixture: a reasonless GL-SAFE must itself be reported as
+// [GL-WAIVER] — an unexplained suppression is indistinguishable from a
+// silenced bug.
+#include <unistd.h>
+
+#include "util/sync.h"
+
+namespace gstore::lintfix {
+
+class Quiet {
+ public:
+  void flush();
+
+ private:
+  Mutex mu_{"lintfix::Quiet"};
+};
+
+void Quiet::flush() {
+  MutexLock lock(mu_);
+  // GL-SAFE(GL1):
+  ::write(2, "x", 1);
+}
+
+}  // namespace gstore::lintfix

@@ -66,10 +66,15 @@ RAW_ALLOC = re.compile(
 # Matches "AlignedBuffer(size, alignment)" — two top-level arguments.
 ALIGNED_BUFFER_2ARG = re.compile(r"AlignedBuffer\s*\(([^(),]+),([^()]+)\)")
 # R4: raw standard synchronization primitives (types, helpers, includes).
+# once_flag/call_once and the bare std::lock/std::try_lock algorithms are
+# banned alongside the lock types: they take locks invisibly to both the
+# thread-safety analysis and gstore-lint's lock modeling (use the
+# gstore::OnceFlag / gstore::call_once wrappers from util/sync.h).
 RAW_SYNC = re.compile(
     r"std::(mutex|recursive_mutex|timed_mutex|recursive_timed_mutex|"
     r"shared_mutex|shared_timed_mutex|condition_variable(?:_any)?|"
-    r"lock_guard|unique_lock|scoped_lock|shared_lock)\b"
+    r"lock_guard|unique_lock|scoped_lock|shared_lock|once_flag)\b"
+    r"|std::(?:call_once|try_lock|lock)\s*\("
     r"|#\s*include\s*<(?:mutex|shared_mutex|condition_variable)>"
 )
 SYNC_COMPONENT = ("src/util/sync.h", "src/util/sync.cpp")

@@ -1,0 +1,36 @@
+"""gstore_lint: AST-grade domain-invariant static analysis for G-Store.
+
+Five domain checks (GL1..GL5) plus AST-grade versions of the
+check_concurrency.py rules R1 and R4, computed over real compiler ASTs
+rather than source text:
+
+  GL1 blocking-under-lock   no syscall / file I/O / sleep reachable (over the
+                            call graph) and no direct allocation while a
+                            gstore::Mutex / SharedMutex guard is held.
+  GL2 pin escape            BufferPin values must not be stored into members
+                            or containers outside the audited cache-pool
+                            owner.
+  GL3 unchecked completion  a Completion's ok/error must be inspected before
+                            bytes is consumed.
+  GL4 untrusted arithmetic  in parser TUs, * / + / << on disk- or CLI-derived
+                            fields must flow through util/checked.h.
+  GL5 unwind noexcept       everything reachable from drain()/quiesce() on
+                            the unwind path must be noexcept or shielded by
+                            catch(...).
+
+Two frontends lower translation units into the same event IR
+(gstore_lint.model):
+
+  * clangfront  — libclang python bindings (clang.cindex), per the original
+                  design. Used when importable.
+  * gccfront    — GCC GENERIC tree dumps (-fdump-tree-original-raw-lineno),
+                  requiring nothing beyond the project's own compiler. This
+                  is the reference frontend on gcc-only machines and in CI
+                  images without libclang.
+
+Findings are grep-style `file:line: [GLn] message`; exit status is 0 when
+clean, 1 with findings, 2 on usage/environment errors. Waivers are audited
+source comments: `// GL-SAFE(GLn): reason` (see waivers.py).
+"""
+
+__version__ = "1.0"

@@ -1,0 +1,424 @@
+"""libclang (clang.cindex) frontend — used when the bindings are present.
+
+This is the frontend the suite was designed around; gcc-only machines (and
+the CI fallback path) use gccfront instead, and tests/lint pins the gcc
+frontend so fixture expectations stay deterministic. Both lower to the
+same event IR, so check semantics are shared.
+
+Identity note: functions are keyed by USR-derived qualified name plus a
+parameter fingerprint compatible with gccfront's (type spellings reduced
+to their last name component), so a mixed-frontend run still links the
+call graph.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from dataclasses import replace
+
+from .gccfront import (ATOMIC_PLAIN_OPS, ATOMIC_RECORDS,
+                       COMPLETION_CHECK_FIELDS, COMPLETION_RECORD,
+                       COMPLETION_USE_FIELDS, CONTAINER_STORE_METHODS,
+                       GUARD_CLASSES, PIN_TYPEDEF, RAW_SYNC_CALLS,
+                       RAW_SYNC_RECORDS, WIRE_RECORDS)
+from .model import (ArithEvent, AtomicOpEvent, CallEvent, CompletionEvent,
+                    FnModel, PinStoreEvent, RawSyncEvent, ThrowEvent)
+
+try:
+    from clang import cindex  # type: ignore
+    _HAVE = True
+except Exception:  # pragma: no cover - exercised only without libclang
+    cindex = None
+    _HAVE = False
+
+
+def available() -> bool:
+    if not _HAVE:
+        return False
+    try:
+        cindex.Index.create()
+        return True
+    except Exception:
+        return False
+
+
+_TYPE_NAME = re.compile(r"[\w:]+")
+
+
+def _last_name(spelling: str) -> str:
+    m = _TYPE_NAME.search(spelling or "")
+    return (m.group(0).rsplit("::", 1)[-1]) if m else "?"
+
+
+def _qualified(cursor) -> str:
+    parts = []
+    c = cursor
+    while c is not None and c.kind != cindex.CursorKind.TRANSLATION_UNIT:
+        if c.spelling:
+            parts.append(c.spelling)
+        c = c.semantic_parent
+    parts.reverse()
+    return "::".join(parts)
+
+
+def _scope_kind(qual: str) -> str:
+    head = qual.split("::", 1)[0]
+    if head == "std" or head.startswith("__"):
+        return "std"
+    if "gstore" in qual.split("::"):
+        return "project"
+    return "global" if "::" not in qual else "unknown"
+
+
+def _fingerprint(cursor) -> str:
+    codes = []
+    for arg in cursor.get_arguments() or []:
+        codes.append(_last_name(arg.type.spelling))
+    if not codes and cursor.type is not None:
+        codes = [_last_name(t.spelling)
+                 for t in cursor.type.argument_types() or []]
+    return ",".join(codes)
+
+
+def _fn_key(cursor) -> tuple[str, str, str]:
+    qual = _qualified(cursor)
+    return f"{qual}({_fingerprint(cursor)})", qual, _scope_kind(qual)
+
+
+def _type_names(t) -> set[str]:
+    names: set[str] = set()
+    seen = 0
+    while t is not None and seen < 8:
+        seen += 1
+        if t.spelling:
+            names.add(_last_name(t.spelling))
+        d = t.get_declaration()
+        if d is not None and d.spelling:
+            names.add(d.spelling)
+        nxt = t.get_canonical() if t.get_canonical().spelling != t.spelling \
+            else None
+        if nxt is None:
+            p = t.get_pointee()
+            nxt = p if p is not None and p.spelling else None
+        if nxt is None or nxt.spelling == t.spelling:
+            break
+        t = nxt
+    return names
+
+
+def _loc(cursor) -> tuple[str, int]:
+    loc = cursor.location
+    if loc is None or loc.file is None:
+        return ("<unknown>", 0)
+    return (os.path.abspath(loc.file.name), loc.line or 0)
+
+
+class _Lowerer:
+    CK = None  # populated lazily below
+
+    def __init__(self, fn_cursor):
+        self.cursor = fn_cursor
+        key, qual, _ = _fn_key(fn_cursor)
+        file, line = _loc(fn_cursor)
+        noexc = False
+        try:
+            spec = fn_cursor.exception_specification_kind
+            noexc = spec in (
+                cindex.ExceptionSpecificationKind.BASIC_NOEXCEPT,
+                cindex.ExceptionSpecificationKind.COMPUTED_NOEXCEPT,
+                cindex.ExceptionSpecificationKind.DYNAMIC_NONE,
+            )
+        except Exception:
+            pass
+        self.fn = FnModel(key=key, pretty=qual, file=file, line=line,
+                          noexcept=noexc)
+        self.tainted: set[str] = set()
+
+    def lower(self) -> FnModel:
+        body = None
+        for ch in self.cursor.get_children():
+            if ch.kind == cindex.CursorKind.COMPOUND_STMT:
+                body = ch
+        if body is not None:
+            self._collect_taint(body)
+            self._walk(body, locks=(), shielded=False)
+        return self.fn
+
+    # taint: two passes over DECL_STMT/assignment initializers
+    def _expr_tainted(self, node) -> str | None:
+        for c in _all(node):
+            if c.kind == cindex.CursorKind.MEMBER_REF_EXPR:
+                parent_t = None
+                ch = list(c.get_children())
+                if ch:
+                    parent_t = ch[0].type
+                if parent_t is not None and \
+                        (_type_names(parent_t) & WIRE_RECORDS):
+                    return f"{_last_name(parent_t.spelling)}.{c.spelling}"
+            if c.kind == cindex.CursorKind.DECL_REF_EXPR and \
+                    c.spelling in self.tainted:
+                return c.spelling
+        return None
+
+    def _collect_taint(self, body) -> None:
+        for _ in range(2):
+            for c in _all(body):
+                if c.kind == cindex.CursorKind.VAR_DECL:
+                    init = list(c.get_children())
+                    if init and self._expr_tainted(init[-1]):
+                        self.tainted.add(c.spelling)
+                elif c.kind == cindex.CursorKind.BINARY_OPERATOR:
+                    ch = list(c.get_children())
+                    if len(ch) == 2 and _op_spelling(c) == "=" and \
+                            ch[0].kind == cindex.CursorKind.DECL_REF_EXPR \
+                            and self._expr_tainted(ch[1]):
+                        self.tainted.add(ch[0].spelling)
+
+    def _walk(self, node, locks, shielded) -> None:
+        k = node.kind
+        CK = cindex.CursorKind
+        if k == CK.CXX_TRY_STMT:
+            ch = list(node.get_children())
+            body, handlers = ch[0] if ch else None, ch[1:]
+            catch_all = any(_is_catch_all(h) for h in handlers)
+            if body is not None:
+                self._walk(body, locks, shielded or catch_all)
+            for h in handlers:
+                self._walk(h, locks, shielded)
+            return
+        if k == CK.CXX_THROW_EXPR:
+            self.fn.throws.append(ThrowEvent(*self._where(node), shielded))
+            return
+        if k == CK.COMPOUND_STMT:
+            active = list(locks)
+            for ch in node.get_children():
+                guard = _guard_decl(ch)
+                if guard is not None:
+                    active = active + [guard]
+                self._walk(ch, tuple(active), shielded)
+            return
+        if k in (CK.CALL_EXPR,):
+            self._handle_call(node, locks, shielded)
+        elif k == CK.MEMBER_REF_EXPR:
+            self._handle_member_ref(node)
+        elif k == CK.BINARY_OPERATOR:
+            self._handle_binop(node, locks, shielded)
+            return
+        for ch in node.get_children():
+            self._walk(ch, locks, shielded)
+
+    def _where(self, node) -> tuple[str, int]:
+        f, ln = _loc(node)
+        return (f if f != "<unknown>" else self.fn.file, ln)
+
+    def _handle_call(self, node, locks, shielded) -> None:
+        ref = node.referenced
+        file, line = self._where(node)
+        if ref is None:
+            self.fn.calls.append(CallEvent(
+                callee=None, callee_name="<indirect>", scope="unknown",
+                file=file, line=line, locks=locks, shielded=shielded))
+            return
+        key, qual, kind = _fn_key(ref)
+        name = qual.rsplit("::", 1)[-1]
+        self.fn.calls.append(CallEvent(
+            callee=key, callee_name=name, scope=kind, file=file,
+            line=line, locks=locks, shielded=shielded,
+            is_dtor=ref.kind == cindex.CursorKind.DESTRUCTOR))
+        if qual in RAW_SYNC_CALLS:
+            self.fn.raw_syncs.append(RawSyncEvent(qual, file, line))
+        parent = ref.semantic_parent
+        if name in ATOMIC_PLAIN_OPS and parent is not None and \
+                parent.spelling in ATOMIC_RECORDS:
+            args = list(node.get_children())
+            member = None
+            for a in args[:1]:
+                for m in _all(a):
+                    if m.kind == cindex.CursorKind.MEMBER_REF_EXPR:
+                        member = m.spelling
+                        break
+            if member:
+                self.fn.atomic_ops.append(
+                    AtomicOpEvent(member, name, file, line))
+        if name in CONTAINER_STORE_METHODS and \
+                _scope_kind(_qualified(parent) if parent else "") == "std":
+            for a in node.get_children():
+                names = _type_names(a.type) if a.type is not None else set()
+                if PIN_TYPEDEF in names or _contains_pin(a.type):
+                    self.fn.pin_stores.append(PinStoreEvent(
+                        "container",
+                        f"{name}() argument carries a {PIN_TYPEDEF}",
+                        file, line))
+                    break
+        for a in node.get_children():
+            for m in _all(a, depth=3):
+                if m.kind == cindex.CursorKind.DECL_REF_EXPR and \
+                        m.referenced is not None and \
+                        (COMPLETION_RECORD in
+                         _type_names(m.referenced.type)):
+                    self.fn.completions.append(CompletionEvent(
+                        "check", f"{m.spelling}@{m.referenced.hash}",
+                        "passed-to-callee", file, line))
+
+    def _handle_member_ref(self, node) -> None:
+        fname = node.spelling
+        if fname not in COMPLETION_CHECK_FIELDS | COMPLETION_USE_FIELDS:
+            return
+        ch = list(node.get_children())
+        if not ch:
+            return
+        base = ch[0]
+        if COMPLETION_RECORD not in _type_names(base.type):
+            return
+        ref = base.referenced if hasattr(base, "referenced") else None
+        var = f"{base.spelling}@{ref.hash if ref else 0}"
+        file, line = self._where(node)
+        kind = "check" if fname in COMPLETION_CHECK_FIELDS else "use"
+        self.fn.completions.append(
+            CompletionEvent(kind, var, fname, file, line))
+
+    def _handle_binop(self, node, locks, shielded) -> None:
+        op = _op_spelling(node)
+        file, line = self._where(node)
+        ch = list(node.get_children())
+        if op == "=" and len(ch) == 2:
+            lhs = ch[0]
+            if lhs.kind == cindex.CursorKind.MEMBER_REF_EXPR and \
+                    lhs.type is not None and \
+                    PIN_TYPEDEF in _type_names(lhs.type):
+                inner = list(lhs.get_children())
+                base_is_local = bool(inner) and \
+                    inner[0].kind == cindex.CursorKind.DECL_REF_EXPR and \
+                    inner[0].referenced is not None and \
+                    inner[0].referenced.kind == cindex.CursorKind.VAR_DECL
+                if not base_is_local:
+                    self.fn.pin_stores.append(PinStoreEvent(
+                        "member",
+                        f"store into {PIN_TYPEDEF} member '{lhs.spelling}'",
+                        file, line))
+            if lhs.kind == cindex.CursorKind.DECL_REF_EXPR and \
+                    COMPLETION_RECORD in _type_names(lhs.type):
+                ref = lhs.referenced
+                self.fn.completions.append(CompletionEvent(
+                    "reset", f"{lhs.spelling}@{ref.hash if ref else 0}",
+                    "reassigned", file, line))
+            self._walk(ch[1], locks, shielded)
+            return
+        if op in ("*", "+", "<<") and node.type is not None and \
+                node.type.get_canonical().kind in _INT_KINDS:
+            for side in ch:
+                src = self._expr_tainted(side)
+                if src:
+                    self.fn.ariths.append(ArithEvent(op, src, file, line))
+                    break
+        for c in ch:
+            self._walk(c, locks, shielded)
+
+
+_INT_KINDS = set()
+if _HAVE:
+    _INT_KINDS = {
+        cindex.TypeKind.INT, cindex.TypeKind.UINT, cindex.TypeKind.LONG,
+        cindex.TypeKind.ULONG, cindex.TypeKind.LONGLONG,
+        cindex.TypeKind.ULONGLONG, cindex.TypeKind.SHORT,
+        cindex.TypeKind.USHORT, cindex.TypeKind.CHAR_U,
+        cindex.TypeKind.UCHAR, cindex.TypeKind.SCHAR,
+    }
+
+
+def _op_spelling(node):
+    try:
+        toks = [t.spelling for t in node.get_tokens()]
+        for t in toks:
+            if t in ("=", "*", "+", "<<", "+=", "-="):
+                return t
+    except Exception:
+        pass
+    return "?"
+
+
+def _all(node, depth: int = 64):
+    stack = [(node, 0)]
+    while stack:
+        n, d = stack.pop()
+        yield n
+        if d < depth:
+            for c in n.get_children():
+                stack.append((c, d + 1))
+
+
+def _is_catch_all(handler) -> bool:
+    if handler.kind != cindex.CursorKind.CXX_CATCH_STMT:
+        return False
+    ch = list(handler.get_children())
+    return not ch or ch[0].kind == cindex.CursorKind.COMPOUND_STMT
+
+
+def _guard_decl(stmt):
+    """A DECL_STMT declaring a gstore guard -> its description."""
+    if stmt.kind != cindex.CursorKind.DECL_STMT:
+        return None
+    for d in stmt.get_children():
+        if d.kind == cindex.CursorKind.VAR_DECL and \
+                (_type_names(d.type) & GUARD_CLASSES):
+            cls = sorted(_type_names(d.type) & GUARD_CLASSES)[0]
+            return f"{cls} {d.spelling}"
+    return None
+
+
+def _contains_pin(t) -> bool:
+    if t is None:
+        return False
+    d = t.get_declaration()
+    if d is None:
+        return False
+    try:
+        for f in d.type.get_fields():
+            if PIN_TYPEDEF in _type_names(f.type):
+                return True
+    except Exception:
+        return False
+    return False
+
+
+def lower_tu(entry) -> tuple[str, list[FnModel], str]:
+    """Entry point matching gccfront's worker signature."""
+    index = cindex.Index.create()
+    args = [a for a in entry.args[1:] if a not in ("-c", entry.file)]
+    try:
+        tu = index.parse(entry.file, args=args)
+    except Exception as e:
+        return (entry.file, [], f"libclang parse failed: {e}")
+    sev = cindex.Diagnostic.Error
+    errs = [d for d in tu.diagnostics if d.severity >= sev]
+    if errs:
+        return (entry.file, [], f"libclang diagnostics: {errs[0]}")
+    fns: list[FnModel] = []
+    decls = FnModel(key=f"<decls:{entry.file}>", pretty="<decls>",
+                    file=entry.file, line=0, noexcept=False)
+
+    def visit(c):
+        if c.kind in (cindex.CursorKind.VAR_DECL,
+                      cindex.CursorKind.FIELD_DECL):
+            hit = _type_names(c.type) & RAW_SYNC_RECORDS
+            if hit:
+                qual = _qualified(c.type.get_declaration()) \
+                    if c.type.get_declaration() else ""
+                if qual.startswith("std::") or qual.startswith("__"):
+                    f, ln = _loc(c)
+                    decls.raw_syncs.append(RawSyncEvent(
+                        f"std::{sorted(hit)[0]}", f, ln))
+        if c.kind in (cindex.CursorKind.FUNCTION_DECL,
+                      cindex.CursorKind.CXX_METHOD,
+                      cindex.CursorKind.CONSTRUCTOR,
+                      cindex.CursorKind.DESTRUCTOR,
+                      cindex.CursorKind.LAMBDA_EXPR) and c.is_definition():
+            fns.append(_Lowerer(c).lower())
+            return
+        for ch in c.get_children():
+            visit(ch)
+    visit(tu.cursor)
+    if decls.raw_syncs:
+        fns.append(decls)
+    return (entry.file, fns, "")

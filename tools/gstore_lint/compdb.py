@@ -1,0 +1,63 @@
+"""compile_commands.json loading and TU selection."""
+
+from __future__ import annotations
+
+import json
+import shlex
+from dataclasses import dataclass
+from pathlib import Path
+
+
+@dataclass
+class Entry:
+    file: str        # absolute path
+    directory: str
+    args: list[str]  # compiler argv, including the source file
+
+
+def load(path: str) -> list[Entry]:
+    data = json.loads(Path(path).read_text())
+    out: list[Entry] = []
+    seen: set[str] = set()
+    for item in data:
+        directory = item.get("directory", ".")
+        file = item.get("file", "")
+        fabs = str((Path(directory) / file).resolve()) \
+            if not Path(file).is_absolute() else str(Path(file).resolve())
+        if fabs in seen:
+            continue
+        seen.add(fabs)
+        if "arguments" in item:
+            args = list(item["arguments"])
+        else:
+            args = shlex.split(item.get("command", ""))
+        if not args:
+            continue
+        out.append(Entry(file=fabs, directory=directory, args=args))
+    return out
+
+
+def default_compdb(root: Path) -> Path | None:
+    """Conventional build-tree locations, newest first."""
+    candidates = sorted(
+        root.glob("build*/compile_commands.json"),
+        key=lambda p: p.stat().st_mtime, reverse=True)
+    return candidates[0] if candidates else None
+
+
+def select(entries: list[Entry], root: Path,
+           only: list[str] | None = None) -> list[Entry]:
+    """Keeps TUs under root/src, or matching the explicit filters."""
+    out = []
+    for e in entries:
+        if only:
+            if any(sub in e.file for sub in only):
+                out.append(e)
+            continue
+        try:
+            rel = Path(e.file).relative_to(root)
+        except ValueError:
+            continue
+        if rel.parts and rel.parts[0] == "src":
+            out.append(e)
+    return out

@@ -1,0 +1,241 @@
+"""GCC GENERIC tree-dump frontend: dump generation and raw-dump parsing.
+
+`g++ -fdump-tree-original-raw-lineno=<file>` writes, per function, the
+GENERIC tree as a numbered node graph:
+
+    ;; Function void gstore::Holder::locked_log() (null)
+    ;; enabled by -tree-original
+
+    @1      bind_expr        type: @2       vars: @3       body: @4
+    @2      void_type        name: @5       algn: 8
+    @4      statement_list   0   : @10      1   : @11
+    ...
+
+Node references are section-local. Attribute keys are the short codes
+print-tree uses (`name:`, `scpe:`, `op 0:`, `fn  :`, positional `0   :`
+for call arguments and statement-list entries, ...). Identifier payloads
+are `strg: <text> lngt: <n>`; `<text>` may contain spaces (`operator new`)
+or colons (string literals), so it is extracted first via the trailing
+length and blanked before key scanning.
+
+The dumps include every instantiated std:: entity, which makes them large
+(~10 MB per TU). Sections are filtered by their pretty name before node
+parsing: only project functions (and unscoped free functions) are parsed
+in detail, which keeps the per-TU cost dominated by the compile itself.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import subprocess
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+
+SECTION_HEADER = re.compile(r"^;; Function (.+?) \((.*)\)\s*$")
+NODE_START = re.compile(r"^@(\d+)\s+(\S+)\s*(.*)$")
+# `strg: <payload> lngt: <n>` — non-greedy up to the length marker.
+STRG = re.compile(r"strg:\s(.*?)\s*lngt:\s*(-?\d+)")
+# Attribute keys: positional indexes, `op N`, or the 2-4 char codes.
+KEY = re.compile(r"(?:(?<=\s)|^)(op \d+|\d+|[a-z_]{2,4})\s*: ")
+
+# Pretty-name prefixes/infixes that mark sections we never analyze: std
+# library internals, gcc/glibc implementation namespaces, compiler thunks.
+_SKIP_MARKERS = (
+    "std::",
+    "__gnu_cxx::",
+    "__cxxabiv1::",
+    "__gnu_debug::",
+    "operator new",
+    "operator delete",
+    "__static_initialization",
+    "_GLOBAL__",
+)
+
+
+def keep_section(pretty: str) -> bool:
+    """Parse this section in detail?
+
+    Project code (anything mentioning gstore) is always kept; so are free
+    functions outside any skip namespace (tools, tests, fixtures). A
+    std:: template instantiated *with* project types is kept too — its
+    body may call back into project code (e.g. a callback invoked through
+    std machinery).
+    """
+    if "gstore" in pretty:
+        return True
+    return not any(m in pretty for m in _SKIP_MARKERS)
+
+
+@dataclass
+class Node:
+    idx: int
+    tag: str
+    attrs: dict[str, list[str]] = field(default_factory=dict)
+    strg: str | None = None
+
+    def ref(self, key: str) -> int | None:
+        vals = self.attrs.get(key)
+        if not vals:
+            return None
+        v = vals[0]
+        return int(v[1:]) if v.startswith("@") else None
+
+    def refs(self, key: str) -> list[int]:
+        out = []
+        for v in self.attrs.get(key, ()):
+            if v.startswith("@"):
+                out.append(int(v[1:]))
+        return out
+
+    def value(self, key: str) -> str | None:
+        vals = self.attrs.get(key)
+        return vals[0] if vals else None
+
+    def has_attr(self, key: str) -> bool:
+        return key in self.attrs
+
+    def indexed_refs(self) -> list[tuple[int, int]]:
+        """Positional children `0:`..`N:` (call args, statement lists)."""
+        out = []
+        for k, vals in self.attrs.items():
+            if k.isdigit() and vals and vals[0].startswith("@"):
+                out.append((int(k), int(vals[0][1:])))
+        out.sort()
+        return out
+
+
+@dataclass
+class Section:
+    pretty: str
+    nodes: dict[int, Node] = field(default_factory=dict)
+
+    @property
+    def root(self) -> Node | None:
+        return self.nodes.get(1)
+
+    def node(self, idx: int | None) -> Node | None:
+        return None if idx is None else self.nodes.get(idx)
+
+
+def _parse_node_text(idx: int, tag: str, text: str) -> Node:
+    node = Node(idx=idx, tag=tag)
+    m = STRG.search(text)
+    if m:
+        node.strg = m.group(1)
+        text = text[: m.start()] + text[m.end():]
+    pos: list[tuple[str, int, int]] = []  # (key, value_start, key_start)
+    for km in KEY.finditer(text):
+        pos.append((km.group(1), km.end(), km.start()))
+    for i, (key, vstart, _) in enumerate(pos):
+        vend = pos[i + 1][2] if i + 1 < len(pos) else len(text)
+        value = text[vstart:vend].strip()
+        if value:
+            node.attrs.setdefault(key, []).append(value)
+    return node
+
+
+def parse_dump(text: str) -> list[Section]:
+    sections: list[Section] = []
+    cur: Section | None = None
+    # (idx, tag, accumulated attr text) for the node being accumulated.
+    pending: list[str] | None = None
+    pending_head: tuple[int, str] | None = None
+
+    def flush() -> None:
+        nonlocal pending, pending_head
+        if cur is not None and pending_head is not None:
+            idx, tag = pending_head
+            cur.nodes[idx] = _parse_node_text(idx, tag, " ".join(pending))
+        pending = None
+        pending_head = None
+
+    for line in text.splitlines():
+        if line.startswith(";; Function"):
+            flush()
+            m = SECTION_HEADER.match(line)
+            pretty = m.group(1) if m else line[len(";; Function "):]
+            if keep_section(pretty):
+                cur = Section(pretty=pretty)
+                sections.append(cur)
+            else:
+                cur = None
+            continue
+        if cur is None or not line or line.startswith(";;"):
+            continue
+        if line.startswith("@"):
+            m = NODE_START.match(line)
+            if m:
+                flush()
+                pending_head = (int(m.group(1)), m.group(2))
+                pending = [m.group(3)]
+                continue
+        if pending is not None:
+            pending.append(line.strip())
+    flush()
+    return sections
+
+
+class DumpError(RuntimeError):
+    pass
+
+
+# Flags that fight with -S/-o or just waste time at lint. -O0 halves the
+# compile without changing the pre-gimplification tree we read.
+_STRIP_FLAGS = {"-c", "-S", "-E", "-flto", "-g", "-g3", "-ggdb"}
+_STRIP_PREFIX = ("-O", "-fdump-", "-flto=", "-fuse-linker-plugin")
+_STRIP_WITH_ARG = {"-o", "-MF", "-MT", "-MQ", "-MD", "-MMD"}
+
+
+def dump_command(args: list[str], dump_path: str,
+                 gimple_path: str) -> list[str]:
+    out: list[str] = []
+    skip = False
+    for a in args:
+        if skip:
+            skip = False
+            continue
+        if a in _STRIP_WITH_ARG:
+            skip = a in {"-o", "-MF", "-MT", "-MQ"}
+            continue
+        if a in _STRIP_FLAGS or a.startswith(_STRIP_PREFIX):
+            continue
+        out.append(a)
+    # Both dumps come from the one compile: GENERIC for full-fidelity
+    # lowering, GIMPLE to patch the sections the raw GENERIC dumper
+    # truncates at try_catch_expr (see gimplepatch.py).
+    out += ["-O0", "-S", "-o", os.devnull,
+            f"-fdump-tree-original-raw-lineno={dump_path}",
+            f"-fdump-tree-gimple-raw-lineno={gimple_path}"]
+    return out
+
+
+def run_dump(args: list[str], directory: str) -> tuple[str, str]:
+    """Compiles one TU with tree dumping; returns (generic, gimple) text."""
+    with tempfile.NamedTemporaryFile(
+        mode="r", suffix=".orig", prefix="gstore_lint_", delete=False
+    ) as tf:
+        dump_path = tf.name
+    with tempfile.NamedTemporaryFile(
+        mode="r", suffix=".gimple", prefix="gstore_lint_", delete=False
+    ) as tf:
+        gimple_path = tf.name
+    try:
+        cmd = dump_command(args, dump_path, gimple_path)
+        proc = subprocess.run(
+            cmd, cwd=directory, capture_output=True, text=True
+        )
+        if proc.returncode != 0:
+            raise DumpError(
+                f"dump compile failed ({' '.join(cmd[:3])}...):\n"
+                f"{proc.stderr.strip()[:2000]}"
+            )
+        return (Path(dump_path).read_text(errors="replace"),
+                Path(gimple_path).read_text(errors="replace"))
+    finally:
+        for p in (dump_path, gimple_path):
+            try:
+                os.unlink(p)
+            except OSError:
+                pass

@@ -1,0 +1,357 @@
+"""Recovers function bodies the GENERIC raw dumper drops.
+
+GCC's raw tree dumper prints `try_catch_expr` nodes without operands, so
+any function whose body genericizes under an EH-only cleanup — typically
+one returning a non-trivial value, where the NRVO'd return object must be
+destroyed if an exception escapes — dumps as an empty shell. ~6% of
+project sections lose some or all of their body this way, including
+exactly the value-returning collectors (reap_all, entries) GL1 exists to
+police.
+
+The GIMPLE dump of the same compile (`-fdump-tree-gimple-raw-lineno`)
+has no such gap: it is printed by the gimple pretty-printer, which
+handles every statement kind. It costs different information — callees
+appear as unqualified names, and declared types lose template arguments —
+so it is used only to *patch* functions the GENERIC dump truncated,
+with name-based callee resolution done later against the full program
+(see __main__._resolve_gimple_calls). Identity (key, noexcept) still
+comes from the GENERIC section; only events are recovered here.
+
+Format sketch (indentation-nested, one statement per line):
+
+    struct vector gstore::io::AsyncEngine::Impl::reap_all (struct Impl * const this)
+    gimple_bind <
+      struct vector D.1234;
+      struct MutexLock lock;
+
+      [/abs/path.cpp:171:13] gimple_call <__ct_comp , NULL, &lock, &this->mutex>
+      [/abs/path.cpp:171:13] gimple_try <GIMPLE_TRY_FINALLY,
+        EVAL <
+          [/abs/path.cpp:176:17] gimple_call <reserve, NULL, &done, _3>
+        >
+        CLEANUP <
+          [/abs/path.cpp:171:13] gimple_call <__dt_comp , NULL, &lock>
+        >
+      >
+    >
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from .model import ArithEvent, CallEvent, CompletionEvent, FnModel, \
+    PinStoreEvent
+
+GUARD_CLASSES = {"MutexLock", "WriterMutexLock", "ReaderMutexLock"}
+WIRE_RECORDS = {
+    "TilesFileHeader", "WalFileHeader", "WalFrameHeader", "FaultSpec",
+    "TileStoreMeta",
+}
+# Member names whose declared type is a wire record: GIMPLE text types
+# only block-local decls, so `store.meta_.tile_count` is recognized by the
+# member name rather than by the (invisible) type of `meta_`.
+WIRE_MEMBERS = {"meta_": "TileStoreMeta"}
+CONTAINER_STORE_METHODS = {
+    "push_back", "emplace_back", "push_front", "emplace_front",
+    "emplace", "insert", "assign", "insert_or_assign", "try_emplace",
+}
+COMPLETION_CHECK_FIELDS = {"ok", "error"}
+COMPLETION_USE_FIELDS = {"bytes"}
+# Structural plumbing that is not a call in the source program.
+_PLUMBING = {
+    "__ct_comp", "__ct_base", "__dt_comp", "__dt_base",
+    "__cxa_begin_catch", "__cxa_end_catch", "__cxa_rethrow",
+    "__builtin_eh_pointer", "__cxa_throw", "__cxa_allocate_exception",
+}
+
+_LOC = re.compile(r"^\[([^:\]]+):(\d+):\d+\]\s*")
+_CALL = re.compile(r"gimple_call <([^,>]+)(.*)")
+_ASSIGN = re.compile(r"gimple_assign <(\w+), (.*)")
+_FIELD = re.compile(r"(\w+)(?:->|\.)(\w+)")
+_CHAIN = re.compile(r"\w+(?:(?:->|\.)\w+)+")
+_ADDR_ARG = re.compile(r"&(\w+)\b")
+_WORD = re.compile(r"\b([A-Za-z_]\w*(?:\.\d+)?|_\d+|D\.\d+)\b")
+_DECL = re.compile(r"(?:struct|class|union|enum)?\s*"
+                   r"(?P<type>[\w:]+)[\s*&]+(?P<name>\w+)(?:\[\d*\])?;$")
+_ARITH = {"mult_expr": "*", "plus_expr": "+", "lshift_expr": "<<"}
+
+
+@dataclass
+class Block:
+    kind: str                       # bind | try_finally | try_catch |
+    header: str                     # eval | cleanup | other
+    children: list = field(default_factory=list)   # str stmts and Blocks
+
+    def text(self) -> str:
+        out = [self.header]
+        for c in self.children:
+            out.append(c.text() if isinstance(c, Block) else c)
+        return "\n".join(out)
+
+
+def _block_kind(stripped: str) -> str:
+    if "gimple_bind <" in stripped:
+        return "bind"
+    if "gimple_try <GIMPLE_TRY_FINALLY" in stripped:
+        return "try_finally"
+    if "gimple_try <GIMPLE_TRY_CATCH" in stripped:
+        return "try_catch"
+    if stripped == "EVAL <":
+        return "eval"
+    if stripped == "CLEANUP <":
+        return "cleanup"
+    return "other"
+
+
+def _is_header(line: str) -> bool:
+    return (bool(line) and not line[0].isspace()
+            and " (" in line
+            and not line.startswith((">", "gimple_", "__attribute__", ";;")))
+
+
+def arity(params: str) -> int:
+    """Top-level parameter count of a textual parameter list. Tracks <>
+    depth so template-argument commas (GENERIC pretty params) don't split."""
+    params = params.strip()
+    if params in ("", "void"):
+        return 0
+    depth = 0
+    n = 1
+    for ch in params:
+        if ch in "<([":
+            depth += 1
+        elif ch in ">)]":
+            depth -= 1
+        elif ch == "," and depth == 0:
+            n += 1
+    return n
+
+
+def parse(text: str) -> dict[str, list[tuple[int, Block]]]:
+    """qualified function name -> [(arity, body)] (overloads share a
+    name; the caller disambiguates by parameter count)."""
+    out: dict[str, list[tuple[int, Block]]] = {}
+    qual: str | None = None
+    nargs = 0
+    root: Block | None = None
+    stack: list[Block] = []
+    for line in text.splitlines():
+        stripped = line.strip()
+        if _is_header(line):
+            if qual and root is not None:
+                out.setdefault(qual, []).append((nargs, root))
+            head, _, params = line.rsplit(" (", 1)[0], None, \
+                line.rsplit(" (", 1)[-1]
+            params = params.rsplit(")", 1)[0]
+            name = head.split()[-1] if head.split() else ""
+            qual = name if re.fullmatch(r"[\w:~]+", name) else None
+            nargs = arity(params)
+            root = None
+            stack = []
+            continue
+        if qual is None or not stripped:
+            # Blank lines still delimit bind decl lists; keep them.
+            if stack and not stripped:
+                stack[-1].children.append("")
+            continue
+        # Closers: a line of only '>' tokens pops one level per token.
+        if re.fullmatch(r"[>\s,]+", stripped):
+            for _ in range(stripped.count(">")):
+                if stack:
+                    stack.pop()
+            continue
+        opens = stripped.endswith("<") or "gimple_try <GIMPLE" in stripped
+        if opens:
+            blk = Block(_block_kind(stripped), stripped)
+            if stack:
+                stack[-1].children.append(blk)
+            elif root is None:
+                root = blk
+            else:  # stray second top-level block: nest under root
+                root.children.append(blk)
+            stack.append(blk)
+        elif stack:
+            stack[-1].children.append(stripped)
+    if qual and root is not None:
+        out.setdefault(qual, []).append((nargs, root))
+    return out
+
+
+class _Recover:
+    def __init__(self, fn: FnModel, tu_file: str):
+        self.fn = fn
+        self.tu = tu_file
+        self.decls: dict[str, str] = {}      # var name -> class-ish name
+        self.tainted: dict[str, str] = {}    # tainted name -> origin label
+        self.file = tu_file
+        self.line = fn.line
+
+    def _loc(self, stmt: str) -> str:
+        m = _LOC.match(stmt)
+        if m:
+            self.file, self.line = m.group(1), int(m.group(2))
+        return _LOC.sub("", stmt)
+
+    def _bind_decls(self, blk: Block) -> None:
+        for c in blk.children:
+            if not isinstance(c, str):
+                continue
+            if c == "":
+                break                        # decls end at the blank line
+            m = _DECL.search(c)
+            if m:
+                self.decls[m.group("name")] = m.group("type").split("::")[-1]
+
+    def _guard_in_cleanup(self, blk: Block) -> str | None:
+        for sub in blk.children:
+            if isinstance(sub, Block) and sub.kind == "cleanup":
+                for m in re.finditer(
+                        r"gimple_call <__dt_\w+ ?,[^>]*&(\w+)", sub.text()):
+                    cls = self.decls.get(m.group(1))
+                    if cls in GUARD_CLASSES:
+                        return f"{cls} {m.group(1)}"
+        return None
+
+    def _has_catch(self, blk: Block) -> bool:
+        for sub in blk.children:
+            if isinstance(sub, Block) and sub.kind == "cleanup":
+                if "gimple_catch" in sub.text():
+                    return True
+        return False
+
+    def walk(self, blk: Block, locks: tuple, shielded: bool) -> None:
+        if blk.kind == "bind":
+            self._bind_decls(blk)
+        guard = None
+        shield_eval = False
+        if blk.kind == "try_finally":
+            guard = self._guard_in_cleanup(blk)
+        elif blk.kind == "try_catch":
+            shield_eval = self._has_catch(blk)
+        for c in blk.children:
+            if isinstance(c, Block):
+                inner_locks = locks
+                inner_shield = shielded
+                if c.kind == "eval":
+                    if guard:
+                        inner_locks = locks + (guard,)
+                    if shield_eval:
+                        inner_shield = True
+                self.walk(c, inner_locks, inner_shield)
+            else:
+                self._stmt(c, locks, shielded)
+
+    def _stmt(self, stmt: str, locks: tuple, shielded: bool) -> None:
+        stmt = self._loc(stmt)
+        m = _CALL.match(stmt)
+        if m:
+            self._call(m.group(1).strip(), m.group(2), locks, shielded)
+            return
+        m = _ASSIGN.match(stmt)
+        if m:
+            self._assign(m.group(1), m.group(2))
+
+    def _wire_source(self, text: str) -> str | None:
+        """Untrusted-source label if `text` reads a wire-record field."""
+        for m in _CHAIN.finditer(text):
+            comps = re.split(r"->|\.", m.group(0))
+            if self.decls.get(comps[0]) in WIRE_RECORDS:
+                return f"{self.decls[comps[0]]}.{comps[-1]}"
+            for i, c in enumerate(comps):
+                if c in WIRE_MEMBERS:
+                    rec = WIRE_MEMBERS[c]
+                    return (f"{rec}.{comps[-1]}" if i < len(comps) - 1
+                            else rec)
+        return None
+
+    def _completion_vars(self, argtext: str) -> list[str]:
+        out = []
+        for w in _WORD.findall(argtext):
+            if self.decls.get(w) == "Completion":
+                out.append(w)
+        return out
+
+    def _call(self, name: str, argtext: str, locks: tuple,
+              shielded: bool) -> None:
+        fn = self.fn
+        argtext = re.sub(r"\[[^\]]*\]", "", argtext)   # strip per-arg locs
+        if name not in _PLUMBING:
+            fn.calls.append(CallEvent(
+                callee=None, callee_name=name, scope="gimple",
+                file=self.file, line=self.line, locks=locks,
+                shielded=shielded))
+        # GL2: container-store of a BufferPin-typed local.
+        if name in CONTAINER_STORE_METHODS:
+            for v in _ADDR_ARG.findall(argtext):
+                if self.decls.get(v) == "BufferPin":
+                    fn.pin_stores.append(PinStoreEvent(
+                        kind="container",
+                        detail=f"{name}() argument carries a BufferPin",
+                        file=self.file, line=self.line))
+                    break
+        # GL3: reassignment resets; any other call taking the lvalue
+        # transfers the checking obligation.
+        cvars = self._completion_vars(argtext)
+        if cvars:
+            kind = "reset" if name == "operator=" else "check"
+            detail = "reassigned" if kind == "reset" else "passed-to-callee"
+            for v in cvars:
+                fn.completions.append(CompletionEvent(
+                    kind=kind, var=v, detail=detail,
+                    file=self.file, line=self.line))
+        # GL4: calls on wire-record lvalues taint their destination.
+        lhs = argtext.split(",")[1].strip() if "," in argtext else ""
+        if lhs and lhs != "NULL":
+            src = self._wire_source(argtext)
+            if src is None:
+                for v in _WORD.findall(argtext):
+                    if self.decls.get(v) in WIRE_RECORDS:
+                        src = self.decls[v]
+                        break
+            if src is not None:
+                self.tainted[lhs] = f"{src} via {name}()"
+
+    def _assign(self, op: str, rest: str) -> None:
+        fn = self.fn
+        rest = re.sub(r"\[[^\]]*\]", "", rest)
+        parts = [p.strip() for p in rest.rstrip(">").split(",")]
+        lhs = parts[0] if parts else ""
+        rhs = ", ".join(parts[1:])
+        # GL3 field accesses: `c->ok`, `c->bytes`.
+        for base, fieldname in _FIELD.findall(rhs):
+            if self.decls.get(base) != "Completion":
+                continue
+            if fieldname in COMPLETION_CHECK_FIELDS:
+                fn.completions.append(CompletionEvent(
+                    kind="check", var=base, detail=fieldname,
+                    file=self.file, line=self.line))
+            elif fieldname in COMPLETION_USE_FIELDS:
+                fn.completions.append(CompletionEvent(
+                    kind="use", var=base, detail=fieldname,
+                    file=self.file, line=self.line))
+        # GL4 taint: wire-record field read taints the destination...
+        tainted_rhs = self._wire_source(rhs)
+        if tainted_rhs is None:
+            for w in _WORD.findall(rhs):
+                if w in self.tainted:
+                    tainted_rhs = self.tainted[w]
+                    break
+        if tainted_rhs is not None and lhs:
+            self.tainted[lhs] = tainted_rhs
+        # ... and tainted multiply/add/shift is the GL4 event itself.
+        arith = _ARITH.get(op)
+        if arith and tainted_rhs is not None:
+            fn.ariths.append(ArithEvent(
+                op=arith, detail=tainted_rhs,
+                file=self.file, line=self.line))
+
+
+def recover(base: FnModel, body: Block, tu_file: str) -> FnModel:
+    """Events for `base` (identity reused) re-read from the GIMPLE body."""
+    patch = FnModel(key=base.key, pretty=base.pretty, file=base.file,
+                    line=base.line, noexcept=base.noexcept)
+    r = _Recover(patch, tu_file)
+    r.walk(body, locks=(), shielded=False)
+    return patch

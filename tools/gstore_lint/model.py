@@ -1,0 +1,139 @@
+"""Frontend-neutral event IR.
+
+Both frontends (gccfront, clangfront) lower each function body into a
+FnModel: a qualified identity plus flat, evaluation-ordered event lists.
+Checks consume only this IR, so their semantics cannot drift between
+frontends.
+
+Function identity is `qualified::name(param-fingerprint)`. Call events
+carry the same key form for resolved callees, which is what stitches the
+cross-TU call graph together. Template instantiations of one primary
+template can share a key; merging their out-edges is conservative in the
+right direction for reachability checks (GL1/GL5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class CallEvent:
+    callee: str | None      # resolved key, or None (indirect/virtual call)
+    callee_name: str        # last name component ('pwrite_full', 'push_back')
+    scope: str              # 'project' | 'std' | 'global' | 'unknown'
+    file: str
+    line: int
+    locks: tuple[str, ...]  # guard descriptions lexically held at this site
+    shielded: bool          # inside a try body with a catch(...) handler
+    is_dtor: bool = False
+
+
+@dataclass(frozen=True)
+class ThrowEvent:
+    file: str
+    line: int
+    shielded: bool
+
+
+@dataclass(frozen=True)
+class CompletionEvent:
+    kind: str               # 'check' | 'use' | 'reset'
+    var: str                # stable id of the Completion lvalue
+    detail: str             # field name or event cause
+    file: str
+    line: int
+
+
+@dataclass(frozen=True)
+class PinStoreEvent:
+    kind: str               # 'member' | 'container'
+    detail: str
+    file: str
+    line: int
+
+
+@dataclass(frozen=True)
+class ArithEvent:
+    op: str                 # '*' | '+' | '<<'
+    detail: str             # the tainted source, e.g. 'TilesFileHeader.edge_count'
+    file: str
+    line: int
+
+
+@dataclass(frozen=True)
+class RawSyncEvent:
+    what: str               # e.g. 'std::once_flag', 'std::call_once'
+    file: str
+    line: int
+
+
+@dataclass(frozen=True)
+class AtomicOpEvent:
+    member: str             # field name the operator was applied to
+    op: str                 # 'operator=', 'operator++', ...
+    file: str
+    line: int
+
+
+@dataclass
+class FnModel:
+    key: str
+    pretty: str
+    file: str
+    line: int
+    noexcept: bool
+    # GENERIC raw dumps omit try_catch_expr subtrees; a truncated FnModel
+    # is missing part of its body and is patched from the GIMPLE dump.
+    truncated: bool = False
+    calls: list[CallEvent] = field(default_factory=list)
+    throws: list[ThrowEvent] = field(default_factory=list)
+    completions: list[CompletionEvent] = field(default_factory=list)
+    pin_stores: list[PinStoreEvent] = field(default_factory=list)
+    ariths: list[ArithEvent] = field(default_factory=list)
+    raw_syncs: list[RawSyncEvent] = field(default_factory=list)
+    atomic_ops: list[AtomicOpEvent] = field(default_factory=list)
+
+    @property
+    def name(self) -> str:
+        head = self.key.split("(", 1)[0]
+        return head.rsplit("::", 1)[-1]
+
+
+class Program:
+    """All FnModels merged across TUs, keyed by function identity."""
+
+    def __init__(self) -> None:
+        self.fns: dict[str, FnModel] = {}
+
+    def add(self, fn: FnModel) -> None:
+        have = self.fns.get(fn.key)
+        if have is None:
+            self.fns[fn.key] = fn
+            return
+        # Same function seen from another TU (inline/header definitions) or
+        # a ctor's base/complete variants: union the event lists.
+        for attr in ("calls", "throws", "completions", "pin_stores",
+                     "ariths", "raw_syncs", "atomic_ops"):
+            seen = set(getattr(have, attr))
+            for ev in getattr(fn, attr):
+                if ev not in seen:
+                    getattr(have, attr).append(ev)
+                    seen.add(ev)
+        # noexcept must agree; if any definition shows the wrapper, trust it.
+        have.noexcept = have.noexcept or fn.noexcept
+        have.truncated = have.truncated or fn.truncated
+
+    def by_name(self, name: str) -> list[FnModel]:
+        return [f for f in self.fns.values() if f.name == name]
+
+
+@dataclass(frozen=True)
+class Finding:
+    check: str              # 'GL1'..'GL5', 'R1', 'R4', 'GL-WAIVER'
+    file: str
+    line: int
+    message: str
+
+    def render(self) -> str:
+        return f"{self.file}:{self.line}: [{self.check}] {self.message}"

@@ -1,0 +1,87 @@
+"""GL-SAFE waiver comments: the audited escape hatch.
+
+Grammar (documented in docs/CORRECTNESS.md):
+
+    // GL-SAFE(<tag>[,<tag>...]): <reason>
+
+where <tag> is GL1..GL5, R1, R4, or the alias `lock-free` (== GL1). The
+waiver applies to findings on its own line, on any directly following
+comment lines (a multi-line rationale), and on the first statement line
+after the comment block (comment-above style). A trailing waiver on the
+statement line itself also works. The reason is mandatory: a reasonless
+waiver is
+itself reported as [GL-WAIVER], because an unexplained suppression is
+indistinguishable from a silenced bug (same policy as R5's SAFETY:
+comments).
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+from .model import Finding
+
+WAIVER = re.compile(r"//\s*GL-SAFE\(([^)]*)\)\s*:?\s*(.*)")
+ALIASES = {"lock-free": "GL1", "pin": "GL2"}
+VALID = {"GL1", "GL2", "GL3", "GL4", "GL5", "R1", "R4"}
+
+
+class Waivers:
+    def __init__(self) -> None:
+        # (abs file, line) -> set of waived check ids
+        self._by_line: dict[tuple[str, int], set[str]] = {}
+        self._errors: list[Finding] = []
+        self._loaded: set[str] = set()
+
+    def load_file(self, path: str) -> None:
+        if path in self._loaded:
+            return
+        self._loaded.add(path)
+        try:
+            text = Path(path).read_text(errors="replace")
+        except OSError:
+            return
+        lines = text.splitlines()
+        for lineno, line in enumerate(lines, start=1):
+            m = WAIVER.search(line)
+            if not m:
+                continue
+            tags = set()
+            bad = []
+            for raw in m.group(1).split(","):
+                t = raw.strip()
+                t = ALIASES.get(t, t)
+                if t in VALID:
+                    tags.add(t)
+                elif t:
+                    bad.append(t)
+            reason = m.group(2).strip()
+            if not reason or bad or not tags:
+                why = ("no reason given" if not reason else
+                       f"unknown tag(s): {', '.join(bad)}" if bad else
+                       "no valid tags")
+                self._errors.append(Finding(
+                    check="GL-WAIVER", file=path, line=lineno,
+                    message=f"malformed GL-SAFE waiver ({why}) — use "
+                            f"// GL-SAFE(GLn): reason"))
+                continue
+            # Waives the waiver line, the rest of its comment block (a
+            # multi-line rationale), and the first statement line after it.
+            end = lineno + 1
+            while end <= len(lines) and lines[end - 1].lstrip().startswith("//"):
+                end += 1
+            for ln in range(lineno, end + 1):
+                self._by_line.setdefault((path, ln), set()).update(tags)
+
+    def waived(self, check: str, file: str, line: int) -> bool:
+        return check in self._by_line.get((file, line), set())
+
+    def errors(self) -> list[Finding]:
+        return list(self._errors)
+
+    def all_waivers(self) -> list[tuple[str, int, str]]:
+        out = []
+        for (f, ln), tags in sorted(self._by_line.items()):
+            out.append((f, ln, ",".join(sorted(tags))))
+        return out
