@@ -1,0 +1,147 @@
+// bench_serve — multi-tenant serving throughput and I/O dedup (docs/SERVE.md).
+//
+// Measures, on a multi-tile uniform-random graph:
+//   * jobs/s        — end-to-end completion rate for a 128-job BFS mix
+//                     flowing through submit → gang → done
+//   * dedup (bytes) — bytes read by 32 co-scheduled BFS jobs vs 1 job;
+//                     the shared fetch stream makes this ~1x, not 32x
+//   * dedup (tiles) — tile dispatches per physical fetch for the 32-gang
+//                     (each fetched tile feeds every subscribed kernel)
+//
+// Prints a table and writes BENCH_serve.json for machine consumption.
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "ingest/ingestor.h"
+#include "serve/server.h"
+
+namespace gstore::bench {
+namespace {
+
+using serve::Json;
+
+struct GangRun {
+  double seconds = 0;
+  std::uint64_t bytes_read = 0;
+  std::uint64_t tiles_physical = 0;   // fetched + served from cache
+  std::uint64_t tile_dispatches = 0;  // per-subscriber kernel deliveries
+  std::uint64_t jobs_done = 0;
+};
+
+Json bfs_json(graph::vid_t root) {
+  Json j = Json::object();
+  j.set("algo", Json("bfs"));
+  j.set("root", Json(static_cast<std::uint64_t>(root)));
+  return j;
+}
+
+// Runs `jobs` BFS submissions (round-robin over `roots`) through a fresh
+// JobManager with the given gang width and returns the folded aggregate.
+// stop(true) joins the scheduler thread, which is what publishes the
+// gang-level I/O counters into the aggregate the stats() call reads.
+GangRun run_jobs(ingest::EdgeIngestor& ingestor, std::size_t jobs,
+                 std::size_t gang_width, const std::vector<graph::vid_t>& roots) {
+  serve::ManagerOptions mo;
+  mo.max_gang = gang_width;
+  mo.max_queued = jobs;
+  serve::JobManager manager(ingestor, mo);
+  std::vector<std::uint64_t> ids;
+  ids.reserve(jobs);
+  for (std::size_t k = 0; k < jobs; ++k) {
+    Json j = bfs_json(roots[k % roots.size()]);
+    ids.push_back(manager.submit(j));
+  }
+  Timer t;
+  manager.start();
+  for (const std::uint64_t id : ids)
+    manager.wait(id, std::chrono::milliseconds(600000));
+  manager.stop(true);
+  GangRun out;
+  out.seconds = t.seconds();
+  const Json s = manager.stats();
+  out.bytes_read = s.at("bytes_read").as_uint();
+  out.tiles_physical =
+      s.at("tiles_fetched").as_uint() + s.at("tiles_from_cache").as_uint();
+  out.tile_dispatches = s.at("tile_dispatches").as_uint();
+  out.jobs_done = s.at("jobs_done").as_uint();
+  return out;
+}
+
+int run() {
+  banner("bench_serve: multi-tenant shared-I/O tile scheduling",
+         "new subsystem (no paper counterpart; see docs/SERVE.md)");
+
+  // Multi-tile graph: enough tile rows that the gang's union fetch stream
+  // has real structure, small enough to finish in CI time.
+  const graph::vid_t n = 1u << std::min(scale(), 18u);
+  const graph::EdgeList el = graph::uniform_random(
+      n, static_cast<std::uint64_t>(n) * 3, graph::GraphKind::kUndirected, 23);
+  io::TempDir dir;
+  tile::convert_to_tiles(el, dir.file("g"), default_tile_opts());
+  ingest::EdgeIngestor ingestor(dir.file("g"));
+
+  // --- dedup: 1 BFS vs 32 co-scheduled BFS, identical roots ---
+  const std::vector<graph::vid_t> same_root = {hub_root(el)};
+  const GangRun single = run_jobs(ingestor, 1, 64, same_root);
+  const GangRun gang32 = run_jobs(ingestor, 32, 64, same_root);
+  const double byte_ratio =
+      gang32.bytes_read / std::max<double>(single.bytes_read, 1);
+  const double tile_dedup =
+      gang32.tile_dispatches / std::max<double>(gang32.tiles_physical, 1);
+
+  // --- throughput: 128 BFS jobs, mixed roots, gangs of 32 ---
+  std::vector<graph::vid_t> roots;
+  for (graph::vid_t r = 0; r < 16; ++r) roots.push_back((r * 37) % n);
+  const GangRun mix = run_jobs(ingestor, 128, 32, roots);
+  const double jobs_per_sec = mix.jobs_done / std::max(mix.seconds, 1e-9);
+
+  Table table({"metric", "value"});
+  table.row({"graph", std::to_string(el.vertex_count()) + " vertices, " +
+                          std::to_string(el.edge_count()) + " edges"})
+      .row({"1-job bytes read", fmt_bytes(single.bytes_read)})
+      .row({"32-job bytes read", fmt_bytes(gang32.bytes_read)})
+      .row({"bytes ratio (32 vs 1)", fmt(byte_ratio, 2) + "x  (target < 2x)"})
+      .row({"tile dedup (32-gang)",
+            fmt(tile_dedup, 1) + " dispatches/fetch"})
+      .row({"mixed 128-job run", fmt(mix.seconds, 3) + " s"})
+      .row({"throughput", fmt(jobs_per_sec, 1) + " jobs/s"});
+  table.print();
+
+  std::FILE* json = std::fopen("BENCH_serve.json", "w");
+  if (json != nullptr) {
+    std::fprintf(
+        json,
+        "{\n"
+        "  \"bench\": \"serve\",\n"
+        "  \"vertices\": %llu,\n"
+        "  \"edges\": %llu,\n"
+        "  \"single_bfs_bytes_read\": %llu,\n"
+        "  \"gang32_bfs_bytes_read\": %llu,\n"
+        "  \"gang32_byte_ratio\": %.4f,\n"
+        "  \"gang32_tile_dispatches\": %llu,\n"
+        "  \"gang32_tiles_physical\": %llu,\n"
+        "  \"gang32_tile_dedup\": %.2f,\n"
+        "  \"mixed_jobs\": %llu,\n"
+        "  \"mixed_seconds\": %.4f,\n"
+        "  \"jobs_per_sec\": %.1f\n"
+        "}\n",
+        static_cast<unsigned long long>(el.vertex_count()),
+        static_cast<unsigned long long>(el.edge_count()),
+        static_cast<unsigned long long>(single.bytes_read),
+        static_cast<unsigned long long>(gang32.bytes_read), byte_ratio,
+        static_cast<unsigned long long>(gang32.tile_dispatches),
+        static_cast<unsigned long long>(gang32.tiles_physical), tile_dedup,
+        static_cast<unsigned long long>(mix.jobs_done), mix.seconds,
+        jobs_per_sec);
+    std::fclose(json);
+    std::printf("\nwrote BENCH_serve.json\n");
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace gstore::bench
+
+int main() { return gstore::bench::run(); }

@@ -49,7 +49,9 @@ void fsync_file(const std::string& path) {
   f.sync();
 }
 
-void remove_generation_files(const std::string& gen_base) {
+}  // namespace
+
+void remove_generation_files(const std::string& gen_base) noexcept {
   for (const std::string& p : {tile::TileStore::tiles_path(gen_base),
                                tile::TileStore::sei_path(gen_base),
                                tile::TileStore::deg_path(gen_base)}) {
@@ -61,8 +63,6 @@ void remove_generation_files(const std::string& gen_base) {
     }
   }
 }
-
-}  // namespace
 
 CompactStats compact_store(const std::string& base, CompactOptions opts) {
   const auto t0 = std::chrono::steady_clock::now();

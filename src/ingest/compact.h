@@ -65,4 +65,13 @@ struct CompactStats {
 // ingest writer is active on `base`.
 CompactStats compact_store(const std::string& base, CompactOptions opts = {});
 
+// Best-effort unlink of one generation's file set (<gen_base>.tiles/.sei/
+// .deg). Step 5 of the compaction protocol, exposed so callers that pin
+// generations (serve::SnapshotManager) can compact with
+// remove_old_generation=false and perform the unlink themselves once the
+// last pin on the retired generation drops. Readers holding open fds keep
+// them valid (POSIX unlink semantics). Never throws: a generation file we
+// cannot unlink only wastes disk; the manifest already points elsewhere.
+void remove_generation_files(const std::string& gen_base) noexcept;
+
 }  // namespace gstore::ingest

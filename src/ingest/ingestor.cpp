@@ -68,6 +68,20 @@ std::uint64_t EdgeIngestor::ingest(std::span<const graph::Edge> edges) {
   return added;
 }
 
+EdgeIngestor::Snapshot EdgeIngestor::snapshot() const {
+  MutexLock lock(mu_);
+  Snapshot snap;
+  snap.generation = store_->meta().generation;
+  snap.delta_edges = delta_->ingested_edges();
+  if (snap.delta_edges > 0) {
+    // GL-SAFE(GL1): the copy must be taken under the ingest lock or a
+    // concurrent ingest() could mutate the buffer mid-copy; freezing the
+    // overlay is precisely this method's contract.
+    snap.delta = std::make_shared<const DeltaBuffer>(*delta_);
+  }
+  return snap;
+}
+
 CompactStats EdgeIngestor::compact(CompactOptions opts) {
   // GL-SAFE(GL1): compaction is the stop-the-world phase (see ingest());
   // the whole body runs under the ingest lock by design.

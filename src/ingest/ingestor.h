@@ -84,9 +84,32 @@ class EdgeIngestor {
     MutexLock lock(mu_);
     return store_->meta().generation;
   }
+
+  // A consistent point-in-time snapshot of the write path's state: the live
+  // generation number together with a frozen copy of the delta buffer,
+  // taken atomically under the ingest lock (so the copy never observes a
+  // half-applied batch, and the generation always matches the copy). The
+  // copy is immutable — safe to read from any number of threads while
+  // ingest()/compact() keep mutating the live buffer. Serving jobs pin
+  // their input this way (src/serve/snapshot.h).
+  struct Snapshot {
+    std::uint32_t generation = 0;
+    // Logical edges in `delta` — with `generation` this keys snapshot
+    // identity: two snapshots with equal (generation, delta_edges) saw the
+    // same data (the delta is append-only between compactions).
+    std::uint64_t delta_edges = 0;
+    std::shared_ptr<const DeltaBuffer> delta;  // null when the delta is empty
+  };
+  Snapshot snapshot() const GSTORE_EXCLUDES(mu_);
   std::uint64_t wal_bytes() const GSTORE_EXCLUDES(mu_) {
     MutexLock lock(mu_);
     return wal_->size_bytes();
+  }
+  // Logical edges currently in the delta buffer — with generation() this is
+  // the cheap half of snapshot identity (see Snapshot::delta_edges).
+  std::uint64_t delta_edges() const GSTORE_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return delta_->ingested_edges();
   }
   const std::string& base() const noexcept { return base_; }
 

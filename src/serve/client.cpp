@@ -1,0 +1,84 @@
+#include "serve/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <utility>
+
+#include "util/status.h"
+
+namespace gstore::serve {
+
+Client::Client(const std::string& host, int port) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) throw IoError("socket", errno);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd_);
+    fd_ = -1;
+    throw InvalidArgument("bad server address \"" + host + "\"");
+  }
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    const int err = errno;
+    ::close(fd_);
+    fd_ = -1;
+    throw IoError("connect to " + host + ":" + std::to_string(port), err);
+  }
+}
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Client::Client(Client&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), buffer_(std::move(other.buffer_)) {}
+
+Json Client::request(const Json& req) {
+  std::string line = req.dump();
+  line += '\n';
+  const char* data = line.data();
+  std::size_t left = line.size();
+  while (left > 0) {
+    const ssize_t sent = ::send(fd_, data, left, MSG_NOSIGNAL);
+    if (sent < 0) {
+      if (errno == EINTR) continue;
+      throw IoError("send to gstore_serve", errno);
+    }
+    data += sent;
+    left -= static_cast<std::size_t>(sent);
+  }
+
+  for (;;) {
+    const std::size_t nl = buffer_.find('\n');
+    if (nl != std::string::npos) {
+      const std::string response = buffer_.substr(0, nl);
+      buffer_.erase(0, nl + 1);
+      return Json::parse(response);
+    }
+    char chunk[4096];
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw IoError("recv from gstore_serve", errno);
+    }
+    if (n == 0) throw IoError("gstore_serve closed the connection", 0);
+    buffer_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+Json Client::call(const Json& req) {
+  Json response = request(req);
+  if (const Json* ok = response.find("ok"); ok && ok->as_bool())
+    return response;
+  if (const Json* err = response.find("error"))
+    throw Error("gstore_serve: " + err->as_string());
+  throw Error("gstore_serve: malformed response " + response.dump());
+}
+
+}  // namespace gstore::serve

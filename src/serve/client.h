@@ -1,0 +1,40 @@
+// Minimal blocking NDJSON client for gstore_serve.
+//
+// One connection, one outstanding request at a time: request() writes a
+// single JSON line and blocks until the response line arrives. That is all
+// the daemon's protocol needs (responses are ordered per connection), and
+// it keeps gstore_cli, the serve tests, and bench_serve on one code path.
+// Not thread-safe — open one Client per thread.
+#pragma once
+
+#include <string>
+
+#include "serve/protocol.h"
+
+namespace gstore::serve {
+
+class Client {
+ public:
+  // Connects immediately; throws IoError on failure.
+  Client(const std::string& host, int port);
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&&) = delete;
+
+  // Sends one request line and returns the parsed response. Throws IoError
+  // if the connection drops and FormatError if the response is not JSON.
+  Json request(const Json& req);
+
+  // Convenience wrapper: request() + throw Error(response.error) unless the
+  // response carries {"ok": true}.
+  Json call(const Json& req);
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;  // bytes past the last consumed response line
+};
+
+}  // namespace gstore::serve

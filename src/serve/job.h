@@ -1,0 +1,78 @@
+// Job model for gstore_serve: what a client asks for, how it progresses,
+// and what comes back.
+//
+// A JobSpec is parsed from the "job" object of a submit request and
+// validated against the snapshot's vertex range before anything is queued.
+// Each running job owns its own TileAlgorithm instance and its own JobStats
+// — per-run statistics are job-scoped by construction (concurrent jobs
+// never share mutable counters); the daemon's process-wide aggregate lives
+// separately in ServerStats (server.h).
+//
+// Results are summarized, not shipped whole: full per-vertex vectors on a
+// billion-vertex store would be gigabytes per response. Every result
+// carries a CRC-32 digest of the full metadata vector instead, which is
+// what the bit-identity acceptance tests compare against serial runs, plus
+// algorithm-specific scalars (visited counts, component counts, …). The
+// "neighbors" kind is the exception — it is a data query and returns the
+// actual adjacency list (capped).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "graph/types.h"
+#include "serve/protocol.h"
+#include "store/algorithm.h"
+#include "tile/tile_file.h"
+
+namespace gstore::serve {
+
+enum class JobKind { kBfs, kSssp, kPageRank, kWcc, kNeighbors };
+
+enum class JobState { kQueued, kRunning, kDone, kFailed, kCancelled };
+
+const char* to_string(JobKind kind) noexcept;
+const char* to_string(JobState state) noexcept;
+
+struct JobSpec {
+  JobKind kind = JobKind::kBfs;
+  graph::vid_t vertex = 0;            // bfs/sssp root, neighbors target
+  double damping = 0.85;              // pagerank
+  std::uint32_t max_iterations = 20;  // pagerank
+  double tolerance = 0.0;             // pagerank early exit (0 = exact count)
+
+  // Parses {"algo": "bfs", "root": 5, ...}; throws InvalidArgument on an
+  // unknown algorithm, missing/ill-typed fields, or a vertex outside
+  // [0, vertex_count).
+  static JobSpec from_json(const Json& j, graph::vid_t vertex_count);
+  Json to_json() const;
+};
+
+// Per-job run statistics (satellite: stats are job-scoped, not
+// engine-global). Written by the scheduler thread that owns the job's gang
+// slot; published to readers together with the done/failed state change.
+struct JobStats {
+  std::uint32_t iterations = 0;
+  std::uint64_t edges_processed = 0;
+  std::uint64_t overlay_edges = 0;
+  // Tile payloads this job's kernel consumed (each shared fetch counts once
+  // per *subscribed* job — the dedup denominator).
+  std::uint64_t tiles_dispatched = 0;
+  double seconds = 0;
+
+  Json to_json() const;
+};
+
+// Instantiates the algorithm a spec asks for. The returned algorithm is
+// exclusively owned by one job; it is init()'ed by the scheduler against
+// the job's snapshot store.
+std::unique_ptr<store::TileAlgorithm> make_algorithm(const JobSpec& spec);
+
+// Builds the result payload once the algorithm converged: scalars + the
+// CRC-32 digest over the full metadata vector (the serial-equivalence
+// fingerprint). `algo` must be the instance make_algorithm created for
+// `spec`.
+Json make_result(const JobSpec& spec, const store::TileAlgorithm& algo);
+
+}  // namespace gstore::serve

@@ -1,0 +1,392 @@
+#include "serve/protocol.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+
+#include "util/status.h"
+
+namespace gstore::serve {
+
+namespace {
+
+[[noreturn]] void type_error(const char* want, Json::Type got) {
+  static const char* names[] = {"null", "bool", "number", "string", "object",
+                                "array"};
+  throw InvalidArgument(std::string("json: expected ") + want + ", got " +
+                        names[static_cast<int>(got)]);
+}
+
+// ---- parser ---------------------------------------------------------------
+
+struct Parser {
+  std::string_view in;
+  std::size_t pos = 0;
+
+  [[noreturn]] void fail(const std::string& why) const {
+    throw FormatError("json at byte " + std::to_string(pos) + ": " + why);
+  }
+
+  bool eof() const { return pos >= in.size(); }
+  char peek() const { return in[pos]; }
+
+  void skip_ws() {
+    while (!eof() && (in[pos] == ' ' || in[pos] == '\t' || in[pos] == '\n' ||
+                      in[pos] == '\r'))
+      ++pos;
+  }
+
+  void expect(char c) {
+    if (eof() || in[pos] != c)
+      fail(std::string("expected '") + c + "'");
+    ++pos;
+  }
+
+  bool consume_literal(std::string_view word) {
+    if (in.substr(pos, word.size()) != word) return false;
+    pos += word.size();
+    return true;
+  }
+
+  void append_utf8(std::string& out, std::uint32_t cp) {
+    if (cp < 0x80) {
+      out.push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else if (cp < 0x10000) {
+      out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+      out.push_back(static_cast<char>(0xF0 | (cp >> 18)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    }
+  }
+
+  std::uint32_t parse_hex4() {
+    if (pos + 4 > in.size()) fail("truncated \\u escape");
+    std::uint32_t v = 0;
+    for (int k = 0; k < 4; ++k) {
+      const char c = in[pos++];
+      v <<= 4;
+      if (c >= '0' && c <= '9') v |= static_cast<std::uint32_t>(c - '0');
+      else if (c >= 'a' && c <= 'f') v |= static_cast<std::uint32_t>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F') v |= static_cast<std::uint32_t>(c - 'A' + 10);
+      else fail("bad hex digit in \\u escape");
+    }
+    return v;
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (eof()) fail("unterminated string");
+      const char c = in[pos++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20)
+        fail("raw control character in string");
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (eof()) fail("truncated escape");
+      const char e = in[pos++];
+      switch (e) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          std::uint32_t cp = parse_hex4();
+          if (cp >= 0xD800 && cp <= 0xDBFF) {  // high surrogate
+            if (pos + 2 > in.size() || in[pos] != '\\' || in[pos + 1] != 'u')
+              fail("unpaired surrogate");
+            pos += 2;
+            const std::uint32_t lo = parse_hex4();
+            if (lo < 0xDC00 || lo > 0xDFFF) fail("bad low surrogate");
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+          } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            fail("unpaired surrogate");
+          }
+          append_utf8(out, cp);
+          break;
+        }
+        default:
+          fail("unknown escape");
+      }
+    }
+  }
+
+  Json parse_number() {
+    const std::size_t start = pos;
+    if (!eof() && in[pos] == '-') ++pos;
+    if (eof() || in[pos] < '0' || in[pos] > '9') fail("bad number");
+    while (!eof() && in[pos] >= '0' && in[pos] <= '9') ++pos;
+    if (!eof() && in[pos] == '.') {
+      ++pos;
+      if (eof() || in[pos] < '0' || in[pos] > '9') fail("bad fraction");
+      while (!eof() && in[pos] >= '0' && in[pos] <= '9') ++pos;
+    }
+    if (!eof() && (in[pos] == 'e' || in[pos] == 'E')) {
+      ++pos;
+      if (!eof() && (in[pos] == '+' || in[pos] == '-')) ++pos;
+      if (eof() || in[pos] < '0' || in[pos] > '9') fail("bad exponent");
+      while (!eof() && in[pos] >= '0' && in[pos] <= '9') ++pos;
+    }
+    const std::string slice(in.substr(start, pos - start));
+    errno = 0;
+    char* end = nullptr;
+    const double v = std::strtod(slice.c_str(), &end);
+    if (end != slice.c_str() + slice.size() || errno == ERANGE)
+      fail("number out of range");
+    return Json(v);
+  }
+
+  Json parse_value(int depth) {
+    if (depth > Json::kMaxDepth) fail("nesting too deep");
+    skip_ws();
+    if (eof()) fail("unexpected end of input");
+    const char c = peek();
+    if (c == '{') {
+      ++pos;
+      Json obj = Json::object();
+      skip_ws();
+      if (!eof() && peek() == '}') {
+        ++pos;
+        return obj;
+      }
+      while (true) {
+        skip_ws();
+        std::string key = parse_string();
+        skip_ws();
+        expect(':');
+        obj.set(std::move(key), parse_value(depth + 1));
+        skip_ws();
+        if (eof()) fail("unterminated object");
+        if (peek() == ',') {
+          ++pos;
+          continue;
+        }
+        expect('}');
+        return obj;
+      }
+    }
+    if (c == '[') {
+      ++pos;
+      Json arr = Json::array();
+      skip_ws();
+      if (!eof() && peek() == ']') {
+        ++pos;
+        return arr;
+      }
+      while (true) {
+        arr.push(parse_value(depth + 1));
+        skip_ws();
+        if (eof()) fail("unterminated array");
+        if (peek() == ',') {
+          ++pos;
+          continue;
+        }
+        expect(']');
+        return arr;
+      }
+    }
+    if (c == '"') return Json(parse_string());
+    if (c == '-' || (c >= '0' && c <= '9')) return parse_number();
+    if (consume_literal("true")) return Json(true);
+    if (consume_literal("false")) return Json(false);
+    if (consume_literal("null")) return Json();
+    fail("unexpected character");
+  }
+};
+
+void dump_string(const std::string& s, std::string& out) {
+  out.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+void dump_value(const Json& j, std::string& out) {
+  switch (j.type()) {
+    case Json::Type::kNull:
+      out += "null";
+      break;
+    case Json::Type::kBool:
+      out += j.as_bool() ? "true" : "false";
+      break;
+    case Json::Type::kNumber: {
+      const double v = j.as_number();
+      // Integral values (ids, counters) print exactly; doubles get enough
+      // digits to round-trip.
+      if (std::isfinite(v) && v == std::floor(v) &&
+          std::abs(v) < 9.007199254740992e15) {
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+        out += buf;
+      } else if (std::isfinite(v)) {
+        char buf[40];
+        std::snprintf(buf, sizeof buf, "%.17g", v);
+        out += buf;
+      } else {
+        out += "null";  // JSON has no Inf/NaN
+      }
+      break;
+    }
+    case Json::Type::kString:
+      dump_string(j.as_string(), out);
+      break;
+    case Json::Type::kObject: {
+      out.push_back('{');
+      bool first = true;
+      for (const auto& [k, v] : j.members()) {
+        if (!first) out.push_back(',');
+        first = false;
+        dump_string(k, out);
+        out.push_back(':');
+        dump_value(v, out);
+      }
+      out.push_back('}');
+      break;
+    }
+    case Json::Type::kArray: {
+      out.push_back('[');
+      bool first = true;
+      for (const Json& v : j.items()) {
+        if (!first) out.push_back(',');
+        first = false;
+        dump_value(v, out);
+      }
+      out.push_back(']');
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+bool Json::as_bool() const {
+  if (type_ != Type::kBool) type_error("bool", type_);
+  return bool_;
+}
+
+double Json::as_number() const {
+  if (type_ != Type::kNumber) type_error("number", type_);
+  return num_;
+}
+
+std::int64_t Json::as_int() const {
+  const double v = as_number();
+  if (!std::isfinite(v) || v != std::floor(v) ||
+      v < -9.007199254740992e15 || v > 9.007199254740992e15)
+    throw InvalidArgument("json: number is not an exact integer");
+  return static_cast<std::int64_t>(v);
+}
+
+std::uint64_t Json::as_uint() const {
+  const std::int64_t v = as_int();
+  if (v < 0) throw InvalidArgument("json: expected a non-negative integer");
+  return static_cast<std::uint64_t>(v);
+}
+
+const std::string& Json::as_string() const {
+  if (type_ != Type::kString) type_error("string", type_);
+  return str_;
+}
+
+const Json* Json::find(std::string_view key) const {
+  if (type_ != Type::kObject) type_error("object", type_);
+  for (const auto& [k, v] : object_)
+    if (k == key) return &v;
+  return nullptr;
+}
+
+const Json& Json::at(std::string_view key) const {
+  const Json* v = find(key);
+  if (v == nullptr)
+    throw InvalidArgument("json: missing field \"" + std::string(key) + "\"");
+  return *v;
+}
+
+Json& Json::set(std::string key, Json value) {
+  if (type_ != Type::kObject) type_error("object", type_);
+  for (auto& [k, v] : object_) {
+    if (k == key) {
+      v = std::move(value);
+      return *this;
+    }
+  }
+  object_.emplace_back(std::move(key), std::move(value));
+  return *this;
+}
+
+Json& Json::push(Json value) {
+  if (type_ != Type::kArray) type_error("array", type_);
+  array_.push_back(std::move(value));
+  return *this;
+}
+
+const std::vector<Json>& Json::items() const {
+  if (type_ != Type::kArray) type_error("array", type_);
+  return array_;
+}
+
+const std::vector<std::pair<std::string, Json>>& Json::members() const {
+  if (type_ != Type::kObject) type_error("object", type_);
+  return object_;
+}
+
+std::string Json::dump() const {
+  std::string out;
+  dump_value(*this, out);
+  return out;
+}
+
+Json Json::parse(std::string_view text) {
+  Parser p{text};
+  Json v = p.parse_value(0);
+  p.skip_ws();
+  if (!p.eof()) p.fail("trailing bytes after value");
+  return v;
+}
+
+Json ok_response() {
+  Json r = Json::object();
+  r.set("ok", Json(true));
+  return r;
+}
+
+Json error_response(const std::string& message) {
+  Json r = Json::object();
+  r.set("ok", Json(false));
+  r.set("error", Json(message));
+  return r;
+}
+
+}  // namespace gstore::serve

@@ -1,0 +1,97 @@
+// Wire protocol for gstore_serve: newline-delimited JSON over TCP.
+//
+// Every request is one JSON object on one line; every response is one JSON
+// object on one line. Requests carry an "op" string; responses always carry
+// "ok" (true/false) and, on failure, "error". The full grammar is in
+// docs/SERVE.md. The Json value class below is a deliberately tiny
+// recursive-descent implementation — the server cannot take on a JSON
+// library dependency, and the protocol only needs objects, arrays, strings,
+// numbers, bools and null.
+//
+// Parsing untrusted client bytes: parse() throws FormatError on anything
+// malformed (including a nesting depth past kMaxDepth and trailing bytes),
+// never reads past the input, and allocates proportionally to the input
+// size. Type accessors throw InvalidArgument on mismatch so a handler that
+// forgets to validate a field fails loudly instead of misreading it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace gstore::serve {
+
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kObject, kArray };
+
+  // Nesting bound for parse(): a hostile client must not be able to
+  // overflow the parser's stack with ten thousand '['s.
+  static constexpr int kMaxDepth = 64;
+
+  Json() = default;  // null
+  Json(bool b) : type_(Type::kBool), bool_(b) {}
+  Json(double n) : type_(Type::kNumber), num_(n) {}
+  Json(std::int64_t n) : type_(Type::kNumber), num_(static_cast<double>(n)) {}
+  Json(std::uint64_t n) : type_(Type::kNumber), num_(static_cast<double>(n)) {}
+  Json(std::uint32_t n) : type_(Type::kNumber), num_(n) {}
+  Json(int n) : type_(Type::kNumber), num_(n) {}
+  Json(std::string s) : type_(Type::kString), str_(std::move(s)) {}
+  Json(const char* s) : type_(Type::kString), str_(s) {}
+
+  static Json object() { return Json(Type::kObject); }
+  static Json array() { return Json(Type::kArray); }
+
+  Type type() const noexcept { return type_; }
+  bool is_null() const noexcept { return type_ == Type::kNull; }
+  bool is_bool() const noexcept { return type_ == Type::kBool; }
+  bool is_number() const noexcept { return type_ == Type::kNumber; }
+  bool is_string() const noexcept { return type_ == Type::kString; }
+  bool is_object() const noexcept { return type_ == Type::kObject; }
+  bool is_array() const noexcept { return type_ == Type::kArray; }
+
+  bool as_bool() const;
+  double as_number() const;
+  // Checked integer narrowing: throws InvalidArgument when the number has a
+  // fractional part or lies outside the destination range.
+  std::int64_t as_int() const;
+  std::uint64_t as_uint() const;
+  const std::string& as_string() const;
+
+  // Object access. find() returns nullptr when absent; at() throws.
+  const Json* find(std::string_view key) const;
+  const Json& at(std::string_view key) const;
+  Json& set(std::string key, Json value);  // appends or replaces
+
+  // Array access.
+  Json& push(Json value);
+  const std::vector<Json>& items() const;
+  const std::vector<std::pair<std::string, Json>>& members() const;
+
+  // Serializes on one line (no newline appended): the NDJSON framing is the
+  // caller's job. Integral-valued numbers print without a decimal point so
+  // ids and counters round-trip textually.
+  std::string dump() const;
+
+  // Parses exactly one JSON value spanning the whole input (surrounding
+  // whitespace allowed). Throws FormatError with a byte offset otherwise.
+  static Json parse(std::string_view text);
+
+ private:
+  explicit Json(Type t) : type_(t) {}
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double num_ = 0;
+  std::string str_;
+  std::vector<std::pair<std::string, Json>> object_;
+  std::vector<Json> array_;
+};
+
+// Canonical response shells.
+Json ok_response();
+Json error_response(const std::string& message);
+
+}  // namespace gstore::serve

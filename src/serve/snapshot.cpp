@@ -1,0 +1,119 @@
+#include "serve/snapshot.h"
+
+#include <utility>
+
+#include "ingest/compact.h"
+#include "util/logging.h"
+#include "util/status.h"
+
+namespace gstore::serve {
+
+SnapshotManager::SnapshotManager(ingest::EdgeIngestor& ingestor,
+                                 io::DeviceConfig device)
+    : ingestor_(ingestor), device_(std::move(device)) {}
+
+SnapshotRef SnapshotManager::acquire() {
+  // The open below races with concurrent compaction: between reading the
+  // ingest snapshot and opening the generation's files, a compact() may
+  // publish a newer generation (and, if nothing pinned the old one, unlink
+  // it). Detect both outcomes — an open failure or a generation mismatch in
+  // the opened header — and retake the snapshot. Bounded: compaction is
+  // rare and each retry observes a strictly newer generation.
+  for (int attempt = 0; attempt < 16; ++attempt) {
+    const ingest::EdgeIngestor::Snapshot ing = ingestor_.snapshot();
+    {
+      MutexLock lock(mu_);
+      if (SnapshotRef hit = cached_.lock();
+          hit != nullptr && hit->generation() == ing.generation &&
+          hit->delta_edges() == ing.delta_edges)
+        return hit;
+    }
+
+    // File opens happen outside the manager lock (they are syscalls and can
+    // be slow); the cache is re-checked before publishing.
+    auto snap = std::unique_ptr<StoreSnapshot>(new StoreSnapshot());
+    snap->generation_ = ing.generation;
+    snap->delta_edges_ = ing.delta_edges;
+    snap->delta_ = ing.delta;
+    const std::string gen_base = tile::TileStore::generation_base(
+        ingestor_.base(), ing.generation);
+    try {
+      snap->store_ = std::make_unique<tile::TileStore>(
+          tile::TileStore::open(gen_base, device_));
+    } catch (const Error&) {
+      continue;  // generation vanished under us — retake the snapshot
+    }
+    if (snap->store_->meta().generation != ing.generation)
+      continue;  // manifest re-resolved to a newer generation mid-open
+    if (snap->delta_ != nullptr)
+      snap->store_->attach_overlay(snap->delta_.get());
+
+    MutexLock lock(mu_);
+    if (SnapshotRef hit = cached_.lock();
+        hit != nullptr && hit->generation() == ing.generation &&
+        hit->delta_edges() == ing.delta_edges)
+      return hit;  // another acquire won the race; drop our duplicate
+    ++pins_[ing.generation];
+    SnapshotRef ref(snap.release(), [this](StoreSnapshot* s) {
+      const std::uint32_t gen = s->generation();
+      delete s;
+      release(gen);
+    });
+    cached_ = ref;
+    return ref;
+  }
+  throw Error("snapshot acquire: compaction kept invalidating the store (16 attempts)");
+}
+
+void SnapshotManager::release(std::uint32_t generation) noexcept {
+  bool unlink_now = false;
+  {
+    MutexLock lock(mu_);
+    const auto it = pins_.find(generation);
+    if (it == pins_.end()) return;
+    if (--it->second > 0) return;
+    pins_.erase(it);
+    const auto rit = retired_.find(generation);
+    if (rit != retired_.end()) {
+      retired_.erase(rit);
+      unlink_now = true;
+    }
+  }
+  // The unlink (a syscall) runs outside the lock; remove_generation_files
+  // is itself noexcept best-effort.
+  if (unlink_now)
+    ingest::remove_generation_files(
+        tile::TileStore::generation_base(ingestor_.base(), generation));
+}
+
+ingest::CompactStats SnapshotManager::compact(ingest::CompactOptions opts) {
+  // The ingestor must never unlink eagerly: pinned snapshots still name the
+  // old generation's files for *new* opens (shared snapshots), not just
+  // already-open fds.
+  opts.remove_old_generation = false;
+  const ingest::CompactStats stats = ingestor_.compact(opts);
+  bool unlink_now = false;
+  {
+    MutexLock lock(mu_);
+    if (pins_.count(stats.old_generation) > 0)
+      retired_[stats.old_generation] = true;  // last release() unlinks
+    else
+      unlink_now = true;
+  }
+  if (unlink_now)
+    ingest::remove_generation_files(tile::TileStore::generation_base(
+        ingestor_.base(), stats.old_generation));
+  return stats;
+}
+
+std::size_t SnapshotManager::pinned_generations() const {
+  MutexLock lock(mu_);
+  return pins_.size();
+}
+
+std::size_t SnapshotManager::retired_pending_unlink() const {
+  MutexLock lock(mu_);
+  return retired_.size();
+}
+
+}  // namespace gstore::serve

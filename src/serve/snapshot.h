@@ -1,0 +1,100 @@
+// Generation-pinned store snapshots for serving jobs.
+//
+// A job must see one consistent graph for its whole run even while the
+// ingest write path keeps accepting edges and compacting underneath it. A
+// StoreSnapshot freezes both halves of the online store:
+//   * its own TileStore opened on the snapshot generation's file base —
+//     own fds, so a later compaction unlinking those files cannot hurt it
+//     (POSIX keeps open fds valid past unlink);
+//   * a frozen copy of the delta buffer taken atomically with the
+//     generation number (EdgeIngestor::snapshot), attached as the store's
+//     overlay.
+//
+// The SnapshotManager layers explicit generation ref-counting on top: every
+// live StoreSnapshot pins its generation, and compaction through
+// compact() defers the old generation's file unlink (step 5 of the
+// compaction protocol) until the last pin drops, instead of unlinking
+// eagerly. That turns "jobs survive compaction by accident of POSIX fd
+// semantics" into an explicit lifetime contract — and means a *new* job can
+// still open a retired-but-pinned generation's files if its snapshot is
+// shared, while unpinned retired generations are reclaimed promptly.
+//
+// Snapshot identity is (generation, delta_edges): the delta is append-only
+// between compactions, so two acquires that observe the same pair saw
+// byte-identical data and can share one snapshot (and therefore one tile
+// fetch stream). acquire() caches the latest snapshot by that key.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "ingest/ingestor.h"
+#include "tile/tile_file.h"
+#include "util/sync.h"
+
+namespace gstore::serve {
+
+class SnapshotManager;
+
+// Immutable for its whole lifetime; shared by every job in a gang. The
+// TileStore is thread-compatible for concurrent reads and the overlay is a
+// frozen copy nobody mutates, so no locking is needed to use one.
+class StoreSnapshot {
+ public:
+  std::uint32_t generation() const noexcept { return generation_; }
+  std::uint64_t delta_edges() const noexcept { return delta_edges_; }
+  tile::TileStore& store() noexcept { return *store_; }
+  const tile::TileStore& store() const noexcept { return *store_; }
+
+ private:
+  friend class SnapshotManager;
+  StoreSnapshot() = default;
+
+  std::uint32_t generation_ = 0;
+  std::uint64_t delta_edges_ = 0;
+  std::shared_ptr<const ingest::DeltaBuffer> delta_;  // null if empty
+  std::unique_ptr<tile::TileStore> store_;
+};
+
+using SnapshotRef = std::shared_ptr<StoreSnapshot>;
+
+class SnapshotManager {
+ public:
+  // The ingestor (and the manager itself) must outlive every SnapshotRef
+  // handed out: snapshot deleters call back into the manager to unpin.
+  explicit SnapshotManager(ingest::EdgeIngestor& ingestor,
+                           io::DeviceConfig device = {});
+
+  // Pins the live generation and returns a snapshot of it. Consecutive
+  // acquires between writes share one StoreSnapshot (same fds, same frozen
+  // overlay) — the property gang scheduling relies on.
+  SnapshotRef acquire() GSTORE_EXCLUDES(mu_);
+
+  // Compacts through the ingestor but keeps the old generation's files on
+  // disk while any snapshot still pins them; the unlink happens when the
+  // last pin drops. Unpinned old generations are removed immediately.
+  ingest::CompactStats compact(ingest::CompactOptions opts = {})
+      GSTORE_EXCLUDES(mu_);
+
+  // Observability (tests assert on these).
+  std::size_t pinned_generations() const GSTORE_EXCLUDES(mu_);
+  std::size_t retired_pending_unlink() const GSTORE_EXCLUDES(mu_);
+
+ private:
+  void release(std::uint32_t generation) noexcept GSTORE_EXCLUDES(mu_);
+
+  ingest::EdgeIngestor& ingestor_;
+  const io::DeviceConfig device_;
+  mutable Mutex mu_{"SnapshotManager::mu_"};
+  // generation → number of live StoreSnapshots on it.
+  std::map<std::uint32_t, std::uint64_t> pins_ GSTORE_GUARDED_BY(mu_);
+  // Generations compaction has superseded whose files still exist because
+  // they were pinned at retire time.
+  std::map<std::uint32_t, bool> retired_ GSTORE_GUARDED_BY(mu_);
+  // Cache of the newest snapshot, keyed by (generation, delta_edges).
+  std::weak_ptr<StoreSnapshot> cached_ GSTORE_GUARDED_BY(mu_);
+};
+
+}  // namespace gstore::serve

@@ -25,6 +25,10 @@ void Options::parse(int argc, const char* const* argv) {
       help_ = true;
       continue;
     }
+    if (arg == "--") {  // end of options: the rest is positional verbatim
+      for (++i; i < argc; ++i) positional_.push_back(argv[i]);
+      break;
+    }
     if (arg.rfind("--", 0) != 0) {
       positional_.push_back(arg);
       continue;

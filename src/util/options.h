@@ -1,7 +1,9 @@
 // Tiny command-line option parser for examples and benchmark drivers.
 //
 // Supports --key=value, --key value, and boolean --flag forms. Unknown
-// options raise InvalidArgument so typos fail loudly.
+// options raise InvalidArgument so typos fail loudly. A bare "--" ends
+// option parsing; everything after it is positional verbatim (so values
+// like "damping=0.9" can't be mistaken for misspelled options).
 #pragma once
 
 #include <cstdint>

@@ -23,6 +23,7 @@
 // synchronization contract the analysis cannot see.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <mutex>
@@ -272,6 +273,17 @@ class CondVar {
     std::unique_lock<std::mutex> native(mu.m_, std::adopt_lock);
     cv_.wait(native);
     native.release();
+  }
+
+  // Timed wait: returns false if `timeout` elapsed without a notification.
+  // Same contract as wait() — caller holds `mu` and re-checks its predicate
+  // in a while loop (spurious wakeups and timeouts look identical to it).
+  bool wait_for(Mutex& mu, std::chrono::milliseconds timeout)
+      GSTORE_REQUIRES(mu) {
+    std::unique_lock<std::mutex> native(mu.m_, std::adopt_lock);
+    const std::cv_status status = cv_.wait_for(native, timeout);
+    native.release();
+    return status == std::cv_status::no_timeout;
   }
 
  private:

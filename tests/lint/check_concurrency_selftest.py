@@ -1,7 +1,8 @@
 #!/usr/bin/env python3
 """check_concurrency.py self-test, exercising the R4 ban list (including
 the PR-6 additions: timed/recursive mutexes, once_flag/call_once, and the
-bare std::lock/std::try_lock algorithms) plus one fixture per other rule.
+bare std::lock/std::try_lock algorithms) plus one fixture per other rule
+(R7, the detached-thread ban, arrived with gstore_serve in PR 7).
 
     python3 tests/lint/check_concurrency_selftest.py <repo_root>
 
@@ -98,14 +99,25 @@ def main() -> int:
             "auto buf = AlignedBuffer(4096, 512);\n"          # R3: alignment
             "GSTORE_NO_THREAD_SAFETY_ANALYSIS void f();\n"    # R5: no SAFETY:
             "#pragma omp parallel for schedule(dynamic, 1)\n"  # R6
-            "void g() {}\n")
+            "void g() { std::thread([]{}).detach(); }\n")     # R7: detach
         rc, out = run_lint(cc, tree / "other")
         if rc != 1:
             failures.append(f"other-rules set: expected exit 1, got "
                             f"{rc}\n{out}")
-        for rule in ("R1", "R2", "R3", "R5", "R6"):
+        for rule in ("R1", "R2", "R3", "R5", "R6", "R7"):
             if f" {rule}: " not in out:
                 failures.append(f"rule {rule} did not fire\n{out}")
+
+        # Joined threads (and a member merely named detach-ish) stay clean.
+        joined = tree / "joined" / "src" / "threads.cpp"
+        joined.parent.mkdir(parents=True)
+        joined.write_text(
+            "void h() { std::thread t([]{}); t.join(); }\n"
+            "const char* s = \"call .detach() never\";  // in a literal\n")
+        rc, out = run_lint(cc, tree / "joined")
+        if rc != 0:
+            failures.append(f"joined-threads set: expected exit 0, got "
+                            f"{rc}\n{out}")
 
     if failures:
         for f in failures:

@@ -1,0 +1,579 @@
+// Tests for the gstore_serve subsystem: the NDJSON protocol, generation
+// pinning, the shared-I/O gang scheduler (bit-identity vs serial runs and
+// fetch dedup), job lifecycle through JobManager, and the TCP front end
+// (ISSUE: concurrent multi-tenant query server).
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "graph/generator.h"
+#include "ingest/ingestor.h"
+#include "serve/client.h"
+#include "serve/job.h"
+#include "serve/protocol.h"
+#include "serve/scheduler.h"
+#include "serve/server.h"
+#include "serve/snapshot.h"
+#include "store/scr_engine.h"
+#include "test_util.h"
+#include "tile/convert.h"
+#include "util/status.h"
+
+namespace gstore {
+namespace {
+
+using serve::JobKind;
+using serve::JobManager;
+using serve::JobSpec;
+using serve::JobState;
+using serve::Json;
+using serve::ManagerOptions;
+using serve::SnapshotManager;
+
+// ---- helpers ---------------------------------------------------------------
+
+bool file_exists(const std::string& path) {
+  return ::access(path.c_str(), F_OK) == 0;
+}
+
+// Converts `el` under `dir` and opens an ingestor on it.
+std::string convert(const io::TempDir& dir, const graph::EdgeList& el,
+                    tile::ConvertOptions opts = {},
+                    const std::string& name = "g") {
+  const std::string base = dir.file(name);
+  tile::convert_to_tiles(el, base, opts);
+  return base;
+}
+
+// A graph whose vertices all fall inside ONE tile (n < 2^16): with a single
+// non-empty tile, cost_chunks emits one chunk, every kernel dispatch runs
+// sequentially, and even PageRank's float accumulation order is fixed — so
+// digests are bit-comparable between the serial engine and any gang mix.
+graph::EdgeList single_tile_graph() {
+  return graph::uniform_random(2000, 8000, graph::GraphKind::kUndirected, 11);
+}
+
+// Multi-tile graph for dedup/cache tests (order-independent algorithms only).
+graph::EdgeList multi_tile_graph() {
+  return graph::uniform_random(150000, 450000, graph::GraphKind::kUndirected,
+                               23);
+}
+
+// Serial reference: same algorithm, same store (with whatever overlay is
+// attached), run through the single-tenant ScrEngine.
+Json serial_result(tile::TileStore& store, const JobSpec& spec) {
+  auto algo = serve::make_algorithm(spec);
+  store::EngineConfig cfg;
+  store::ScrEngine engine(store, cfg);
+  engine.run(*algo);
+  return serve::make_result(spec, *algo);
+}
+
+std::uint64_t digest_of(const Json& result) {
+  return result.at("digest").as_uint();
+}
+
+JobSpec bfs_spec(graph::vid_t root) {
+  JobSpec s;
+  s.kind = JobKind::kBfs;
+  s.vertex = root;
+  return s;
+}
+
+Json bfs_json(graph::vid_t root) {
+  Json j = Json::object();
+  j.set("algo", Json("bfs"));
+  j.set("root", Json(static_cast<std::uint64_t>(root)));
+  return j;
+}
+
+// ---- protocol --------------------------------------------------------------
+
+TEST(ServeProtocol, RoundTripsValues) {
+  const std::string line =
+      R"({"op":"submit","n":-3,"pi":1.5,"flag":true,"none":null,)"
+      R"("list":[1,2,3],"s":"a\"b\\c\né"})";
+  const Json j = Json::parse(line);
+  EXPECT_EQ(j.at("op").as_string(), "submit");
+  EXPECT_EQ(j.at("n").as_int(), -3);
+  EXPECT_DOUBLE_EQ(j.at("pi").as_number(), 1.5);
+  EXPECT_TRUE(j.at("flag").as_bool());
+  EXPECT_EQ(j.at("list").items().size(), 3u);
+  EXPECT_EQ(j.at("s").as_string(), "a\"b\\c\n\xc3\xa9");
+  // dump → parse → dump is a fixed point.
+  const std::string once = j.dump();
+  EXPECT_EQ(Json::parse(once).dump(), once);
+}
+
+TEST(ServeProtocol, RejectsMalformedInput) {
+  EXPECT_THROW(Json::parse("{"), FormatError);
+  EXPECT_THROW(Json::parse("{\"a\":}"), FormatError);
+  EXPECT_THROW(Json::parse("[1,2,]"), FormatError);
+  EXPECT_THROW(Json::parse("{} trailing"), FormatError);
+  EXPECT_THROW(Json::parse("\"unterminated"), FormatError);
+  std::string deep;
+  for (int k = 0; k < 100; ++k) deep += "[";
+  EXPECT_THROW(Json::parse(deep), FormatError);
+}
+
+TEST(ServeProtocol, CheckedIntegerAccess) {
+  EXPECT_EQ(Json::parse("{\"v\":12345678901}").at("v").as_uint(),
+            12345678901ull);
+  EXPECT_THROW(Json::parse("{\"v\":-1}").at("v").as_uint(), Error);
+  EXPECT_THROW(Json::parse("{\"v\":1.5}").at("v").as_int(), Error);
+  EXPECT_THROW(Json::parse("{}").at("missing"), Error);
+}
+
+// ---- snapshots + generation pinning ---------------------------------------
+
+TEST(SnapshotManager, SharesSnapshotsBetweenWrites) {
+  io::TempDir dir;
+  const std::string base = convert(dir, single_tile_graph());
+  ingest::EdgeIngestor ingestor(base);
+  SnapshotManager snaps(ingestor);
+
+  const serve::SnapshotRef a = snaps.acquire();
+  const serve::SnapshotRef b = snaps.acquire();
+  EXPECT_EQ(a.get(), b.get()) << "identical state must share one snapshot";
+  EXPECT_EQ(snaps.pinned_generations(), 1u);
+
+  const graph::Edge e[] = {{1, 2}};
+  ingestor.ingest(e);
+  const serve::SnapshotRef c = snaps.acquire();
+  EXPECT_NE(a.get(), c.get()) << "a write must invalidate the cached snapshot";
+  EXPECT_EQ(c->delta_edges(), 1u);
+}
+
+TEST(SnapshotManager, CompactionDefersUnlinkUntilLastPinDrops) {
+  io::TempDir dir;
+  const std::string base = convert(dir, single_tile_graph());
+  ingest::EdgeIngestor ingestor(base);
+  SnapshotManager snaps(ingestor);
+
+  const graph::Edge e[] = {{3, 4}, {5, 6}};
+  ingestor.ingest(e);
+  serve::SnapshotRef pinned = snaps.acquire();
+  const std::uint32_t old_gen = pinned->generation();
+  const std::string old_base = tile::TileStore::generation_base(base, old_gen);
+
+  const ingest::CompactStats cs = snaps.compact();
+  EXPECT_EQ(cs.old_generation, old_gen);
+  // The pinned generation's files must survive the compaction...
+  EXPECT_EQ(snaps.retired_pending_unlink(), 1u);
+  EXPECT_TRUE(file_exists(tile::TileStore::tiles_path(old_base)));
+  // ...and still serve reads (a full BFS over the pinned snapshot).
+  {
+    serve::SharedScheduler sched(*pinned, serve::SchedulerConfig{});
+    auto algo = serve::make_algorithm(bfs_spec(0));
+    std::vector<serve::JobState> states;
+    sched.run({serve::GangJob{1, algo.get(), {}}}, nullptr,
+              [&](const serve::GangJob&, serve::JobState st,
+                  const serve::JobStats&, const std::string&) {
+                states.push_back(st);
+              });
+    ASSERT_EQ(states.size(), 1u);
+    EXPECT_EQ(states[0], JobState::kDone);
+  }
+  // Dropping the last pin reclaims the retired generation promptly.
+  pinned.reset();
+  EXPECT_EQ(snaps.retired_pending_unlink(), 0u);
+  EXPECT_FALSE(file_exists(tile::TileStore::tiles_path(old_base)));
+  // The new generation is what fresh snapshots see.
+  EXPECT_EQ(snaps.acquire()->generation(), cs.new_generation);
+}
+
+// ---- gang scheduling: correctness -----------------------------------------
+
+TEST(JobManager, MixedGangBitIdenticalToSerial) {
+  io::TempDir dir;
+  const std::string base = convert(dir, single_tile_graph());
+  ingest::EdgeIngestor ingestor(base);
+  // Live WAL edges so the overlay path is part of the identity check.
+  const graph::Edge extra[] = {{10, 1500}, {7, 42}, {1999, 3}};
+  ingestor.ingest(extra);
+
+  // Serial references first (same live store + overlay).
+  std::vector<JobSpec> specs;
+  for (graph::vid_t r : {0u, 17u, 999u}) specs.push_back(bfs_spec(r));
+  {
+    JobSpec s;
+    s.kind = JobKind::kSssp;
+    s.vertex = 5;
+    specs.push_back(s);
+  }
+  {
+    JobSpec s;
+    s.kind = JobKind::kWcc;
+    specs.push_back(s);
+  }
+  {
+    JobSpec s;
+    s.kind = JobKind::kPageRank;
+    s.max_iterations = 15;
+    specs.push_back(s);
+  }
+  {
+    JobSpec s;
+    s.kind = JobKind::kNeighbors;
+    s.vertex = 10;
+    specs.push_back(s);
+  }
+  std::vector<Json> serial;
+  for (const JobSpec& s : specs)
+    serial.push_back(serial_result(ingestor.store(), s));
+
+  // The whole mix as ONE gang sharing one fetch stream.
+  JobManager manager(ingestor);
+  std::vector<std::uint64_t> ids;
+  for (const JobSpec& s : specs) {
+    Json j = s.to_json();
+    ids.push_back(manager.submit(j));
+  }
+  manager.start();
+  for (std::size_t k = 0; k < ids.size(); ++k) {
+    ASSERT_TRUE(manager.wait(ids[k], std::chrono::milliseconds(60000)));
+    const Json r = manager.result(ids[k]);
+    ASSERT_EQ(r.at("state").as_string(), "done")
+        << "job " << k << ": " << r.dump();
+    EXPECT_EQ(digest_of(r.at("result")), digest_of(serial[k]))
+        << to_string(specs[k].kind) << " diverged from the serial engine";
+  }
+  manager.stop(/*drain=*/true);
+}
+
+TEST(JobManager, SharedFetchDedup32WayBfs) {
+  io::TempDir dir;
+  const std::string base = convert(dir, multi_tile_graph());
+  ingest::EdgeIngestor ingestor(base);
+
+  const auto run_n_bfs = [&](std::size_t n) {
+    ManagerOptions mo;
+    mo.max_gang = 64;
+    JobManager manager(ingestor, mo);
+    std::vector<std::uint64_t> ids;
+    for (std::size_t k = 0; k < n; ++k) {
+      Json j = bfs_json(0);
+      ids.push_back(manager.submit(j));
+    }
+    manager.start();
+    for (const std::uint64_t id : ids)
+      EXPECT_TRUE(manager.wait(id, std::chrono::milliseconds(120000)));
+    // Gang-level I/O counters fold into the aggregate when the gang ends;
+    // stop() joins the scheduler thread, so the fold is visible after it.
+    manager.stop(true);
+    const Json s = manager.stats();
+    EXPECT_EQ(s.at("jobs_done").as_uint(), n);
+    return s.at("bytes_read").as_uint();
+  };
+
+  const std::uint64_t single = run_n_bfs(1);
+  const std::uint64_t gang32 = run_n_bfs(32);
+  ASSERT_GT(single, 0u);
+  // The acceptance bound: 32 co-scheduled BFS jobs share one tile stream,
+  // so they read less than 2× one job's bytes (not 32×).
+  EXPECT_LT(gang32, 2 * single)
+      << "shared fetch is not deduplicating: 32 jobs read " << gang32
+      << " bytes vs " << single << " for one";
+}
+
+TEST(JobManager, LiveIngestAndSnapshotIsolation) {
+  io::TempDir dir;
+  const std::string base = convert(dir, single_tile_graph());
+  ingest::EdgeIngestor ingestor(base);
+
+  // Pre-ingest serial reference.
+  const Json serial_before = serial_result(ingestor.store(), bfs_spec(0));
+
+  JobManager manager(ingestor);
+  Json j0 = bfs_json(0);
+  const std::uint64_t before = manager.submit(j0);
+  manager.start();
+  ASSERT_TRUE(manager.wait(before, std::chrono::milliseconds(60000)));
+
+  // Live ingest through the manager (what the wire-level `ingest` op does),
+  // then a job that must see the NEW state.
+  const std::vector<graph::Edge> burst = {{0, 1999}, {0, 1998}, {0, 1997}};
+  EXPECT_EQ(manager.ingest(burst), 3u);
+  const Json serial_after = serial_result(ingestor.store(), bfs_spec(0));
+
+  Json j1 = bfs_json(0);
+  const std::uint64_t after = manager.submit(j1);
+  ASSERT_TRUE(manager.wait(after, std::chrono::milliseconds(60000)));
+
+  const Json rb = manager.result(before);
+  const Json ra = manager.result(after);
+  EXPECT_EQ(digest_of(rb.at("result")), digest_of(serial_before));
+  EXPECT_EQ(digest_of(ra.at("result")), digest_of(serial_after));
+  // The snapshot key each job recorded proves which state it ran against.
+  EXPECT_EQ(manager.status(before).at("delta_edges").as_uint(), 0u);
+  EXPECT_EQ(manager.status(after).at("delta_edges").as_uint(), 3u);
+  manager.stop(true);
+}
+
+TEST(JobManager, CompactMidJobRunsOnPinnedGeneration) {
+  io::TempDir dir;
+  const std::string base = convert(dir, single_tile_graph());
+  ingest::EdgeIngestor ingestor(base);
+  const graph::Edge e[] = {{0, 1000}, {1000, 1500}};
+  ingestor.ingest(e);
+  const Json serial = serial_result(ingestor.store(), bfs_spec(0));
+
+  JobManager manager(ingestor);
+  // Many iterations of real work so compaction lands mid-gang: a wide
+  // PageRank plus the BFS under test.
+  Json pr = Json::object();
+  pr.set("algo", Json("pagerank"));
+  pr.set("iterations", Json(static_cast<std::uint64_t>(200)));
+  const std::uint64_t pr_id = manager.submit(pr);
+  Json j = bfs_json(0);
+  const std::uint64_t bfs_id = manager.submit(j);
+  manager.start();
+
+  // Compact while the gang runs. The gang's snapshot pinned the old
+  // generation, so this must neither fail nor perturb results.
+  manager.compact();
+
+  ASSERT_TRUE(manager.wait(bfs_id, std::chrono::milliseconds(120000)));
+  ASSERT_TRUE(manager.wait(pr_id, std::chrono::milliseconds(120000)));
+  const Json r = manager.result(bfs_id);
+  ASSERT_EQ(r.at("state").as_string(), "done") << r.dump();
+  EXPECT_EQ(digest_of(r.at("result")), digest_of(serial));
+  EXPECT_EQ(manager.result(pr_id).at("state").as_string(), "done");
+  manager.stop(true);
+  // With every snapshot released, no retired generation may linger.
+  EXPECT_EQ(manager.snapshots().retired_pending_unlink(), 0u);
+}
+
+// ---- lifecycle, fairness bookkeeping, backpressure -------------------------
+
+TEST(JobManager, BackpressureRejectsPastMaxQueued) {
+  io::TempDir dir;
+  const std::string base = convert(dir, single_tile_graph());
+  ingest::EdgeIngestor ingestor(base);
+  ManagerOptions mo;
+  mo.max_queued = 2;
+  JobManager manager(ingestor, mo);
+
+  Json a = bfs_json(0);
+  Json b = bfs_json(1);
+  Json c = bfs_json(2);
+  manager.submit(a);
+  manager.submit(b);
+  EXPECT_THROW(manager.submit(c), Error);
+  const Json s = manager.stats();
+  EXPECT_EQ(s.at("jobs_rejected").as_uint(), 1u);
+  EXPECT_EQ(s.at("jobs_queued").as_uint(), 2u);
+  // The queue drains once the scheduler starts; then submits work again.
+  manager.start();
+  manager.stop(true);
+  EXPECT_EQ(manager.stats().at("jobs_done").as_uint(), 2u);
+}
+
+TEST(JobManager, CancelQueuedAndInvalidSpecs) {
+  io::TempDir dir;
+  const std::string base = convert(dir, single_tile_graph());
+  ingest::EdgeIngestor ingestor(base);
+  JobManager manager(ingestor);
+
+  Json j = bfs_json(5);
+  const std::uint64_t id = manager.submit(j);
+  EXPECT_TRUE(manager.cancel(id));
+  EXPECT_FALSE(manager.cancel(id)) << "already terminal";
+  EXPECT_EQ(manager.status(id).at("state").as_string(), "cancelled");
+  EXPECT_TRUE(manager.wait(id, std::chrono::milliseconds(0)));
+
+  // Spec validation happens at submit time, against the store's range.
+  Json bad_root = bfs_json(1u << 30);
+  EXPECT_THROW(manager.submit(bad_root), InvalidArgument);
+  Json bad_algo = Json::object();
+  bad_algo.set("algo", Json("dijkstra"));
+  EXPECT_THROW(manager.submit(bad_algo), InvalidArgument);
+  EXPECT_THROW(manager.status(9999), InvalidArgument);
+  EXPECT_THROW(manager.result(id + 1000), InvalidArgument);
+}
+
+TEST(JobManager, StatsAreJobScopedWithMonotonicAggregate) {
+  io::TempDir dir;
+  const std::string base = convert(dir, single_tile_graph());
+  ingest::EdgeIngestor ingestor(base);
+  JobManager manager(ingestor);
+
+  // A multi-iteration BFS and a single-pass neighbors probe in one gang:
+  // their per-job counters must stay separate.
+  Json a = bfs_json(0);
+  Json b = Json::object();
+  b.set("algo", Json("neighbors"));
+  b.set("vertex", Json(static_cast<std::uint64_t>(0)));
+  const std::uint64_t bfs_id = manager.submit(a);
+  const std::uint64_t nbr_id = manager.submit(b);
+  manager.start();
+  ASSERT_TRUE(manager.wait(bfs_id, std::chrono::milliseconds(60000)));
+  ASSERT_TRUE(manager.wait(nbr_id, std::chrono::milliseconds(60000)));
+
+  const Json bfs_stats = manager.status(bfs_id).at("stats");
+  const Json nbr_stats = manager.status(nbr_id).at("stats");
+  EXPECT_GT(bfs_stats.at("iterations").as_uint(), 1u);
+  EXPECT_EQ(nbr_stats.at("iterations").as_uint(), 1u)
+      << "neighbors is single-pass; a shared counter would show BFS rounds";
+  EXPECT_GT(bfs_stats.at("edges_processed").as_uint(),
+            nbr_stats.at("edges_processed").as_uint());
+
+  // The process-wide aggregate is separate and only ever grows.
+  const std::uint64_t done1 = manager.stats().at("jobs_done").as_uint();
+  EXPECT_EQ(done1, 2u);
+  Json again = bfs_json(1);
+  const std::uint64_t id2 = manager.submit(again);
+  ASSERT_TRUE(manager.wait(id2, std::chrono::milliseconds(60000)));
+  EXPECT_EQ(manager.stats().at("jobs_done").as_uint(), done1 + 1);
+  manager.stop(true);
+}
+
+// ---- TCP server ------------------------------------------------------------
+
+TEST(ServeServer, EndToEndOverTcp) {
+  io::TempDir dir;
+  const std::string base = convert(dir, single_tile_graph());
+  ingest::EdgeIngestor ingestor(base);
+  const Json serial = serial_result(ingestor.store(), bfs_spec(0));
+
+  JobManager manager(ingestor);
+  manager.start();
+  serve::Server server(manager);
+  server.start();
+  ASSERT_GT(server.port(), 0);
+
+  serve::Client client("127.0.0.1", server.port());
+  Json ping = Json::object();
+  ping.set("op", Json("ping"));
+  EXPECT_TRUE(client.call(ping).at("ok").as_bool());
+
+  Json info_req = Json::object();
+  info_req.set("op", Json("info"));
+  const Json info = client.call(info_req).at("info");
+  EXPECT_EQ(info.at("vertex_count").as_uint(), 2000u);
+
+  // Submit over the wire, wait over the wire, compare against serial.
+  Json submit = Json::object();
+  submit.set("op", Json("submit"));
+  submit.set("job", bfs_json(0));
+  const std::uint64_t id = client.call(submit).at("id").as_uint();
+  Json wait = Json::object();
+  wait.set("op", Json("wait"));
+  wait.set("id", Json(id));
+  wait.set("timeout_ms", Json(static_cast<std::uint64_t>(60000)));
+  const Json waited = client.call(wait);
+  EXPECT_TRUE(waited.at("done").as_bool());
+  Json result = Json::object();
+  result.set("op", Json("result"));
+  result.set("id", Json(id));
+  const Json r = client.call(result).at("job");
+  EXPECT_EQ(r.at("state").as_string(), "done");
+  EXPECT_EQ(digest_of(r.at("result")), digest_of(serial));
+
+  // Wire-level ingest, then a second client in parallel with the first.
+  Json ing = Json::object();
+  ing.set("op", Json("ingest"));
+  Json edges = Json::array();
+  Json e1 = Json::array();
+  e1.push(Json(static_cast<std::uint64_t>(0)));
+  e1.push(Json(static_cast<std::uint64_t>(1999)));
+  edges.push(std::move(e1));
+  ing.set("edges", std::move(edges));
+  EXPECT_EQ(client.call(ing).at("accepted").as_uint(), 1u);
+
+  serve::Client second("127.0.0.1", server.port());
+  Json stats_req = Json::object();
+  stats_req.set("op", Json("stats"));
+  const Json stats = second.call(stats_req).at("stats");
+  EXPECT_GE(stats.at("jobs_done").as_uint(), 1u);
+  EXPECT_EQ(stats.at("edges_ingested").as_uint(), 1u);
+
+  // Protocol errors are responses, not dropped connections.
+  const Json bad = client.request(Json::parse("{\"op\":\"nope\"}"));
+  EXPECT_FALSE(bad.at("ok").as_bool());
+  EXPECT_NE(bad.at("error").as_string().find("unknown op"),
+            std::string::npos);
+  const Json garbage = client.request(Json::parse("{\"no_op\":1}"));
+  EXPECT_FALSE(garbage.at("ok").as_bool());
+
+  // Client-initiated shutdown: wait_shutdown() observes the drain flag.
+  Json sd = Json::object();
+  sd.set("op", Json("shutdown"));
+  sd.set("drain", Json(true));
+  EXPECT_TRUE(client.call(sd).at("ok").as_bool());
+  EXPECT_TRUE(server.wait_shutdown());
+  server.stop();
+  manager.stop(true);
+}
+
+TEST(ServeServer, SurvivesAbruptClientsAndRestarts) {
+  io::TempDir dir;
+  const std::string base = convert(dir, single_tile_graph());
+  ingest::EdgeIngestor ingestor(base);
+  JobManager manager(ingestor);
+  manager.start();
+  serve::Server server(manager);
+  server.start();
+
+  // Clients that connect and vanish without a clean close, plus one that
+  // sends garbage: none of it may wedge the accept loop.
+  for (int k = 0; k < 4; ++k) {
+    serve::Client c("127.0.0.1", server.port());
+  }
+  {
+    serve::Client c("127.0.0.1", server.port());
+    // A non-object request gets an error response, not a dropped connection.
+    const Json r = c.request(Json::parse("\"just a string\""));
+    EXPECT_FALSE(r.at("ok").as_bool());
+    EXPECT_THROW(c.call(Json::parse("\"again\"")), Error);
+  }
+  serve::Client alive("127.0.0.1", server.port());
+  Json ping = Json::object();
+  ping.set("op", Json("ping"));
+  EXPECT_TRUE(alive.call(ping).at("ok").as_bool());
+
+  server.stop();
+  manager.stop(false);
+}
+
+// ---- chaos: fault injection through the serve read path --------------------
+
+TEST(ServeChaos, JobsReachTerminalStatesUnderIoFaults) {
+  io::TempDir dir;
+  const std::string base = convert(dir, multi_tile_graph());
+  ingest::EdgeIngestor ingestor(base);
+  ManagerOptions mo;
+  // Transient faults at rates the retry ladder should mostly absorb, plus
+  // enough EIO to exercise the gang-failure path now and then.
+  mo.snapshot_device.fault_spec = "seed=7,eio=0.002,short=0.02,eintr=0.05";
+  JobManager manager(ingestor, mo);
+
+  std::vector<std::uint64_t> ids;
+  for (graph::vid_t r = 0; r < 6; ++r) {
+    Json j = bfs_json(r);
+    ids.push_back(manager.submit(j));
+  }
+  manager.start();
+  for (const std::uint64_t id : ids) {
+    ASSERT_TRUE(manager.wait(id, std::chrono::milliseconds(120000)));
+    const std::string state = manager.status(id).at("state").as_string();
+    EXPECT_TRUE(state == "done" || state == "failed") << state;
+    if (state == "failed") {
+      // A failed job must carry a diagnosis and a queryable result payload.
+      EXPECT_FALSE(manager.result(id).at("error").as_string().empty());
+    }
+  }
+  // The daemon survives its jobs' storage faults: new work still runs.
+  Json j = bfs_json(0);
+  const std::uint64_t retry = manager.submit(j);
+  ASSERT_TRUE(manager.wait(retry, std::chrono::milliseconds(120000)));
+  manager.stop(true);
+}
+
+}  // namespace
+}  // namespace gstore

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Project-specific concurrency/I/O lint for the G-Store core.
 
-Six rule families clang-tidy cannot express for us:
+Seven rule families clang-tidy cannot express for us:
 
 R1 cross-thread annotations.
    A member documented as shared across threads carries the token
@@ -44,8 +44,15 @@ R6 per-item dynamic scheduling.
    `schedule(dynamic, 1)` is banned in src/: one work item per dispatch is
    either pure scheduling overhead (swarms of near-empty tiles) or load
    imbalance with nothing to steal (one hub tile per item). Chunk by cost
-   first (see cost_chunks in src/store/scr_engine.cpp) and use
+   first (see cost_chunks in src/store/chunking.h) and use
    schedule(dynamic) over the chunks.
+
+R7 detached threads.
+   `.detach()` is banned in src/: a detached thread outlives every owner,
+   cannot be joined at shutdown, and turns clean teardown into a data race
+   (ASan/TSan report it as a leak or a use-after-free of whatever the
+   thread still touches). Every std::thread in the daemon is tracked and
+   joined — see serve::Server's connection registry for the pattern.
 
 Exit status 0 when clean, 1 with findings (one per line, grep-style).
 """
@@ -83,6 +90,8 @@ NO_TSA = "GSTORE_NO_THREAD_SAFETY_ANALYSIS"
 SAFETY_MARK = re.compile(r"//.*\bSAFETY:")
 # R6: one-work-item-per-dispatch OpenMP scheduling.
 DYNAMIC_ONE = re.compile(r"schedule\s*\(\s*dynamic\s*,\s*1\s*\)")
+# R7: fire-and-forget threads.
+DETACH = re.compile(r"\.\s*detach\s*\(\s*\)")
 MEMBER_DECL = re.compile(
     r"^\s*(?:mutable\s+)?(?P<type>[\w:][\w:<>,\s*&]*?)\s+(?P<name>\w+)\s*(?:=[^;]*|\{[^;]*\})?;"
 )
@@ -233,7 +242,14 @@ def main(root: Path) -> int:
                 findings.append(
                     f"{path}:{lineno}: R6: schedule(dynamic, 1) — chunk work "
                     f"items by cost and use schedule(dynamic) over the "
-                    f"chunks (see cost_chunks in src/store/scr_engine.cpp)"
+                    f"chunks (see cost_chunks in src/store/chunking.h)"
+                )
+
+            if DETACH.search(code):
+                findings.append(
+                    f"{path}:{lineno}: R7: detached thread — every thread "
+                    f"must be tracked and joined at shutdown (see "
+                    f"serve::Server's connection registry for the pattern)"
                 )
 
     for f in findings:

@@ -1,0 +1,130 @@
+// gstore_cli — shell client for a running gstore_serve daemon.
+//
+//   gstore_cli --port=7474 submit bfs 0            # returns a job id
+//   gstore_cli --port=7474 submit pagerank -- damping=0.9 iterations=30
+//   gstore_cli --port=7474 wait 3                  # block until job 3 ends
+//   gstore_cli --port=7474 result 3
+//   gstore_cli --port=7474 stats
+//   gstore_cli --port=7474 raw '{"op":"ping"}'     # arbitrary request line
+//   gstore_cli --port=7474 shutdown                # drain and stop
+//
+// Every response is printed as one JSON line (the daemon's own wire
+// format), so scripts can pipe the output straight into a JSON parser.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "serve/client.h"
+#include "util/options.h"
+#include "util/status.h"
+
+namespace {
+
+using gstore::serve::Json;
+
+// "key=value" → response field on the submit job object. Numeric values
+// that parse completely become JSON numbers, everything else stays string.
+void set_kv(Json& job, const std::string& kv) {
+  const std::size_t eq = kv.find('=');
+  if (eq == std::string::npos)
+    throw gstore::InvalidArgument("expected key=value, got \"" + kv + "\"");
+  const std::string key = kv.substr(0, eq);
+  const std::string value = kv.substr(eq + 1);
+  char* end = nullptr;
+  const double num = std::strtod(value.c_str(), &end);
+  if (end != value.c_str() && *end == '\0')
+    job.set(key, Json(num));
+  else
+    job.set(key, Json(value));
+}
+
+std::uint64_t parse_id(const std::string& arg) {
+  char* end = nullptr;
+  const unsigned long long id = std::strtoull(arg.c_str(), &end, 10);
+  if (end == arg.c_str() || *end != '\0')
+    throw gstore::InvalidArgument("bad job id \"" + arg + "\"");
+  return id;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace gstore;
+  Options opts;
+  opts.add("host", "127.0.0.1", "daemon address");
+  opts.add("port", "0", "daemon port (required)");
+  opts.add("timeout-ms", "60000", "wait timeout");
+
+  try {
+    opts.parse(argc, argv);
+    const std::vector<std::string>& args = opts.positional();
+    if (opts.help_requested() || args.empty() || opts.get_int("port") == 0) {
+      std::fputs(opts.usage("gstore_cli").c_str(), stdout);
+      std::fputs(
+          "commands:\n"
+          "  ping | info | stats | compact | shutdown [cancel]\n"
+          "  submit <bfs|sssp|pagerank|wcc|neighbors> [vertex] [k=v...]\n"
+          "  status <id> | result <id> | cancel <id> | wait <id>\n"
+          "  raw <json-line>\n",
+          stdout);
+      return opts.help_requested() ? 0 : 2;
+    }
+
+    serve::Client client(opts.get("host"),
+                         static_cast<int>(opts.get_int("port")));
+    const std::string& cmd = args[0];
+    Json req = Json::object();
+
+    if (cmd == "ping" || cmd == "info" || cmd == "stats" ||
+        cmd == "compact") {
+      req.set("op", Json(cmd));
+    } else if (cmd == "shutdown") {
+      req.set("op", Json("shutdown"));
+      req.set("drain", Json(!(args.size() > 1 && args[1] == "cancel")));
+    } else if (cmd == "submit") {
+      if (args.size() < 2)
+        throw InvalidArgument("submit needs an algorithm name");
+      Json job = Json::object();
+      job.set("algo", Json(args[1]));
+      std::size_t next = 2;
+      if (next < args.size() &&
+          args[next].find('=') == std::string::npos) {
+        const std::uint64_t v = parse_id(args[next++]);
+        job.set(args[1] == "neighbors" ? "vertex" : "root", Json(v));
+      }
+      for (; next < args.size(); ++next) {
+        if (args[next] == "--") continue;
+        set_kv(job, args[next]);
+      }
+      req.set("op", Json("submit"));
+      req.set("job", std::move(job));
+    } else if (cmd == "status" || cmd == "result" || cmd == "cancel" ||
+               cmd == "wait") {
+      if (args.size() < 2) throw InvalidArgument(cmd + " needs a job id");
+      req.set("op", Json(cmd));
+      req.set("id", Json(parse_id(args[1])));
+      if (cmd == "wait")
+        req.set("timeout_ms",
+                Json(static_cast<std::uint64_t>(opts.get_int("timeout-ms"))));
+    } else if (cmd == "raw") {
+      if (args.size() < 2) throw InvalidArgument("raw needs a JSON line");
+      Json response = client.request(Json::parse(args[1]));
+      std::printf("%s\n", response.dump().c_str());
+      return 0;
+    } else {
+      throw InvalidArgument("unknown command \"" + cmd + "\"");
+    }
+
+    Json response = client.request(req);
+    std::printf("%s\n", response.dump().c_str());
+    const Json* ok = response.find("ok");
+    return (ok != nullptr && ok->as_bool()) ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  } catch (...) {
+    std::fputs("error: unknown exception\n", stderr);
+    return 1;
+  }
+}

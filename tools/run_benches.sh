@@ -11,8 +11,9 @@
 #
 # Usage: tools/run_benches.sh [build-dir] [-- extra benchmark flags...]
 #   build-dir defaults to build-release (the `release` CMake preset).
-#   The refreshed baseline is written to BENCH_micro_kernels.json at the
-#   repo root (override with GSTORE_BENCH_OUT).
+#   The refreshed baselines are written to BENCH_micro_kernels.json and
+#   BENCH_serve.json at the repo root (override the micro-kernel path with
+#   GSTORE_BENCH_OUT; skip the serving benchmark with GSTORE_SKIP_SERVE=1).
 set -euo pipefail
 
 die() { echo "run_benches.sh: $*" >&2; exit 1; }
@@ -47,7 +48,8 @@ echo "run_benches.sh: $build_type build at $git_sha (dirty=$git_dirty)"
 "$bench" --benchmark_out="$out" --benchmark_out_format=json "$@"
 
 # Stamp provenance into the JSON context so the baseline is self-describing.
-python3 - "$out" "$build_type" "$git_sha" "$git_dirty" <<'EOF'
+stamp() {
+  python3 - "$1" "$build_type" "$git_sha" "$git_dirty" <<'EOF'
 import json, sys
 path, build_type, sha, dirty = sys.argv[1:5]
 with open(path) as f:
@@ -62,3 +64,14 @@ with open(path, "w") as f:
     f.write("\n")
 print(f"run_benches.sh: wrote {path}")
 EOF
+}
+stamp "$out"
+
+# Multi-tenant serving baseline (jobs/s + shared-fetch dedup ratios). The
+# binary writes BENCH_serve.json into its cwd, so run it from the repo root.
+if [[ ${GSTORE_SKIP_SERVE:-0} != 1 ]]; then
+  serve_bench="$build_dir/bench/bench_serve"
+  [[ -x "$serve_bench" ]] || die "$serve_bench not built; run: cmake --build $build_dir --target bench_serve -j"
+  (cd "$repo_root" && "$serve_bench")
+  stamp "$repo_root/BENCH_serve.json"
+fi
