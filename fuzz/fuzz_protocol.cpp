@@ -1,0 +1,86 @@
+// Fuzz target: the serve wire surface — Json::parse over NDJSON frames
+// plus the request-validation layer Server::dispatch runs before any
+// state changes (op lookup, ranged id/timeout accessors,
+// JobSpec::from_json, ingest edge decoding). The JobManager back-end is
+// trusted-side and needs a disk store plus scheduler threads, so the
+// harness stops at the validation boundary — which is exactly the code
+// that faces client bytes.
+//
+// Invariants checked on every accepted value:
+//   * dump() -> parse() -> dump() is a fixpoint (canonical form).
+//   * Every rejection is a typed gstore error, never UB or a bare crash.
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <string_view>
+
+#include "graph/types.h"
+#include "serve/job.h"
+#include "serve/protocol.h"
+#include "util/status.h"
+
+namespace {
+
+using gstore::serve::Json;
+
+// Mirrors dispatch()'s per-op field validation (server.cpp). Bounds match
+// the handlers: ids from 1, timeout_ms capped, vertex ids in vid_t range.
+void validate_request(const Json& req) {
+  if (!req.is_object()) return;
+  try {
+    const Json* op = req.find("op");
+    if (!op || !op->is_string()) return;
+    const std::string& name = op->as_string();
+    if (name == "submit") {
+      if (const Json* job = req.find("job"))
+        (void)gstore::serve::JobSpec::from_json(*job, 4096);
+    } else if (name == "status" || name == "result" || name == "cancel" ||
+               name == "wait") {
+      (void)req.at("id").as_u64_in(
+          1, std::numeric_limits<std::uint64_t>::max());
+      if (const Json* t = req.find("timeout_ms"))
+        (void)t->as_u64_in(0, 600000);
+    } else if (name == "ingest") {
+      constexpr std::uint32_t kVidMax =
+          std::numeric_limits<gstore::graph::vid_t>::max();
+      for (const Json& e : req.at("edges").items()) {
+        if (e.items().size() != 2) return;
+        (void)e.items()[0].as_u32_in(0, kVidMax);
+        (void)e.items()[1].as_u32_in(0, kVidMax);
+      }
+    }
+  } catch (const gstore::Error&) {
+    // Typed rejection is the correct outcome for a hostile field.
+  }
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  // One connection's worth of lines; handler input is capped far lower
+  // (kMaxLineBytes), this just keeps parse time linear for the fuzzer.
+  if (size > (1u << 16)) return 0;
+  const std::string_view all(reinterpret_cast<const char*>(data), size);
+  std::size_t start = 0;
+  while (start <= all.size()) {
+    const std::size_t nl = all.find('\n', start);
+    const std::string_view line = all.substr(
+        start,
+        nl == std::string_view::npos ? all.size() - start : nl - start);
+    if (!line.empty()) {
+      try {
+        const Json v = Json::parse(line);
+        const std::string printed = v.dump();
+        if (Json::parse(printed).dump() != printed) __builtin_trap();
+        validate_request(v);
+      } catch (const gstore::FormatError&) {
+        // Malformed frame: rejected with a typed error.
+      }
+    }
+    if (nl == std::string_view::npos) break;
+    start = nl + 1;
+  }
+  return 0;
+}

@@ -69,9 +69,16 @@ WalReplay EdgeWal::replay(const io::Source& f, const std::string& name) {
       out.tail = WalTail::kCorrupt;
       break;
     }
-    payload.resize(h.edge_count);
+    // The == checked_mul test above already ties both fields to the frame
+    // budget; the ranged reads keep that bound visible at the sinks.
+    payload.resize(checked_in(h.edge_count, 0,
+                              kWalMaxFrameBytes / sizeof(graph::Edge),
+                              "WAL frame edge count"));
     if (h.edge_count > 0)
-      f.pread_full(payload.data(), h.payload_bytes, off + sizeof(h));
+      f.pread_full(payload.data(),
+                   checked_in(h.payload_bytes, 0, kWalMaxFrameBytes,
+                              "WAL frame payload bytes"),
+                   off + sizeof(h));
     if (frame_crc(h, payload) != h.crc) {
       out.tail = WalTail::kCorrupt;
       break;

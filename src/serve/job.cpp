@@ -1,6 +1,7 @@
 #include "serve/job.h"
 
 #include <algorithm>
+#include <limits>
 #include <vector>
 
 #include "algo/bfs.h"
@@ -98,12 +99,14 @@ std::uint32_t vector_digest(const std::vector<T>& v) {
 
 graph::vid_t parse_vertex(const Json& j, const char* field,
                           graph::vid_t vertex_count) {
-  const std::uint64_t v = j.at(field).as_uint();
-  if (v >= vertex_count)
-    throw InvalidArgument(std::string(field) + " " + std::to_string(v) +
-                          " is outside the store's vertex range [0, " +
-                          std::to_string(vertex_count) + ")");
-  return static_cast<graph::vid_t>(v);
+  if (vertex_count == 0)
+    throw InvalidArgument("store has no vertices");
+  try {
+    return static_cast<graph::vid_t>(
+        j.at(field).as_u64_in(0, std::uint64_t{vertex_count} - 1));
+  } catch (const InvalidArgument& e) {
+    throw InvalidArgument(std::string(field) + ": " + e.what());
+  }
 }
 
 }  // namespace
@@ -142,21 +145,14 @@ JobSpec JobSpec::from_json(const Json& j, graph::vid_t vertex_count) {
   } else if (algo == "pagerank") {
     spec.kind = JobKind::kPageRank;
     if (const Json* d = j.find("damping")) {
-      spec.damping = d->as_number();
-      if (!(spec.damping > 0.0 && spec.damping < 1.0))
+      spec.damping = d->as_f64_in(0.0, 1.0);
+      if (spec.damping == 0.0 || spec.damping == 1.0)
         throw InvalidArgument("damping must be in (0, 1)");
     }
-    if (const Json* it = j.find("iterations")) {
-      const std::uint64_t n = it->as_uint();
-      if (n == 0 || n > 100000)
-        throw InvalidArgument("iterations must be in [1, 100000]");
-      spec.max_iterations = static_cast<std::uint32_t>(n);
-    }
-    if (const Json* t = j.find("tolerance")) {
-      spec.tolerance = t->as_number();
-      if (spec.tolerance < 0.0)
-        throw InvalidArgument("tolerance must be non-negative");
-    }
+    if (const Json* it = j.find("iterations"))
+      spec.max_iterations = it->as_u32_in(1, 100000);
+    if (const Json* t = j.find("tolerance"))
+      spec.tolerance = t->as_f64_in(0.0, std::numeric_limits<double>::max());
   } else if (algo == "wcc") {
     spec.kind = JobKind::kWcc;
   } else if (algo == "neighbors") {

@@ -315,6 +315,43 @@ std::uint64_t Json::as_uint() const {
   return static_cast<std::uint64_t>(v);
 }
 
+namespace {
+[[noreturn]] void range_error(const std::string& v, const std::string& lo,
+                              const std::string& hi) {
+  throw InvalidArgument("json: number " + v + " is outside [" + lo + ", " +
+                        hi + "]");
+}
+}  // namespace
+
+std::uint32_t Json::as_u32_in(std::uint32_t lo, std::uint32_t hi) const {
+  const std::uint64_t v = as_uint();
+  if (v < lo || v > hi)
+    range_error(std::to_string(v), std::to_string(lo), std::to_string(hi));
+  return static_cast<std::uint32_t>(v);
+}
+
+std::uint64_t Json::as_u64_in(std::uint64_t lo, std::uint64_t hi) const {
+  const std::uint64_t v = as_uint();
+  if (v < lo || v > hi)
+    range_error(std::to_string(v), std::to_string(lo), std::to_string(hi));
+  return v;
+}
+
+std::int64_t Json::as_i64_in(std::int64_t lo, std::int64_t hi) const {
+  const std::int64_t v = as_int();
+  if (v < lo || v > hi)
+    range_error(std::to_string(v), std::to_string(lo), std::to_string(hi));
+  return v;
+}
+
+double Json::as_f64_in(double lo, double hi) const {
+  const double v = as_number();
+  // The negated comparison also rejects NaN, which compares false to both.
+  if (!(v >= lo && v <= hi))
+    range_error(std::to_string(v), std::to_string(lo), std::to_string(hi));
+  return v;
+}
+
 const std::string& Json::as_string() const {
   if (type_ != Type::kString) type_error("string", type_);
   return str_;

@@ -58,6 +58,14 @@ class Json {
   // fractional part or lies outside the destination range.
   std::int64_t as_int() const;
   std::uint64_t as_uint() const;
+  // Range-checked variants: throw InvalidArgument when the number is
+  // ill-typed, fractional, or outside [lo, hi]. Handlers decode every
+  // wire integer through one of these so the value is bounded before it
+  // can reach an allocation, index, or wait duration.
+  std::uint32_t as_u32_in(std::uint32_t lo, std::uint32_t hi) const;
+  std::uint64_t as_u64_in(std::uint64_t lo, std::uint64_t hi) const;
+  std::int64_t as_i64_in(std::int64_t lo, std::int64_t hi) const;
+  double as_f64_in(double lo, double hi) const;
   const std::string& as_string() const;
 
   // Object access. find() returns nullptr when absent; at() throws.

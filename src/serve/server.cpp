@@ -9,6 +9,7 @@
 #include <cerrno>
 #include <chrono>
 #include <cstring>
+#include <limits>
 #include <utility>
 
 #include "util/logging.h"
@@ -22,6 +23,17 @@ namespace {
 // must not balloon the handler's buffer); responses are capped by
 // kMaxNeighborsReturned on the result side.
 constexpr std::size_t kMaxLineBytes = 64ull << 20;
+
+// Upper bound on a client-requested blocking wait: a hostile timeout_ms
+// must not pin a handler thread for centuries. Clients needing longer
+// simply re-issue the wait.
+constexpr std::uint64_t kMaxWaitMs = 10ull * 60 * 1000;
+
+// Job ids are allocated from 1 (server.h: next_id_), so 0 never matches.
+std::uint64_t parse_id(const Json& request) {
+  return request.at("id").as_u64_in(
+      1, std::numeric_limits<std::uint64_t>::max());
+}
 
 bool is_terminal(JobState s) noexcept {
   return s == JobState::kDone || s == JobState::kFailed ||
@@ -502,7 +514,13 @@ void Server::stop() {
 
 bool Server::wait_shutdown() {
   MutexLock lock(state_mu_);
-  while (!shutdown_requested_) shutdown_cv_.wait(state_mu_);
+  // Timed wait so a request_stop() from a signal handler (atomic store,
+  // no notify) is observed within one tick even though nothing signals
+  // the condvar.
+  while (!shutdown_requested_) {
+    if (async_stop_.load(std::memory_order_acquire)) break;
+    shutdown_cv_.wait_for(state_mu_, std::chrono::milliseconds(100));
+  }
   return shutdown_drain_;
 }
 
@@ -600,23 +618,24 @@ Json Server::dispatch(const Json& request) {
   }
   if (op == "status") {
     Json r = ok_response();
-    r.set("job", manager_.status(request.at("id").as_uint()));
+    r.set("job", manager_.status(parse_id(request)));
     return r;
   }
   if (op == "result") {
     Json r = ok_response();
-    r.set("job", manager_.result(request.at("id").as_uint()));
+    r.set("job", manager_.result(parse_id(request)));
     return r;
   }
   if (op == "cancel") {
     Json r = ok_response();
-    r.set("cancelled", Json(manager_.cancel(request.at("id").as_uint())));
+    r.set("cancelled", Json(manager_.cancel(parse_id(request))));
     return r;
   }
   if (op == "wait") {
     std::uint64_t timeout_ms = 60000;
-    if (const Json* t = request.find("timeout_ms")) timeout_ms = t->as_uint();
-    const std::uint64_t id = request.at("id").as_uint();
+    if (const Json* t = request.find("timeout_ms"))
+      timeout_ms = t->as_u64_in(0, kMaxWaitMs);
+    const std::uint64_t id = parse_id(request);
     const bool finished =
         manager_.wait(id, std::chrono::milliseconds(timeout_ms));
     Json r = ok_response();
@@ -641,9 +660,10 @@ Json Server::dispatch(const Json& request) {
     for (const Json& e : arr.items()) {
       if (e.items().size() != 2)
         throw InvalidArgument("each edge must be a [src, dst] pair");
-      edges.push_back(graph::Edge{
-          static_cast<graph::vid_t>(e.items()[0].as_uint()),
-          static_cast<graph::vid_t>(e.items()[1].as_uint())});
+      constexpr std::uint32_t kVidMax =
+          std::numeric_limits<graph::vid_t>::max();
+      edges.push_back(graph::Edge{e.items()[0].as_u32_in(0, kVidMax),
+                                  e.items()[1].as_u32_in(0, kVidMax)});
     }
     Json r = ok_response();
     r.set("accepted", Json(manager_.ingest(edges)));

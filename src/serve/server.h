@@ -174,9 +174,19 @@ class Server {
   // daemon decides drain-vs-cancel semantics.
   void stop();
 
-  // Blocks until some client issued a `shutdown` op (or stop() was called
-  // from elsewhere). Returns the requested drain flag.
+  // Blocks until some client issued a `shutdown` op (or stop() /
+  // request_stop() was called from elsewhere). Returns the requested
+  // drain flag.
   bool wait_shutdown() GSTORE_EXCLUDES(state_mu_);
+
+  // Async-signal-safe shutdown request: a lock-free store, no mutex, no
+  // condvar notify — callable from a signal handler. wait_shutdown()
+  // polls the flag on a timed wait; the caller still runs stop() from
+  // normal thread context afterwards. (Calling stop() from the handler
+  // instead self-deadlocks: the signal can land on the thread blocked in
+  // wait_shutdown() while it holds state_mu_ — the runtime lockdep
+  // flags exactly that.)
+  void request_stop() noexcept { async_stop_.store(true, std::memory_order_release); }
 
  private:
   struct Conn {
@@ -200,6 +210,7 @@ class Server {
 
   Mutex state_mu_{"Server::state_mu_"};
   CondVar shutdown_cv_;
+  std::atomic<bool> async_stop_{false};  // set by request_stop() only
   bool shutdown_requested_ GSTORE_GUARDED_BY(state_mu_) = false;
   bool shutdown_drain_ GSTORE_GUARDED_BY(state_mu_) = true;
   bool stopped_ GSTORE_GUARDED_BY(state_mu_) = false;

@@ -34,6 +34,16 @@ inline std::uint64_t checked_mul(std::uint64_t a, std::uint64_t b,
   return out;
 }
 
+inline std::uint64_t checked_in(std::uint64_t v, std::uint64_t lo,
+                                std::uint64_t hi,
+                                const char* what = "value") {
+  if (v < lo || v > hi)
+    throw FormatError(std::string(what) + " is " + std::to_string(v) +
+                      ", outside [" + std::to_string(lo) + ", " +
+                      std::to_string(hi) + "]");
+  return v;
+}
+
 inline std::uint64_t checked_shl(std::uint64_t a, unsigned shift,
                                  const char* what = "shifted value") {
   if (shift >= 64 || (shift > 0 && a > (std::numeric_limits<std::uint64_t>::max() >> shift)))

@@ -1,0 +1,15 @@
+// GL6 negative fixture, TU 1 of 2: reads a wire-struct field and hands
+// it on through its return value. The sink lives in gl6_flagged_b.cpp —
+// the finding only appears when the summary fixpoint carries this
+// function's taint across the TU boundary into the caller.
+#include <cstdint>
+
+#include "ingest/wal.h"
+
+namespace gstore::lintfix {
+
+std::uint64_t frame_edges(const ingest::WalFrameHeader& h) {
+  return h.edge_count;
+}
+
+}  // namespace gstore::lintfix

@@ -1,0 +1,19 @@
+// GL6 negative fixture, TU 2 of 2: the untrusted count crosses the TU
+// boundary via frame_edges() (gl6_flagged_a.cpp) and drives a resize()
+// with no range check anywhere on the path. gstore_lint must flag the
+// resize with the full cross-function taint chain.
+#include <cstdint>
+#include <vector>
+
+#include "ingest/wal.h"
+
+namespace gstore::lintfix {
+
+std::uint64_t frame_edges(const ingest::WalFrameHeader& h);
+
+void reserve_frame(const ingest::WalFrameHeader& h,
+                   std::vector<std::uint64_t>& out) {
+  out.resize(frame_edges(h));
+}
+
+}  // namespace gstore::lintfix

@@ -1,0 +1,14 @@
+// GL6 waived fixture, TU 1 of 2: same wire-field pass-through as
+// gl6_flagged_a.cpp (distinct name so the twin sets never collide in one
+// analysis run). The waiver lives at the sink in gl6_waived_b.cpp.
+#include <cstdint>
+
+#include "ingest/wal.h"
+
+namespace gstore::lintfix {
+
+std::uint64_t frame_edges_ok(const ingest::WalFrameHeader& h) {
+  return h.edge_count;
+}
+
+}  // namespace gstore::lintfix

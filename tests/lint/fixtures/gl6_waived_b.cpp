@@ -1,0 +1,20 @@
+// GL6 waived fixture, TU 2 of 2: the identical cross-TU taint path as
+// gl6_flagged_b.cpp, silenced by an audited GL-SAFE waiver at the sink.
+// gstore_lint must come back clean.
+#include <cstdint>
+#include <vector>
+
+#include "ingest/wal.h"
+
+namespace gstore::lintfix {
+
+std::uint64_t frame_edges_ok(const ingest::WalFrameHeader& h);
+
+void reserve_frame_ok(const ingest::WalFrameHeader& h,
+                      std::vector<std::uint64_t>& out) {
+  // GL-SAFE(GL6): fixture twin — every real caller cross-checks
+  // edge_count against payload_bytes before handing the header over.
+  out.resize(frame_edges_ok(h));
+}
+
+}  // namespace gstore::lintfix

@@ -1,0 +1,14 @@
+// GL7 negative fixture, TU 1 of 2: acquires OrderPair::a then
+// OrderPair::b. The reverse order lives in gl7_flagged_b.cpp; the
+// lock-order cycle (and the [GL7] finding) only exists once the two TUs
+// are analyzed together.
+#include "gl7_pair.h"
+
+namespace gstore::lintfix {
+
+void OrderPair::fwd() {
+  MutexLock la(a);
+  MutexLock lb(b);
+}
+
+}  // namespace gstore::lintfix

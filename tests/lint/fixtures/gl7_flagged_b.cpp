@@ -1,0 +1,13 @@
+// GL7 negative fixture, TU 2 of 2: acquires OrderPair::b then
+// OrderPair::a — the back edge of the ABBA cycle whose forward edge is
+// in gl7_flagged_a.cpp.
+#include "gl7_pair.h"
+
+namespace gstore::lintfix {
+
+void OrderPair::rev() {
+  MutexLock lb(b);
+  MutexLock la(a);
+}
+
+}  // namespace gstore::lintfix

@@ -1,0 +1,24 @@
+// Shared by the GL7 fixture TUs: one lock pair, two methods, each
+// defined in a different .cpp so the A->B / B->A cycle only closes once
+// both TUs' acquisition graphs are merged.
+#pragma once
+
+#include "util/sync.h"
+
+namespace gstore::lintfix {
+
+struct OrderPair {
+  Mutex a{"OrderPair::a"};
+  Mutex b{"OrderPair::b"};
+  void fwd();  // gl7_flagged_a.cpp: acquires a, then b
+  void rev();  // gl7_flagged_b.cpp: acquires b, then a
+};
+
+struct OrderPairW {
+  Mutex a{"OrderPairW::a"};
+  Mutex b{"OrderPairW::b"};
+  void fwd();  // gl7_waived_a.cpp: acquires a, then b
+  void rev();  // gl7_waived_b.cpp: acquires b, then a (waived)
+};
+
+}  // namespace gstore::lintfix

@@ -1,0 +1,14 @@
+// GL7 waived fixture, TU 1 of 2: same forward edge as
+// gl7_flagged_a.cpp on the OrderPairW lock pair. The waiver sits on the
+// back edge in gl7_waived_b.cpp — a cycle is waivable at any one of its
+// acquisition sites.
+#include "gl7_pair.h"
+
+namespace gstore::lintfix {
+
+void OrderPairW::fwd() {
+  MutexLock la(a);
+  MutexLock lb(b);
+}
+
+}  // namespace gstore::lintfix

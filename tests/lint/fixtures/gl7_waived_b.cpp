@@ -1,0 +1,15 @@
+// GL7 waived fixture, TU 2 of 2: the back edge of the ABBA cycle,
+// silenced by an audited GL-SAFE waiver on its acquisition site.
+// gstore_lint must come back clean.
+#include "gl7_pair.h"
+
+namespace gstore::lintfix {
+
+void OrderPairW::rev() {
+  MutexLock lb(b);
+  // GL-SAFE(GL7): fixture twin — rev() only runs during single-threaded
+  // teardown, after every fwd() caller has drained.
+  MutexLock la(a);
+}
+
+}  // namespace gstore::lintfix

@@ -28,6 +28,13 @@ FLAGGED = {
     "gl3_flagged.cpp": {"GL3"},
     "gl4_flagged.cpp": {"GL4"},
     "gl5_flagged.cpp": {"GL5"},
+    # Cross-TU pairs: the taint source / forward lock edge lives in _a,
+    # the finding lands in (or is anchored by) the other TU. Both files
+    # must be in the same analysis run for the check to fire at all.
+    "gl6_flagged_a.cpp": set(),
+    "gl6_flagged_b.cpp": {"GL6"},
+    "gl7_flagged_a.cpp": {"GL7"},
+    "gl7_flagged_b.cpp": set(),
     "r4_flagged.cpp": {"R4"},
     "waiver_bad.cpp": {"GL-WAIVER"},
 }
@@ -37,6 +44,10 @@ WAIVED = [
     "gl3_waived.cpp",
     "gl4_waived.cpp",
     "gl5_waived.cpp",
+    "gl6_waived_a.cpp",
+    "gl6_waived_b.cpp",
+    "gl7_waived_a.cpp",
+    "gl7_waived_b.cpp",
     "r4_waived.cpp",
 ]
 
@@ -56,10 +67,13 @@ def write_compdb(tmp: Path, root: Path, cxx: str,
     return path
 
 
-def run_lint(root: Path, compdb: Path, files: list[str]) -> tuple[int, str]:
+def run_lint(root: Path, compdb: Path, files: list[str],
+             frontend: str | None = None) -> tuple[int, str]:
     cmd = [sys.executable, str(root / "tools" / "gstore_lint"),
            "--compdb", str(compdb), "--root", str(root),
            "--gl4-all", "--files", *files]
+    if frontend:
+        cmd += ["--frontend", frontend]
     proc = subprocess.run(cmd, capture_output=True, text=True)
     return proc.returncode, proc.stdout + proc.stderr
 
@@ -68,6 +82,8 @@ def main() -> int:
     ap = argparse.ArgumentParser()
     ap.add_argument("root", type=Path)
     ap.add_argument("--cxx", default="c++")
+    ap.add_argument("--frontend", default=None,
+                    help="forwarded to gstore_lint (gcc | clang | auto)")
     args = ap.parse_args()
     root = args.root.resolve()
     fixdir = root / "tests" / "lint" / "fixtures"
@@ -84,7 +100,7 @@ def main() -> int:
 
         # Flagged set: the linter must exit 1 and each fixture must carry
         # its own tag — firing on the wrong file doesn't count.
-        rc, out = run_lint(root, compdb, sorted(FLAGGED))
+        rc, out = run_lint(root, compdb, sorted(FLAGGED), args.frontend)
         if rc != 1:
             failures.append(f"flagged set: expected exit 1, got {rc}\n{out}")
         for name, tags in sorted(FLAGGED.items()):
@@ -95,7 +111,7 @@ def main() -> int:
                     failures.append(f"{name}: no [{tag}] finding\n{out}")
 
         # Waived set: identical violations under audited waivers -> clean.
-        rc, out = run_lint(root, compdb, WAIVED)
+        rc, out = run_lint(root, compdb, WAIVED, args.frontend)
         if rc != 0:
             failures.append(f"waived set: expected exit 0, got {rc}\n{out}")
 

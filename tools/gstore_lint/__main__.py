@@ -18,12 +18,12 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
 
-from gstore_lint import checks, compdb, gccdump, gccfront, \
-    gimplepatch  # noqa: E402
+from gstore_lint import checks, compdb, dumpcache, gccdump, gccfront, \
+    gimplepatch, model  # noqa: E402
 from gstore_lint.model import FnModel, Program  # noqa: E402
 from gstore_lint.waivers import Waivers  # noqa: E402
 
-CHECK_IDS = ["GL1", "GL2", "GL3", "GL4", "GL5", "R1", "R4"]
+CHECK_IDS = ["GL1", "GL2", "GL3", "GL4", "GL5", "GL6", "GL7", "R1", "R4"]
 
 
 def _file_index(root: Path) -> dict[str, list[str]]:
@@ -69,16 +69,22 @@ def _normalize(fn: FnModel, directory: str, tu_file: str,
         return out
 
     fn.file = ab(fn.file)
-    for attr in ("calls", "throws", "completions", "pin_stores", "ariths",
-                 "raw_syncs", "atomic_ops"):
+    for attr in model.EVENT_ATTRS:
         setattr(fn, attr,
                 [replace(ev, file=ab(ev.file)) for ev in getattr(fn, attr)])
     return fn
 
 
 def _lower_tu_gcc(entry: compdb.Entry,
-                  index: dict[str, list[str]]) -> tuple[str, list[FnModel],
-                                                        str]:
+                  index: dict[str, list[str]],
+                  cache_dir: str | None = None) -> tuple[str, list[FnModel],
+                                                         str]:
+    ck = None
+    if cache_dir:
+        ck = dumpcache.key(entry.args, entry.directory)
+        hit = dumpcache.lookup(cache_dir, ck)
+        if hit is not None:
+            return (entry.file, hit, "")
     try:
         text, gimple_text = gccdump.run_dump(entry.args, entry.directory)
     except gccdump.DumpError as e:
@@ -105,9 +111,14 @@ def _lower_tu_gcc(entry: compdb.Entry,
                 cand = [c for c in cand if c[0] == want]
             if len(cand) != 1:
                 continue
-            patch = gimplepatch.recover(fn, cand[0][1], entry.file)
+            patch = gimplepatch.recover(fn, cand[0][2], entry.file,
+                                        cand[0][1])
             fns.append(_normalize(patch, entry.directory, entry.file,
                                   index))
+    if ck is not None:
+        deps = dumpcache.dep_files(entry.args, entry.directory)
+        if deps is not None:
+            dumpcache.store(cache_dir, ck, deps, fns)
     return (entry.file, fns, "")
 
 
@@ -145,9 +156,36 @@ def _resolve_gimple_calls(program: Program) -> None:
                 call = replace(call, scope="unknown")
             out.append(call)
         fn.calls = out
+        # Recovered taint events carry the same bare names inside their
+        # atoms ('r:gimple:<name>') and flow destinations
+        # ('a:gimple:<name>:<N>'); resolve the unique ones so the GL6
+        # fixpoint can cross the patched functions. Ambiguous or unknown
+        # names stay as-is, which taint.py treats as untainted (a miss,
+        # never a false positive).
+        def fix_atom(a: str) -> str:
+            if a.startswith("r:gimple:"):
+                keys = by_name.get(a[len("r:gimple:"):], [])
+                if len(keys) == 1:
+                    return f"r:{keys[0]}"
+            return a
+
+        taints = []
+        for ev in fn.taints:
+            dst = ev.dst
+            if dst.startswith("a:gimple:"):
+                head, _, pos = dst.rpartition(":")
+                keys = by_name.get(head[len("a:gimple:"):], [])
+                if len(keys) == 1:
+                    dst = f"a:{keys[0]}:{pos}"
+            atoms = tuple(fix_atom(a) for a in ev.atoms)
+            if dst != ev.dst or atoms != ev.atoms:
+                ev = replace(ev, dst=dst, atoms=atoms)
+            taints.append(ev)
+        fn.taints = taints
 
 
-def _pick_frontend(requested: str, index: dict[str, list[str]]):
+def _pick_frontend(requested: str, index: dict[str, list[str]],
+                   cache_dir: str | None = None):
     if requested in ("clang", "auto"):
         try:
             from gstore_lint import clangfront
@@ -157,7 +195,8 @@ def _pick_frontend(requested: str, index: dict[str, list[str]]):
             pass
         if requested == "clang":
             return None, None
-    return "gcc", functools.partial(_lower_tu_gcc, index=index)
+    return "gcc", functools.partial(_lower_tu_gcc, index=index,
+                                    cache_dir=cache_dir)
 
 
 def _annotated_members(root: Path) -> dict[str, str]:
@@ -201,6 +240,14 @@ def main(argv: list[str] | None = None) -> int:
                     help="parallel TU compiles (default: cpu count)")
     ap.add_argument("--frontend", choices=["auto", "gcc", "clang"],
                     default="auto")
+    ap.add_argument("--format", choices=["text", "json"], default="text",
+                    help="findings output: human text (default) or a JSON "
+                         "array with stable IDs and traces")
+    ap.add_argument("--cache-dir", default=None,
+                    help="cache per-TU lowering results here, keyed by "
+                         "command + include-closure content hash (GCC "
+                         "frontend only; the whole-program checks still "
+                         "run every time)")
     ap.add_argument("--list-waivers", action="store_true",
                     help="print every GL-SAFE waiver in analyzed files")
     ap.add_argument("-v", "--verbose", action="store_true")
@@ -235,7 +282,8 @@ def main(argv: list[str] | None = None) -> int:
         return 2
 
     index = _file_index(root)
-    frontend, lower_tu = _pick_frontend(args.frontend, index)
+    frontend, lower_tu = _pick_frontend(args.frontend, index,
+                                        cache_dir=args.cache_dir)
     if frontend is None:
         print("gstore_lint: --frontend clang requested but clang.cindex "
               "is unavailable", file=sys.stderr)
@@ -270,6 +318,8 @@ def main(argv: list[str] | None = None) -> int:
     waivers = Waivers()
     files_seen = {fn.file for fn in program.fns.values()}
     files_seen |= {f.file for f in findings}
+    for f in findings:
+        files_seen |= {af for af, _ in f.alt}
     for f in sorted(files_seen):
         if not f.startswith("<") and _under(f, root):
             waivers.load_file(f)
@@ -279,10 +329,30 @@ def main(argv: list[str] | None = None) -> int:
             print(f"{_rel(f, root)}:{ln}: GL-SAFE({tags})")
         return 0
 
+    # A finding may be waivable at secondary sites too (GL6: anywhere on
+    # the taint chain; GL7: any acquisition edge of the cycle).
     kept = [f for f in findings
-            if not waivers.waived(f.check, f.file, f.line)]
+            if not waivers.waived(f.check, f.file, f.line)
+            and not any(waivers.waived(f.check, af, al)
+                        for af, al in f.alt)]
     kept.extend(waivers.errors())
     kept = sorted(set(kept), key=lambda f: (f.file, f.line, f.check))
+
+    if args.format == "json":
+        import json
+        payload = [{"id": f.stable_id(), "check": f.check,
+                    "file": _rel(f.file, root), "line": f.line,
+                    "function": f.fn.split("(", 1)[0] if f.fn else "",
+                    "message": f.message,
+                    "trace": list(f.trace)} for f in kept]
+        print(json.dumps(payload, indent=2))
+        if kept:
+            print(f"gstore_lint: {len(kept)} finding(s)", file=sys.stderr)
+            return 1
+        if args.verbose:
+            print(f"gstore_lint: clean ({len(program.fns)} functions, "
+                  f"{len(entries)} TUs)", file=sys.stderr)
+        return 0
 
     for f in kept:
         print(f"{_rel(f.file, root)}:{f.line}: [{f.check}] {f.message}")

@@ -1,4 +1,4 @@
-"""The GL1..GL5 checks plus AST-grade R1/R4, over the event IR.
+"""The GL1..GL7 checks plus AST-grade R1/R4, over the event IR.
 
 All checks are pure functions of (Program, configuration); waiver
 filtering happens in the driver so `--list-waivers` and waiver auditing
@@ -10,6 +10,7 @@ from __future__ import annotations
 import os
 from pathlib import Path
 
+from . import lockgraph, taint
 from .model import Finding, Program
 
 # -- GL1: blocking-under-lock ------------------------------------------------
@@ -336,11 +337,25 @@ def _rel(file: str, root: str) -> str:
         return file
 
 
+# -- GL6/GL7: whole-program taint and lock order ------------------------------
+# The heavy lifting lives in taint.py / lockgraph.py; these wrappers keep
+# the uniform (Program, root) check signature.
+
+def check_gl6(program: Program, root: str) -> list[Finding]:
+    return taint.analyze(program, root)
+
+
+def check_gl7(program: Program, root: str) -> list[Finding]:
+    return lockgraph.analyze(program, root)
+
+
 ALL_CHECKS = {
     "GL1": check_gl1,
     "GL2": check_gl2,
     "GL3": check_gl3,
     "GL5": check_gl5,
+    "GL6": check_gl6,
+    "GL7": check_gl7,
     "R4": check_r4,
 }
 

@@ -17,13 +17,16 @@ import os
 import re
 from dataclasses import replace
 
-from .gccfront import (ATOMIC_PLAIN_OPS, ATOMIC_RECORDS,
+from .gccfront import (ATOMIC_PLAIN_OPS, ATOMIC_RECORDS, COLD_VALIDATORS,
                        COMPLETION_CHECK_FIELDS, COMPLETION_RECORD,
                        COMPLETION_USE_FIELDS, CONTAINER_STORE_METHODS,
-                       GUARD_CLASSES, PIN_TYPEDEF, RAW_SYNC_CALLS,
-                       RAW_SYNC_RECORDS, WIRE_RECORDS)
-from .model import (ArithEvent, AtomicOpEvent, CallEvent, CompletionEvent,
-                    FnModel, PinStoreEvent, RawSyncEvent, ThrowEvent)
+                       GUARD_CLASSES, INDEX_RECORDS, JSON_SOURCE_METHODS,
+                       PIN_TYPEDEF, RAW_SYNC_CALLS, RAW_SYNC_RECORDS,
+                       SANITIZER_NAMES, SINK_CALLS, TRACKED_RECORDS,
+                       WIRE_RECORDS)
+from .model import (AcquireEvent, ArithEvent, AtomicOpEvent, CallEvent,
+                    CompletionEvent, FnModel, PinStoreEvent, RawSyncEvent,
+                    TaintEvent, ThrowEvent)
 
 try:
     from clang import cindex  # type: ignore
@@ -134,6 +137,23 @@ class _Lowerer:
         self.fn = FnModel(key=key, pretty=qual, file=file, line=line,
                           noexcept=noexc)
         self.tainted: set[str] = set()
+        self.fnqual = qual
+        # GL6 parameter slots: `this` is slot 0 for non-static methods,
+        # declared parameters follow — matching gccfront's numbering.
+        offset = 0
+        try:
+            if fn_cursor.kind in (cindex.CursorKind.CXX_METHOD,
+                                  cindex.CursorKind.CONSTRUCTOR,
+                                  cindex.CursorKind.DESTRUCTOR) and \
+                    not fn_cursor.is_static_method():
+                offset = 1
+        except Exception:
+            pass
+        self.arg_offset = offset
+        self.params: dict[str, int] = {}
+        for i, p in enumerate(fn_cursor.get_arguments() or []):
+            if p.spelling:
+                self.params[p.spelling] = i + offset
 
     def lower(self) -> FnModel:
         body = None
@@ -142,7 +162,7 @@ class _Lowerer:
                 body = ch
         if body is not None:
             self._collect_taint(body)
-            self._walk(body, locks=(), shielded=False)
+            self._walk(body, locks=(), lids=(), shielded=False)
         return self.fn
 
     # taint: two passes over DECL_STMT/assignment initializers
@@ -175,7 +195,7 @@ class _Lowerer:
                             and self._expr_tainted(ch[1]):
                         self.tainted.add(ch[0].spelling)
 
-    def _walk(self, node, locks, shielded) -> None:
+    def _walk(self, node, locks, lids, shielded) -> None:
         k = node.kind
         CK = cindex.CursorKind
         if k == CK.CXX_TRY_STMT:
@@ -183,49 +203,94 @@ class _Lowerer:
             body, handlers = ch[0] if ch else None, ch[1:]
             catch_all = any(_is_catch_all(h) for h in handlers)
             if body is not None:
-                self._walk(body, locks, shielded or catch_all)
+                self._walk(body, locks, lids, shielded or catch_all)
             for h in handlers:
-                self._walk(h, locks, shielded)
+                self._walk(h, locks, lids, shielded)
             return
         if k == CK.CXX_THROW_EXPR:
             self.fn.throws.append(ThrowEvent(*self._where(node), shielded))
             return
         if k == CK.COMPOUND_STMT:
             active = list(locks)
+            alids = list(lids)
             for ch in node.get_children():
                 guard = _guard_decl(ch)
                 if guard is not None:
+                    gid = self._guard_identity(ch)
+                    if gid:
+                        f, ln = self._where(ch)
+                        self.fn.acquires.append(AcquireEvent(
+                            lock=gid, held=tuple(alids), file=f, line=ln))
+                        alids = alids + [gid]
                     active = active + [guard]
-                self._walk(ch, tuple(active), shielded)
+                self._walk(ch, tuple(active), tuple(alids), shielded)
             return
+        if k == CK.DECL_STMT:
+            for d in node.get_children():
+                if d.kind == CK.VAR_DECL and _int_type(d.type):
+                    init = list(d.get_children())
+                    if init:
+                        atoms = self._atoms_of(init[-1])
+                        if atoms:
+                            f, ln = self._where(d)
+                            self.fn.taints.append(TaintEvent(
+                                kind="flow", dst=f"l:{d.spelling}",
+                                atoms=atoms,
+                                detail=f"store to l:{d.spelling}",
+                                file=f, line=ln))
+        elif k == CK.RETURN_STMT:
+            ch = list(node.get_children())
+            if ch:
+                atoms = self._atoms_of(ch[0])
+                if atoms:
+                    f, ln = self._where(node)
+                    self.fn.taints.append(TaintEvent(
+                        kind="flow", dst="ret", atoms=atoms,
+                        detail="returned value", file=f, line=ln))
+        elif k == CK.IF_STMT:
+            self._handle_if(node)
+        elif k in (CK.FOR_STMT, CK.WHILE_STMT, CK.DO_STMT):
+            self._handle_loop(node)
+        elif k == CK.ARRAY_SUBSCRIPT_EXPR:
+            ch = list(node.get_children())
+            if len(ch) == 2:
+                atoms = self._atoms_of(ch[1])
+                if atoms:
+                    f, ln = self._where(node)
+                    self.fn.taints.append(TaintEvent(
+                        kind="sink", dst="index", atoms=atoms,
+                        detail="array index", file=f, line=ln))
         if k in (CK.CALL_EXPR,):
-            self._handle_call(node, locks, shielded)
+            self._handle_call(node, locks, lids, shielded)
         elif k == CK.MEMBER_REF_EXPR:
             self._handle_member_ref(node)
         elif k == CK.BINARY_OPERATOR:
-            self._handle_binop(node, locks, shielded)
+            self._handle_binop(node, locks, lids, shielded)
             return
         for ch in node.get_children():
-            self._walk(ch, locks, shielded)
+            self._walk(ch, locks, lids, shielded)
 
     def _where(self, node) -> tuple[str, int]:
         f, ln = _loc(node)
         return (f if f != "<unknown>" else self.fn.file, ln)
 
-    def _handle_call(self, node, locks, shielded) -> None:
+    def _handle_call(self, node, locks, lids, shielded) -> None:
         ref = node.referenced
         file, line = self._where(node)
         if ref is None:
             self.fn.calls.append(CallEvent(
                 callee=None, callee_name="<indirect>", scope="unknown",
-                file=file, line=line, locks=locks, shielded=shielded))
+                file=file, line=line, locks=locks, shielded=shielded,
+                lock_ids=lids))
             return
         key, qual, kind = _fn_key(ref)
         name = qual.rsplit("::", 1)[-1]
         self.fn.calls.append(CallEvent(
             callee=key, callee_name=name, scope=kind, file=file,
             line=line, locks=locks, shielded=shielded,
-            is_dtor=ref.kind == cindex.CursorKind.DESTRUCTOR))
+            is_dtor=ref.kind == cindex.CursorKind.DESTRUCTOR,
+            lock_ids=lids))
+        self._taint_call(node, ref, key, name, kind, file, line)
         if qual in RAW_SYNC_CALLS:
             self.fn.raw_syncs.append(RawSyncEvent(qual, file, line))
         parent = ref.semantic_parent
@@ -278,7 +343,195 @@ class _Lowerer:
         self.fn.completions.append(
             CompletionEvent(kind, var, fname, file, line))
 
-    def _handle_binop(self, node, locks, shielded) -> None:
+    # ---- GL6/GL7 lowering -------------------------------------------
+
+    def _member_atom(self, node):
+        """`f:Rec.fld` when a member ref lands in a tracked record (the
+        field's declaring class, so derived uses and implicit-this reads
+        key the same atom as gccfront)."""
+        try:
+            r = node.referenced
+            parent = r.semantic_parent if r is not None else None
+            cls = parent.spelling if parent is not None else ""
+            if cls in TRACKED_RECORDS and node.spelling:
+                return f"f:{cls}.{node.spelling}"
+        except Exception:
+            pass
+        return None
+
+    def _atoms_of(self, node) -> tuple[str, ...]:
+        """Source atoms of an expression, pruned at sanitizer calls."""
+        if node is None:
+            return ()
+        CK = cindex.CursorKind
+        out: dict[str, None] = {}
+        stack = [(node, 0)]
+        while stack and len(out) < 8:
+            n, d = stack.pop()
+            k = n.kind
+            if k == CK.MEMBER_REF_EXPR:
+                fa = self._member_atom(n)
+                if fa:
+                    out[fa] = None
+                    continue
+            elif k == CK.DECL_REF_EXPR:
+                r = n.referenced
+                if r is not None:
+                    if r.kind == CK.PARM_DECL and \
+                            r.spelling in self.params:
+                        out[f"p{self.params[r.spelling]}"] = None
+                    elif r.kind == CK.VAR_DECL:
+                        out[f"l:{r.spelling}"] = None
+                continue
+            elif k == CK.CALL_EXPR:
+                r = n.referenced
+                nm = r.spelling if r is not None else ""
+                if nm in SANITIZER_NAMES:
+                    continue            # checked/ranged helper: clean cut
+                if nm in ("move", "forward"):
+                    for c in n.get_children():
+                        stack.append((c, d + 1))
+                    continue
+                if nm in JSON_SOURCE_METHODS and r is not None and \
+                        r.semantic_parent is not None and \
+                        r.semantic_parent.spelling == "Json":
+                    out[f"src:Json.{nm}"] = None
+                    continue
+                if r is not None:
+                    out[f"r:{_fn_key(r)[0]}"] = None
+                continue
+            if d < 6:
+                for c in n.get_children():
+                    stack.append((c, d + 1))
+        return tuple(out)
+
+    def _taint_call(self, node, ref, key, name, kind, file, line) -> None:
+        """Argument flows into the callee plus name-table sinks, with
+        GENERIC-compatible slot numbering (object = slot 0)."""
+        fn = self.fn
+        if name in SANITIZER_NAMES:
+            return
+        args = list(node.get_arguments() or [])
+        offset = 0
+        try:
+            if ref.kind in (cindex.CursorKind.CXX_METHOD,
+                            cindex.CursorKind.CONSTRUCTOR,
+                            cindex.CursorKind.DESTRUCTOR) and \
+                    not ref.is_static_method():
+                offset = 1
+        except Exception:
+            pass
+        for i, a in enumerate(args):
+            if not _int_type(a.type):
+                continue
+            atoms = self._atoms_of(a)
+            if atoms:
+                fn.taints.append(TaintEvent(
+                    kind="flow", dst=f"a:{key}:{i + offset}", atoms=atoms,
+                    detail=f"argument of {name}()", file=file, line=line))
+        sink = SINK_CALLS.get(name)
+        if sink is not None:
+            project_only = name.startswith(("pread_", "pwrite_"))
+            if (project_only and kind == "project") or \
+                    (not project_only and kind in ("std", "global")):
+                positions, verb = sink
+                for pos in positions:
+                    ai = pos - offset
+                    if 0 <= ai < len(args):
+                        atoms = self._atoms_of(args[ai])
+                        if atoms:
+                            fn.taints.append(TaintEvent(
+                                kind="sink", dst=verb, atoms=atoms,
+                                detail=f"{name}()", file=file, line=line))
+        elif name == "operator[]" and args:
+            parent = ref.semantic_parent
+            if parent is not None and parent.spelling in INDEX_RECORDS \
+                    and kind == "std":
+                atoms = self._atoms_of(args[0])
+                if atoms:
+                    fn.taints.append(TaintEvent(
+                        kind="sink", dst="index", atoms=atoms,
+                        detail=f"{parent.spelling}::operator[]",
+                        file=file, line=line))
+
+    def _cmp_atoms(self, node) -> tuple[str, ...]:
+        """Atoms compared anywhere inside `node` (both operands of every
+        comparison binop)."""
+        catoms: list[str] = []
+        for c in _all(node, depth=6):
+            if c.kind == cindex.CursorKind.BINARY_OPERATOR and \
+                    _op_spelling(c) in _CMP_OPS:
+                for side in c.get_children():
+                    catoms.extend(self._atoms_of(side))
+        return tuple(dict.fromkeys(catoms))
+
+    def _handle_if(self, node) -> None:
+        """Compare-and-bail range validation -> sanitize event (see
+        gccfront._handle_cond for the shared semantics)."""
+        CK = cindex.CursorKind
+        ch = list(node.get_children())
+        if len(ch) < 2:
+            return
+        atoms = self._cmp_atoms(ch[0])
+        if not atoms:
+            return
+        for branch in ch[1:]:
+            for m in _all(branch, depth=8):
+                bails = m.kind in (CK.CXX_THROW_EXPR, CK.RETURN_STMT)
+                if not bails and m.kind == CK.CALL_EXPR and \
+                        m.referenced is not None and \
+                        m.referenced.spelling in COLD_VALIDATORS:
+                    bails = True
+                if bails:
+                    f, ln = self._where(node)
+                    self.fn.taints.append(TaintEvent(
+                        kind="sanitize", dst="", atoms=atoms,
+                        detail="range check", file=f, line=ln))
+                    return
+
+    def _handle_loop(self, node) -> None:
+        """A loop whose controlling comparison reads tainted atoms is a
+        loop-bound sink (the GENERIC latch form, in clang terms)."""
+        CK = cindex.CursorKind
+        catoms: list[str] = []
+        for c in node.get_children():
+            if c.kind == CK.COMPOUND_STMT:
+                continue
+            catoms.extend(self._cmp_atoms(c))
+        atoms = tuple(dict.fromkeys(catoms))
+        if atoms:
+            f, ln = self._where(node)
+            self.fn.taints.append(TaintEvent(
+                kind="sink", dst="loop", atoms=atoms, detail="loop bound",
+                file=f, line=ln))
+
+    def _guard_identity(self, stmt):
+        """Lock identity for a guard DECL_STMT: `Rec::field` via the
+        field's declaring class, else `fnqual::var` for a plain local or
+        parameter mutex — both matching gccfront's keying."""
+        CK = cindex.CursorKind
+        for d in stmt.get_children():
+            if d.kind != CK.VAR_DECL or \
+                    not (_type_names(d.type) & GUARD_CLASSES):
+                continue
+            var = None
+            for m in _all(d, depth=6):
+                if m.kind == CK.MEMBER_REF_EXPR:
+                    r = m.referenced
+                    p = r.semantic_parent if r is not None else None
+                    if p is not None and p.spelling and m.spelling:
+                        return f"{p.spelling}::{m.spelling}"
+                elif var is None and m.kind == CK.DECL_REF_EXPR and \
+                        m.referenced is not None and \
+                        m.referenced.kind in (CK.VAR_DECL, CK.PARM_DECL) \
+                        and (_type_names(m.referenced.type) &
+                             {"Mutex", "SharedMutex"}):
+                    var = f"{self.fnqual}::{m.spelling}"
+            if var:
+                return var
+        return None
+
+    def _handle_binop(self, node, locks, lids, shielded) -> None:
         op = _op_spelling(node)
         file, line = self._where(node)
         ch = list(node.get_children())
@@ -303,7 +556,27 @@ class _Lowerer:
                 self.fn.completions.append(CompletionEvent(
                     "reset", f"{lhs.spelling}@{ref.hash if ref else 0}",
                     "reassigned", file, line))
-            self._walk(ch[1], locks, shielded)
+            # GL6: assignment flow into a tracked field / local / param.
+            dst = None
+            if lhs.kind == cindex.CursorKind.MEMBER_REF_EXPR:
+                dst = self._member_atom(lhs)
+            elif lhs.kind == cindex.CursorKind.DECL_REF_EXPR and \
+                    _int_type(lhs.type):
+                r = lhs.referenced
+                if r is not None and r.kind == cindex.CursorKind.PARM_DECL \
+                        and r.spelling in self.params:
+                    dst = f"p{self.params[r.spelling]}"
+                elif r is not None and \
+                        r.kind == cindex.CursorKind.VAR_DECL:
+                    dst = f"l:{r.spelling}"
+            if dst:
+                atoms = self._atoms_of(ch[1])
+                if atoms:
+                    self.fn.taints.append(TaintEvent(
+                        kind="flow", dst=dst, atoms=atoms,
+                        detail=f"store to {dst.split(':', 1)[-1]}",
+                        file=file, line=line))
+            self._walk(ch[1], locks, lids, shielded)
             return
         if op in ("*", "+", "<<") and node.type is not None and \
                 node.type.get_canonical().kind in _INT_KINDS:
@@ -312,8 +585,14 @@ class _Lowerer:
                 if src:
                     self.fn.ariths.append(ArithEvent(op, src, file, line))
                     break
+        if op == "<<" and len(ch) == 2:
+            atoms = self._atoms_of(ch[1])
+            if atoms:
+                self.fn.taints.append(TaintEvent(
+                    kind="sink", dst="shift", atoms=atoms,
+                    detail="shift amount", file=file, line=line))
         for c in ch:
-            self._walk(c, locks, shielded)
+            self._walk(c, locks, lids, shielded)
 
 
 _INT_KINDS = set()
@@ -327,11 +606,24 @@ if _HAVE:
     }
 
 
+_CMP_OPS = {"<", ">", "<=", ">=", "==", "!="}
+
+
+def _int_type(t) -> bool:
+    """Integer-ish (incl. bool/enum), mirroring gccfront._int_typed."""
+    try:
+        c = t.get_canonical()
+        return c.kind in _INT_KINDS or c.kind in (
+            cindex.TypeKind.BOOL, cindex.TypeKind.ENUM)
+    except Exception:
+        return False
+
+
 def _op_spelling(node):
     try:
         toks = [t.spelling for t in node.get_tokens()]
         for t in toks:
-            if t in ("=", "*", "+", "<<", "+=", "-="):
+            if t in ("=", "*", "+", "<<", "+=", "-=") or t in _CMP_OPS:
                 return t
     except Exception:
         pass

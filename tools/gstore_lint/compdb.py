@@ -38,7 +38,19 @@ def load(path: str) -> list[Entry]:
 
 
 def default_compdb(root: Path) -> Path | None:
-    """Conventional build-tree locations, newest first."""
+    """Conventional build-tree locations.
+
+    Prefers the release-flavored trees so the auto-pick matches what the
+    gates (CI, lint_clean_tree) lint: Debug/sanitizer trees compile
+    GSTORE_DCHECK into real calls (dcheck_cmp_failed -> fprintf) that
+    GL1/GL5 then flag on paths the gated configurations never contain.
+    Newest-mtime alone made the pick flip whenever a sanitizer tree was
+    the last one reconfigured. Falls back to newest for ad-hoc dirs.
+    """
+    for name in ("build-release", "build"):
+        p = root / name / "compile_commands.json"
+        if p.exists():
+            return p
     candidates = sorted(
         root.glob("build*/compile_commands.json"),
         key=lambda p: p.stat().st_mtime, reverse=True)

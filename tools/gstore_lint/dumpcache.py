@@ -1,0 +1,151 @@
+"""Per-TU lowering cache.
+
+Compiling a TU to its GENERIC+GIMPLE dumps dominates lint wall-time
+(~3s/TU); the whole-program fixpoint over the merged Program is
+milliseconds. Caching therefore happens at the per-TU boundary: the
+*lowered FnModels* are stored, keyed by the dump command plus a content
+hash of every file the TU includes (computed with the compiler's own
+`-MM` dependency scan, so a header edit anywhere in the include closure
+invalidates exactly the TUs that see it). The interprocedural checks
+(GL6 taint fixpoint, GL7 lock graph) still run on every invocation —
+only the frontend work is skipped.
+
+Entries self-invalidate when the lowering code changes: the key mixes in
+a digest of the gstore_lint sources themselves.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import subprocess
+import tempfile
+from pathlib import Path
+
+from .model import EVENT_ATTRS, EVENT_TYPES, FnModel
+
+_TOOL_FILES = ("model.py", "gccdump.py", "gccfront.py", "gimplepatch.py",
+               "dumpcache.py")
+
+
+def _tool_digest() -> str:
+    h = hashlib.sha256()
+    here = Path(__file__).resolve().parent
+    for name in _TOOL_FILES:
+        p = here / name
+        try:
+            h.update(p.read_bytes())
+        except OSError:
+            h.update(b"?")
+    return h.hexdigest()[:16]
+
+
+_TOOL = _tool_digest()
+
+
+def key(args: list[str], directory: str) -> str:
+    h = hashlib.sha256()
+    h.update(_TOOL.encode())
+    h.update("\0".join(args).encode())
+    h.update(directory.encode())
+    return h.hexdigest()[:32]
+
+
+def _file_sha(path: str) -> str | None:
+    try:
+        return hashlib.sha256(Path(path).read_bytes()).hexdigest()[:16]
+    except OSError:
+        return None
+
+
+def dep_files(args: list[str], directory: str) -> list[str] | None:
+    """The TU's include closure via the compiler's -MM scan (project
+    headers only; system headers are pinned by the toolchain and excluded
+    by -MM's design). None when the scan fails (entry stays uncached)."""
+    cmd: list[str] = []
+    skip = False
+    for a in args:
+        if skip:
+            skip = False
+            continue
+        if a == "-o":
+            skip = True
+            continue
+        if a == "-c":
+            continue
+        cmd.append(a)
+    cmd += ["-MM", "-MG"]
+    try:
+        proc = subprocess.run(cmd, cwd=directory, capture_output=True,
+                              text=True, timeout=120)
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    if proc.returncode != 0:
+        return None
+    text = proc.stdout.replace("\\\n", " ")
+    _, _, rhs = text.partition(":")
+    out = []
+    for tok in rhs.split():
+        p = tok if os.path.isabs(tok) else os.path.join(directory, tok)
+        out.append(os.path.normpath(p))
+    return out
+
+
+def _fn_to_dict(fn: FnModel) -> dict:
+    d = {"key": fn.key, "pretty": fn.pretty, "file": fn.file,
+         "line": fn.line, "noexcept": fn.noexcept,
+         "truncated": fn.truncated}
+    for attr in EVENT_ATTRS:
+        d[attr] = [dataclasses.asdict(ev) for ev in getattr(fn, attr)]
+    return d
+
+
+def _fn_from_dict(d: dict) -> FnModel:
+    fn = FnModel(key=d["key"], pretty=d["pretty"], file=d["file"],
+                 line=d["line"], noexcept=d["noexcept"],
+                 truncated=d.get("truncated", False))
+    for attr in EVENT_ATTRS:
+        cls = EVENT_TYPES[attr]
+        evs = []
+        for ev in d.get(attr, []):
+            # JSON round-trips tuples as lists; restore tuple fields.
+            kw = {k: tuple(tuple(x) if isinstance(x, list) else x
+                           for x in v) if isinstance(v, list) else v
+                  for k, v in ev.items()}
+            evs.append(cls(**kw))
+        setattr(fn, attr, evs)
+    return fn
+
+
+def lookup(cache_dir: str, cache_key: str) -> list[FnModel] | None:
+    path = Path(cache_dir) / f"{cache_key}.json"
+    try:
+        data = json.loads(path.read_text())
+    except (OSError, ValueError):
+        return None
+    for dep, sha in data.get("deps", []):
+        if _file_sha(dep) != sha:
+            return None
+    return [_fn_from_dict(d) for d in data.get("fns", [])]
+
+
+def store(cache_dir: str, cache_key: str, deps: list[str],
+          fns: list[FnModel]) -> None:
+    shas = []
+    for dep in deps:
+        sha = _file_sha(dep)
+        if sha is None:
+            return                       # closure unreadable: don't cache
+        shas.append((dep, sha))
+    payload = {"deps": shas, "fns": [_fn_to_dict(fn) for fn in fns]}
+    d = Path(cache_dir)
+    try:
+        d.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=str(d), suffix=".tmp")
+        with os.fdopen(fd, "w") as f:
+            json.dump(payload, f)
+        os.replace(tmp, d / f"{cache_key}.json")
+    except OSError:
+        pass                             # cache is best-effort

@@ -21,8 +21,9 @@ from __future__ import annotations
 import re
 import sys
 from .gccdump import Node, Section
-from .model import (ArithEvent, AtomicOpEvent, CallEvent, CompletionEvent,
-                    FnModel, PinStoreEvent, RawSyncEvent, ThrowEvent)
+from .model import (AcquireEvent, ArithEvent, AtomicOpEvent, CallEvent,
+                    CompletionEvent, FnModel, PinStoreEvent, RawSyncEvent,
+                    TaintEvent, ThrowEvent)
 
 GUARD_CLASSES = {"MutexLock", "WriterMutexLock", "ReaderMutexLock"}
 PIN_TYPEDEF = "BufferPin"
@@ -37,6 +38,45 @@ WIRE_RECORDS = {
     "TilesFileHeader", "WalFileHeader", "WalFrameHeader", "FaultSpec",
     "TileStoreMeta",
 }
+# GL6 field-level tracking. Wire records are *intrinsically* untrusted
+# (their bytes come straight off disk/socket); derived records (JobSpec)
+# start clean and become tainted only if an unsanitized flow writes into
+# them. Both are tracked class-level: one field atom per (record, field),
+# not per instance — wire structs are parsed in one place and fan out.
+DERIVED_RECORDS = {"JobSpec"}
+TRACKED_RECORDS = WIRE_RECORDS | DERIVED_RECORDS
+# Json accessor methods whose return value is attacker-controlled.
+JSON_SOURCE_METHODS = {"as_int", "as_uint", "as_number"}
+# Calls that *cut* taint: their result is range-checked by construction.
+# util/checked.h helpers trap overflow; the as_*_in Json accessors and
+# clamp_* helpers enforce explicit bounds; std::min/clamp impose a ceiling.
+SANITIZER_NAMES = {
+    "checked_add", "checked_mul", "checked_shl", "checked_in",
+    "as_u32_in", "as_u64_in", "as_i64_in", "as_f64_in",
+    "min", "clamp",
+}
+# Sink table: callee name -> (argument indexes, sink kind). Indexes count
+# `this` as 0 for methods, so resize's size is arg 1. Scope is checked at
+# the call site: std/global for the libc+container entries, any scope for
+# the project I/O lengths.
+SINK_CALLS = {
+    "resize": ((1,), "alloc"), "reserve": ((1,), "alloc"),
+    "malloc": ((0,), "alloc"), "calloc": ((0, 1), "alloc"),
+    "realloc": ((1,), "alloc"), "aligned_alloc": ((1,), "alloc"),
+    "operator new": ((0,), "alloc"), "operator new []": ((0,), "alloc"),
+    "memcpy": ((2,), "length"), "memmove": ((2,), "length"),
+    "memset": ((2,), "length"), "strncpy": ((2,), "length"),
+    "pread_some": ((2,), "length"), "pread_full": ((2,), "length"),
+    "pwrite_full": ((2,), "length"),
+}
+# operator[] is an indexing sink only on contiguous containers; map/
+# unordered_map keys are lookups, not offsets.
+INDEX_RECORDS = {"vector", "array", "basic_string", "span", "deque"}
+# Calls that never return: a compare branching into one is a range check.
+COLD_VALIDATORS = {"abort", "terminate", "check_failed", "dcheck_failed",
+                   "__assert_fail", "exit", "_exit"}
+_COMPARE_TAGS = {"eq_expr", "ne_expr", "lt_expr", "le_expr", "gt_expr",
+                 "ge_expr"}
 RAW_SYNC_RECORDS = {
     "mutex", "recursive_mutex", "timed_mutex", "recursive_timed_mutex",
     "shared_mutex", "shared_timed_mutex", "condition_variable",
@@ -355,6 +395,74 @@ def _bottom_decl(view: _SectionView, idx: int | None, depth: int = 0):
     return None
 
 
+def _int_typed(view: _SectionView, n: Node | None) -> bool:
+    """Integer-ish value (what GL6 tracks: sizes, counts, offsets)."""
+    if n is None:
+        return False
+    t = view.node(n.ref("type"))
+    seen = 0
+    while t is not None and seen < 8:
+        seen += 1
+        if t.tag in ("integer_type", "enumeral_type", "boolean_type"):
+            return True
+        if t.ref("unql") is None:
+            return False
+        t = view.node(t.ref("unql"))
+    return False
+
+
+def _param_indexes(view: _SectionView, own_decl: Node | None) -> dict:
+    """parm_decl node idx -> positional index (0 = `this` for methods).
+
+    The raw dump drops the decl chain (`chan:`) from parm_decls, so order
+    is reconstructed by matching each parm's passed type (`argt:`) against
+    the function type's `prms:` tree_list, which *is* in positional order.
+    Same-typed parameters tie-break by node index (creation order tracks
+    declaration order in practice); a total failure to match falls back to
+    node-index order outright, which only risks swapping same-typed
+    neighbors — a flow-precision loss, never a crash."""
+    if own_decl is None:
+        return {}
+    parms = sorted((n for n in view.s.nodes.values()
+                    if n.tag == "parm_decl"
+                    and n.ref("scpe") == own_decl.idx),
+                   key=lambda n: n.idx)
+    if not parms:
+        return {}
+    ftype = view.node(own_decl.ref("type"))
+    slots: list[int | None] = []
+    cur = ftype.ref("prms") if ftype is not None else None
+    guard = 0
+    while cur is not None and guard < 32:
+        guard += 1
+        tl = view.node(cur)
+        if tl is None or tl.tag != "tree_list":
+            break
+        slots.append(tl.ref("valu"))
+        cur = tl.ref("chan")
+    out: dict[int, int] = {}
+    used: set[int] = set()
+    for p in parms:
+        want = p.ref("argt") or p.ref("type")
+        pos = next((j for j, s in enumerate(slots)
+                    if j not in used and s == want), None)
+        if pos is not None:
+            out[p.idx] = pos
+            used.add(pos)
+    rest = [j for j in range(max(len(slots), len(parms))) if j not in used]
+    for p in parms:
+        if p.idx not in out and rest:
+            out[p.idx] = rest.pop(0)
+    # `this` is always position 0 regardless of what matching said.
+    this = next((p for p in parms if view.decl_name(p) == "this"), None)
+    if this is not None and out.get(this.idx) != 0:
+        swapped = next((k for k, v in out.items() if v == 0), None)
+        if swapped is not None:
+            out[swapped] = out.get(this.idx, 0)
+        out[this.idx] = 0
+    return out
+
+
 def _record_contains_pin(view: _SectionView, type_idx: int | None) -> bool:
     """Does this record (directly) carry a BufferPin field?"""
     seen = set()
@@ -441,6 +549,8 @@ class _Lowerer:
         self.taint: set[int] = set()
         self.taint_checker = None
         self.line = 0
+        self.params: dict[int, int] = {}     # parm_decl idx -> position
+        self.guard_ids: dict[str, str] = {}  # guard var name -> lock id
 
     def lower(self) -> FnModel | None:
         view = self.view
@@ -478,8 +588,9 @@ class _Lowerer:
             n.tag == "try_catch_expr" for n in view.s.nodes.values())
         self.line = line
         self.taint, self.taint_checker = _collect_taint(view)
+        self.params = _param_indexes(view, decl)
         self._scan_decls()
-        self._walk(root.idx, locks=(), shielded=False, depth=0)
+        self._walk(root.idx, locks=(), lids=(), shielded=False, depth=0)
         self._walk_var_inits(decl)
         return self.fn
 
@@ -501,7 +612,16 @@ class _Lowerer:
             _, ln = view.srcp(n)
             if ln:
                 self.line = ln
-            self._walk(init, locks=(), shielded=False, depth=0)
+            if _int_typed(view, n):
+                atoms = self._atoms_of(init)
+                if atoms:
+                    name = view.decl_name(n)
+                    if name:
+                        self.fn.taints.append(TaintEvent(
+                            kind="flow", dst=f"l:{name}", atoms=atoms,
+                            detail=f"init of '{name}'", file=self.fn.file,
+                            line=self.line))
+            self._walk(init, locks=(), lids=(), shielded=False, depth=0)
 
     # -- declaration-level scans (R4 raw sync types) --------------------
 
@@ -546,7 +666,7 @@ class _Lowerer:
 
     # -- ordered body walk ----------------------------------------------
 
-    def _walk(self, idx: int, locks: tuple, shielded: bool,
+    def _walk(self, idx: int, locks: tuple, lids: tuple, shielded: bool,
               depth: int) -> None:
         if depth > 4000:
             return
@@ -569,10 +689,15 @@ class _Lowerer:
                 else None
             body = n.ref("op 0")
             if body is not None:
+                inner_lids = lids
+                if guard:
+                    gid = self.guard_ids.get(guard.split(" ", 1)[-1])
+                    if gid and gid not in lids:
+                        inner_lids = lids + (gid,)
                 self._walk(body, locks + (guard,) if guard else locks,
-                           shielded, depth + 1)
+                           inner_lids, shielded, depth + 1)
             if fin is not None:
-                self._walk(fin, locks, shielded, depth + 1)
+                self._walk(fin, locks, lids, shielded, depth + 1)
             return
 
         if n.tag == "try_block":
@@ -589,10 +714,12 @@ class _Lowerer:
                             for hh in handlers)
             body = n.ref("body")
             if body is not None:
-                self._walk(body, locks, shielded or catch_all, depth + 1)
+                self._walk(body, locks, lids, shielded or catch_all,
+                           depth + 1)
             for hh in handlers:
                 if hh is not None and hh.ref("body") is not None:
-                    self._walk(hh.ref("body"), locks, shielded, depth + 1)
+                    self._walk(hh.ref("body"), locks, lids, shielded,
+                               depth + 1)
             return
 
         if n.tag == "throw_expr":
@@ -601,35 +728,52 @@ class _Lowerer:
             return  # the __cxa machinery below is a cold path
 
         if n.tag in _CALL_TAGS:
-            self._handle_call(n, locks, shielded)
+            self._handle_call(n, locks, lids, shielded)
             for c in _walk_children(n):
-                self._walk(c, locks, shielded, depth + 1)
+                self._walk(c, locks, lids, shielded, depth + 1)
             return
 
         if n.tag in ("modify_expr", "init_expr"):
             self._handle_store(n, depth)
             rhs = n.ref("op 1")
             if rhs is not None:
-                self._walk(rhs, locks, shielded, depth + 1)
+                self._walk(rhs, locks, lids, shielded, depth + 1)
             return
 
         if n.tag == "component_ref":
             self._handle_field_read(n)
             base = n.ref("op 0")
             if base is not None:
-                self._walk(base, locks, shielded, depth + 1)
+                self._walk(base, locks, lids, shielded, depth + 1)
             return
+
+        if n.tag == "cond_expr":
+            self._handle_cond(n)
+
+        if n.tag == "array_ref":
+            atoms = self._atoms_of(n.ref("op 1"))
+            if atoms:
+                fn.taints.append(TaintEvent(
+                    kind="sink", dst="index", atoms=atoms,
+                    detail="array index", file=fn.file, line=self.line))
 
         op = _ARITH_TAGS.get(n.tag)
         if op is not None:
             self._handle_arith(n, op)
+            if op == "<<":
+                atoms = self._atoms_of(n.ref("op 1"))
+                if atoms:
+                    fn.taints.append(TaintEvent(
+                        kind="sink", dst="shift", atoms=atoms,
+                        detail="shift amount", file=fn.file,
+                        line=self.line))
 
         for c in _walk_children(n):
-            self._walk(c, locks, shielded, depth + 1)
+            self._walk(c, locks, lids, shielded, depth + 1)
 
     # -- event emitters --------------------------------------------------
 
-    def _handle_call(self, call: Node, locks: tuple,
+    def _handle_call(self, call: Node, locks: tuple, lids: tuple,
                      shielded: bool) -> None:
         view, fn = self.view, self.fn
         decl = _callee_decl(view, call)
@@ -637,7 +781,7 @@ class _Lowerer:
             fn.calls.append(CallEvent(
                 callee=None, callee_name="<indirect>", scope="unknown",
                 file=fn.file, line=self.line, locks=locks,
-                shielded=shielded))
+                shielded=shielded, lock_ids=lids))
         else:
             key, qual, kind = view.fn_key(decl)
             name = qual.rsplit("::", 1)[-1]
@@ -645,13 +789,15 @@ class _Lowerer:
             fn.calls.append(CallEvent(
                 callee=key, callee_name=name, scope=kind, file=fn.file,
                 line=self.line, locks=locks, shielded=shielded,
-                is_dtor=is_dtor))
+                is_dtor=is_dtor, lock_ids=lids))
             if qual in RAW_SYNC_CALLS:
                 fn.raw_syncs.append(RawSyncEvent(
                     what=qual, file=fn.file, line=self.line))
             self._maybe_atomic_op(call, decl, qual, name)
             self._maybe_container_pin_store(call, decl, name, kind)
             self._maybe_member_pin_store(call, decl)
+            self._maybe_guard_ctor(call, decl, lids)
+            self._taint_call(call, decl, key, name, kind)
         # Passing a Completion lvalue to a callee transfers the checking
         # obligation (the callee inspects ok/error) — mark it checked.
         for _, argidx in call.indexed_refs():
@@ -790,6 +936,7 @@ class _Lowerer:
                         detail=f"store into {PIN_TYPEDEF} member "
                                f"'{view.decl_name(fd)}'",
                         file=fn.file, line=self.line))
+        self._taint_store(n)
         base = _bottom_decl(view, lhs_idx)
         if base is not None and _is_completion_decl(view, base):
             lhs_node = view.node(lhs_idx)
@@ -838,6 +985,240 @@ class _Lowerer:
                 fn.ariths.append(ArithEvent(
                     op=op, detail=src, file=fn.file, line=self.line))
                 return
+
+    # -- GL6/GL7 emitters -------------------------------------------------
+
+    def _atoms_of(self, idx: int | None) -> tuple[str, ...]:
+        """Taint atoms an expression's value derives from (see
+        model.TaintEvent for the grammar). Tracked-record field reads and
+        resolved calls are extraction *boundaries*: the field atom / the
+        r: atom stands for the whole subexpression, and sanitizer calls
+        contribute nothing at all (the cut)."""
+        view = self.view
+        out: list[str] = []
+        seen: set[int] = set()
+
+        def rec(i, d):
+            if i is None or i in seen or d > 40 or len(out) > 16:
+                return
+            seen.add(i)
+            n = view.node(i)
+            if n is None:
+                return
+            if n.tag == "component_ref":
+                fd = view.node(n.ref("op 1"))
+                if fd is not None and fd.tag == "field_decl":
+                    recn = view.node(fd.ref("scpe"))
+                    rn = view.ident(recn.ref("name")) \
+                        if recn is not None else None
+                    if rn in TRACKED_RECORDS:
+                        out.append(f"f:{rn}.{view.decl_name(fd)}")
+                        return
+                rec(n.ref("op 0"), d + 1)
+                return
+            if n.tag == "var_decl":
+                nm = view.decl_name(n)
+                if nm:
+                    out.append(f"l:{nm}")
+                return
+            if n.tag == "parm_decl":
+                pos = self.params.get(n.idx)
+                if pos is not None:
+                    out.append(f"p{pos}")
+                return
+            if n.tag in _CALL_TAGS:
+                decl = _callee_decl(view, n)
+                if decl is None:
+                    return               # indirect call: opaque
+                key, qual, _kind = view.fn_key(decl)
+                name = qual.rsplit("::", 1)[-1]
+                if name in SANITIZER_NAMES:
+                    return               # sanitized by construction
+                chain = view.scope_chain(decl)
+                if name in JSON_SOURCE_METHODS and chain and \
+                        chain[-1] == "Json":
+                    out.append(f"src:Json.{name}")
+                    return
+                if name in ("move", "forward"):
+                    rec(n.ref("0"), d + 1)
+                    return
+                out.append(f"r:{key}")
+                return
+            for c in _walk_children(n):
+                rec(c, d + 1)
+
+        rec(idx, 0)
+        return tuple(dict.fromkeys(out))
+
+    def _taint_store(self, n: Node) -> None:
+        view, fn = self.view, self.fn
+        lhs = view.node(n.ref("op 0"))
+        if lhs is None:
+            return
+        dst = None
+        if lhs.tag == "component_ref":
+            fd = view.node(lhs.ref("op 1"))
+            if fd is not None and fd.tag == "field_decl":
+                recn = view.node(fd.ref("scpe"))
+                rn = view.ident(recn.ref("name")) \
+                    if recn is not None else None
+                if rn in TRACKED_RECORDS:
+                    dst = f"f:{rn}.{view.decl_name(fd)}"
+        elif lhs.tag == "var_decl" and _int_typed(view, lhs):
+            nm = view.decl_name(lhs)
+            dst = f"l:{nm}" if nm else None
+        elif lhs.tag == "parm_decl" and _int_typed(view, lhs):
+            pos = self.params.get(lhs.idx)
+            dst = f"p{pos}" if pos is not None else None
+        elif lhs.tag == "result_decl":
+            dst = "ret"
+        if dst is None:
+            return
+        atoms = self._atoms_of(n.ref("op 1"))
+        if atoms:
+            fn.taints.append(TaintEvent(
+                kind="flow", dst=dst, atoms=atoms,
+                detail=f"store to {dst}", file=fn.file, line=self.line))
+
+    def _taint_call(self, call: Node, decl: Node, key: str, name: str,
+                    kind: str) -> None:
+        """Caller-side GL6 facts: integer argument flows into the callee's
+        parameter slots, plus the sink table."""
+        view, fn = self.view, self.fn
+        args: dict[int, int] = dict(call.indexed_refs())
+        for pos, argidx in sorted(args.items()):
+            argn = view.node(argidx)
+            if not _int_typed(view, argn):
+                continue
+            atoms = self._atoms_of(argidx)
+            if atoms:
+                fn.taints.append(TaintEvent(
+                    kind="flow", dst=f"a:{key}:{pos}", atoms=atoms,
+                    detail=f"arg {pos} of {name}", file=fn.file,
+                    line=self.line))
+        sink = SINK_CALLS.get(name)
+        if sink is not None:
+            idxs, skind = sink
+            project_ok = name in ("pread_some", "pread_full",
+                                  "pwrite_full")
+            if (kind in ("std", "global")) or (project_ok and
+                                               kind == "project"):
+                atoms = []
+                for pos in idxs:
+                    if pos in args:
+                        atoms.extend(self._atoms_of(args[pos]))
+                atoms = tuple(dict.fromkeys(atoms))
+                if atoms:
+                    fn.taints.append(TaintEvent(
+                        kind="sink", dst=skind, atoms=atoms,
+                        detail=f"{name}()", file=fn.file, line=self.line))
+        if name == "operator[]" and kind == "std":
+            chain = view.scope_chain(decl)
+            if chain and chain[-1] in INDEX_RECORDS and 1 in args:
+                atoms = self._atoms_of(args[1])
+                if atoms:
+                    fn.taints.append(TaintEvent(
+                        kind="sink", dst="index", atoms=atoms,
+                        detail=f"{chain[-1]}::operator[]", file=fn.file,
+                        line=self.line))
+
+    def _handle_cond(self, n: Node) -> None:
+        """Two GL6 facts live on cond_expr. A loop latch (both branches
+        are gotos in genericized loop form) whose condition compares a
+        tainted value is a loop-bound sink. A branch that compares a
+        value and then throws/returns/aborts is explicit range
+        validation: the compared atoms are sanitized for the rest of the
+        function (flow-insensitive blessing; see taint.py)."""
+        view, fn = self.view, self.fn
+        cond = n.ref("op 0")
+        if cond is None:
+            return
+        catoms: list[str] = []
+        for cnode in _subtree(view, cond, limit=200):
+            if cnode.tag in _COMPARE_TAGS:
+                catoms.extend(self._atoms_of(cnode.ref("op 0")))
+                catoms.extend(self._atoms_of(cnode.ref("op 1")))
+        atoms = tuple(dict.fromkeys(catoms))
+        if not atoms:
+            return
+        b1 = view.node(n.ref("op 1"))
+        b2 = view.node(n.ref("op 2"))
+        if b1 is not None and b2 is not None and \
+                b1.tag == "goto_expr" and b2.tag == "goto_expr":
+            fn.taints.append(TaintEvent(
+                kind="sink", dst="loop", atoms=atoms, detail="loop bound",
+                file=fn.file, line=self.line))
+            return
+        for bidx in (n.ref("op 1"), n.ref("op 2")):
+            if bidx is None:
+                continue
+            for bnode in _subtree(view, bidx, limit=300):
+                bails = bnode.tag in ("throw_expr", "return_expr")
+                if not bails and bnode.tag in _CALL_TAGS:
+                    d = _callee_decl(view, bnode)
+                    bails = d is not None and \
+                        view.decl_name(d) in COLD_VALIDATORS
+                if bails:
+                    fn.taints.append(TaintEvent(
+                        kind="sanitize", dst="", atoms=atoms,
+                        detail="range check", file=fn.file,
+                        line=self.line))
+                    return
+
+    def _maybe_guard_ctor(self, call: Node, decl: Node,
+                          lids: tuple) -> None:
+        """A gstore guard construction is a lock acquisition; record the
+        guard variable's lock identity so the try_finally that scopes it
+        (walked next, in statement order) can push the identity."""
+        view, fn = self.view, self.fn
+        if "constructor" not in decl.attrs.get("note", []):
+            return
+        chain = view.scope_chain(decl)
+        if not chain or chain[-1] not in GUARD_CLASSES or \
+                "gstore" not in chain:
+            return
+        var = None
+        arg0 = view.node(call.ref("0"))
+        if arg0 is not None and arg0.tag == "addr_expr":
+            v = view.node(arg0.ref("op 0"))
+            if v is not None:
+                var = view.decl_name(v)
+        lock = self._lock_identity(call.ref("1"))
+        if lock is None:
+            return                       # unresolvable: under-approximate
+        if var:
+            self.guard_ids[var] = lock
+        fn.acquires.append(AcquireEvent(
+            lock=lock, held=lids, file=fn.file, line=self.line))
+
+    def _lock_identity(self, idx: int | None,
+                       depth: int = 0) -> str | None:
+        """Lock identity for a guard ctor's mutex argument: member path +
+        owning class ('CachePool::mutex_'), or a function-qualified name
+        for local/param mutexes. Class-level, not instance-level — two
+        instances of one class share an identity, which over-approximates
+        in the direction GL7 wants."""
+        view = self.view
+        n = view.node(idx)
+        if n is None or depth > 12:
+            return None
+        if n.tag in ("addr_expr", "nop_expr", "convert_expr",
+                     "non_lvalue_expr", "save_expr", "indirect_ref",
+                     "view_convert_expr"):
+            return self._lock_identity(n.ref("op 0"), depth + 1)
+        if n.tag == "component_ref":
+            fd = view.node(n.ref("op 1"))
+            if fd is None or fd.tag != "field_decl":
+                return None
+            recn = view.node(fd.ref("scpe"))
+            rn = view.ident(recn.ref("name")) if recn is not None else None
+            fname = view.decl_name(fd)
+            return f"{rn}::{fname}" if rn and fname else None
+        if n.tag in ("var_decl", "parm_decl"):
+            nm = view.decl_name(n)
+            qual = self.fn.key.split("(", 1)[0]
+            return f"{qual}::{nm}" if nm else None
+        return None
 
 
 def lower_section(section: Section) -> FnModel | None:

@@ -27,6 +27,7 @@ class CallEvent:
     locks: tuple[str, ...]  # guard descriptions lexically held at this site
     shielded: bool          # inside a try body with a catch(...) handler
     is_dtor: bool = False
+    lock_ids: tuple[str, ...] = ()  # lock identities held at this site
 
 
 @dataclass(frozen=True)
@@ -57,6 +58,41 @@ class PinStoreEvent:
 class ArithEvent:
     op: str                 # '*' | '+' | '<<'
     detail: str             # the tainted source, e.g. 'TilesFileHeader.edge_count'
+    file: str
+    line: int
+
+
+@dataclass(frozen=True)
+class TaintEvent:
+    """One GL6 dataflow fact. Atoms are scope-qualified strings:
+
+      p<N>            parameter N of the enclosing function (0 = this)
+      l:<name>        a local variable (function-scoped)
+      f:<Rec>.<fld>   a field of a tracked record (program-global)
+      r:<callee-key>  the return value of a call
+      a:<callee-key>:<N>  argument N at a call site (caller side)
+      ret             the enclosing function's return value
+      src:<label>     an intrinsic untrusted source (wire field, Json
+                      accessor) — always tainted
+    """
+    kind: str               # 'flow' | 'sink' | 'sanitize'
+    dst: str                # flow: destination atom; sink: sink kind
+    #                         ('alloc'|'index'|'length'|'shift'|'loop');
+    #                         sanitize: ''
+    atoms: tuple[str, ...]  # source atoms feeding dst / the sink /
+    #                         the atoms being range-blessed
+    detail: str             # human label for the site
+    file: str
+    line: int
+
+
+@dataclass(frozen=True)
+class AcquireEvent:
+    """A gstore guard construction: `lock` is the lock *identity*
+    (member path + owning class, e.g. 'CachePool::mutex_'), `held` the
+    identities lexically held when this acquisition happens."""
+    lock: str
+    held: tuple[str, ...]
     file: str
     line: int
 
@@ -93,11 +129,24 @@ class FnModel:
     ariths: list[ArithEvent] = field(default_factory=list)
     raw_syncs: list[RawSyncEvent] = field(default_factory=list)
     atomic_ops: list[AtomicOpEvent] = field(default_factory=list)
+    taints: list[TaintEvent] = field(default_factory=list)
+    acquires: list[AcquireEvent] = field(default_factory=list)
 
     @property
     def name(self) -> str:
         head = self.key.split("(", 1)[0]
         return head.rsplit("::", 1)[-1]
+
+
+# Every event list an FnModel carries; shared by Program.add's merge, the
+# driver's path normalization, and the dump cache's (de)serialization.
+EVENT_ATTRS = ("calls", "throws", "completions", "pin_stores", "ariths",
+               "raw_syncs", "atomic_ops", "taints", "acquires")
+EVENT_TYPES = {"calls": CallEvent, "throws": ThrowEvent,
+               "completions": CompletionEvent, "pin_stores": PinStoreEvent,
+               "ariths": ArithEvent, "raw_syncs": RawSyncEvent,
+               "atomic_ops": AtomicOpEvent, "taints": TaintEvent,
+               "acquires": AcquireEvent}
 
 
 class Program:
@@ -113,8 +162,7 @@ class Program:
             return
         # Same function seen from another TU (inline/header definitions) or
         # a ctor's base/complete variants: union the event lists.
-        for attr in ("calls", "throws", "completions", "pin_stores",
-                     "ariths", "raw_syncs", "atomic_ops"):
+        for attr in EVENT_ATTRS:
             seen = set(getattr(have, attr))
             for ev in getattr(fn, attr):
                 if ev not in seen:
@@ -130,10 +178,34 @@ class Program:
 
 @dataclass(frozen=True)
 class Finding:
-    check: str              # 'GL1'..'GL5', 'R1', 'R4', 'GL-WAIVER'
+    check: str              # 'GL1'..'GL7', 'R1', 'R4', 'GL-WAIVER'
     file: str
     line: int
     message: str
+    # Enclosing function key at the anchor site ('' when not applicable).
+    fn: str = ""
+    # Step-by-step explanation (taint path, lock-acquisition chains) for
+    # --format=json and verbose reporting.
+    trace: tuple[str, ...] = ()
+    # Additional (file, line) sites that belong to this finding: any of
+    # them carrying a GL-SAFE waiver for `check` suppresses it (a GL7
+    # cycle can be waived at either acquisition edge, a GL6 flow at the
+    # source or the sink).
+    alt: tuple[tuple[str, int], ...] = ()
 
     def render(self) -> str:
         return f"{self.file}:{self.line}: [{self.check}] {self.message}"
+
+    def stable_id(self) -> str:
+        """Line-independent identity for machine consumers: adding code
+        above a finding must not change its ID, so the digest covers the
+        check, file, enclosing function, and message with line-number
+        noise stripped."""
+        import hashlib
+        import os
+        import re
+        rel = os.path.basename(self.file)
+        norm = re.sub(r":\d+", "", self.message)
+        h = hashlib.sha256(
+            f"{self.check}|{rel}|{self.fn}|{norm}".encode()).hexdigest()
+        return f"{self.check}-{h[:12]}"

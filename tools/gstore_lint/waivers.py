@@ -4,7 +4,7 @@ Grammar (documented in docs/CORRECTNESS.md):
 
     // GL-SAFE(<tag>[,<tag>...]): <reason>
 
-where <tag> is GL1..GL5, R1, R4, or the alias `lock-free` (== GL1). The
+where <tag> is GL1..GL7, R1, R4, or the alias `lock-free` (== GL1). The
 waiver applies to findings on its own line, on any directly following
 comment lines (a multi-line rationale), and on the first statement line
 after the comment block (comment-above style). A trailing waiver on the
@@ -24,7 +24,7 @@ from .model import Finding
 
 WAIVER = re.compile(r"//\s*GL-SAFE\(([^)]*)\)\s*:?\s*(.*)")
 ALIASES = {"lock-free": "GL1", "pin": "GL2"}
-VALID = {"GL1", "GL2", "GL3", "GL4", "GL5", "R1", "R4"}
+VALID = {"GL1", "GL2", "GL3", "GL4", "GL5", "GL6", "GL7", "R1", "R4"}
 
 
 class Waivers:

@@ -31,11 +31,11 @@ namespace {
 gstore::serve::Server* g_server = nullptr;
 
 void handle_signal(int) {
-  // Reuses the client-visible shutdown path: flags the CV the main thread
-  // waits on. async-signal-safety: pthread_cond notify is not strictly
-  // signal-safe, but this is a best-effort dev/CI convenience — the
-  // supported shutdown path is the protocol op.
-  if (g_server != nullptr) g_server->stop();
+  // Async-signal-safe: a lock-free atomic store only. Calling stop() here
+  // would lock Server::state_mu_ — which the main thread may already hold
+  // inside wait_shutdown() when the signal lands on it (self-deadlock; the
+  // debug-build lockdep catches it). wait_shutdown() polls the flag.
+  if (g_server != nullptr) g_server->request_stop();
 }
 
 }  // namespace
