@@ -4,6 +4,7 @@
 // extension), the cache model, and the degree-array representations.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cstring>
 #include <numeric>
 #include <string>
@@ -111,6 +112,62 @@ void BM_EdgeBlockDecode(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * edges.size());
 }
 BENCHMARK(BM_EdgeBlockDecode)->Arg(1 << 12)->Arg(1 << 16);
+
+// v3 codec decode into the same EdgeBlock SoA path, one benchmark per
+// codec. packed/random is the fair comparison against BM_EdgeBlockDecode:
+// an incompressible tile forces 16-bit planes, so the decoder runs its
+// widest (memcpy-like) unpacking — the acceptance bar is staying within
+// 10% of the raw block path above. The hub-tile variants show what decode
+// costs when a codec actually wins on size.
+struct CodecView {
+  std::vector<std::uint8_t> payload;
+  std::vector<tile::SnbEdge> raw;  // kRaw views alias the body instead
+  tile::TileView v;
+
+  CodecView(tile::TileCodec codec, std::vector<tile::SnbEdge> edges) {
+    std::sort(edges.begin(), edges.end());  // what the v3 writer does
+    payload = tile::encode_tile_as(codec, edges);
+    const tile::TileCodecInfo info = tile::parse_tile_payload(payload);
+    v.src_base = 1 << 16;
+    v.dst_base = 2 << 16;
+    v.codec = info.codec;
+    v.src_bits = static_cast<std::uint8_t>(info.src_bits);
+    v.dst_bits = static_cast<std::uint8_t>(info.dst_bits);
+    v.coded_edges = info.edge_count;
+    v.payload = info.body;
+    if (info.codec == tile::TileCodec::kRaw) {
+      raw = std::move(edges);
+      v.edges = raw;
+    }
+  }
+};
+
+void BM_CodecBlockDecode(benchmark::State& state, tile::TileCodec codec,
+                         bool hub) {
+  const std::size_t n = 1 << 14;
+  const CodecView cv(codec, hub ? hub_tile(n) : random_tile(n, 7));
+  std::uint64_t sink = 0;
+  for (auto _ : state) {
+    tile::for_each_block(cv.v, [&](const tile::EdgeBlock& b) {
+      sink += b.src[0] + b.dst[b.size - 1];
+    });
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+  state.counters["payload_bytes"] =
+      static_cast<double>(cv.payload.size());
+}
+BENCHMARK_CAPTURE(BM_CodecBlockDecode, raw_random, tile::TileCodec::kRaw,
+                  false);
+BENCHMARK_CAPTURE(BM_CodecBlockDecode, packed_random, tile::TileCodec::kPacked,
+                  false);
+BENCHMARK_CAPTURE(BM_CodecBlockDecode, delta_hub, tile::TileCodec::kDelta,
+                  true);
+BENCHMARK_CAPTURE(BM_CodecBlockDecode, packed_hub, tile::TileCodec::kPacked,
+                  true);
+BENCHMARK_CAPTURE(BM_CodecBlockDecode, runs_hub, tile::TileCodec::kRuns, true);
+BENCHMARK_CAPTURE(BM_CodecBlockDecode, hybrid_hub, tile::TileCodec::kHybrid,
+                  true);
 
 // The migration this path exists for: a per-vertex metadata gather (the shape
 // of BFS depth checks / PageRank contribution reads) over tiles whose bases

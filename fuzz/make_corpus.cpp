@@ -136,6 +136,44 @@ void make_tile_seeds(const fs::path& dir) {
   }
 }
 
+// One seed per codec, from a tile shape that codec wins (or at least encodes
+// distinctively), so the fuzzer starts inside every decode loop at once.
+void make_codec_seeds(const fs::path& dir) {
+  fs::create_directories(dir);
+
+  // Clustered rows with short ascending runs — the kRuns/kDelta sweet spot.
+  std::vector<tile::SnbEdge> clustered;
+  for (std::uint16_t r = 0; r < 24; ++r)
+    for (std::uint16_t c = 0; c < 40; ++c)
+      clustered.push_back(
+          {static_cast<std::uint16_t>(r * 3),
+           static_cast<std::uint16_t>(r * 11 + c + (c % 5 == 0 ? 7 : 0))});
+  // Narrow-width scatter — what kPacked compresses best.
+  std::vector<tile::SnbEdge> narrow;
+  for (std::uint32_t k = 0; k < 300; ++k)
+    narrow.push_back({static_cast<std::uint16_t>((k * 37) % 61),
+                      static_cast<std::uint16_t>((k * 101) % 113)});
+  // A hub row plus sparse tail rows — the kHybrid shape.
+  std::vector<tile::SnbEdge> hub;
+  for (std::uint16_t d = 0; d < 400; ++d)
+    hub.push_back({5, static_cast<std::uint16_t>(d * 2 + (d % 7))});
+  hub.push_back({9, 10});
+  hub.push_back({12, 40000});
+
+  const char* names[tile::kTileCodecCount] = {"raw", "delta", "packed", "runs",
+                                              "hybrid"};
+  const std::vector<tile::SnbEdge>* shapes[tile::kTileCodecCount] = {
+      &narrow, &clustered, &narrow, &clustered, &hub};
+  for (unsigned c = 0; c < tile::kTileCodecCount; ++c) {
+    auto edges = *shapes[c];
+    std::sort(edges.begin(), edges.end());
+    spit(dir / (std::string(names[c]) + ".payload"),
+         tile::encode_tile_as(static_cast<tile::TileCodec>(c), edges));
+  }
+  spit(dir / "picked.payload", tile::compress_tile(clustered));
+  spit(dir / "empty.payload", tile::compress_tile({}));
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -146,6 +184,7 @@ int main(int argc, char** argv) {
   const fs::path out = argv[1];
   make_wal_seeds(out / "wal_replay");
   make_tile_seeds(out / "tile_meta");
+  make_codec_seeds(out / "tile_codec");
   std::cout << "corpus written under " << out << "\n";
   return 0;
 }

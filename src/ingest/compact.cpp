@@ -99,6 +99,9 @@ CompactStats compact_store(const std::string& base, CompactOptions opts) {
   copts.out_edges = !meta.in_edges();
   copts.snb = !meta.fat_tuples();
   copts.symmetry = meta.symmetric();
+  // Compaction always re-encodes SNB stores with the current (v3) codec
+  // format — folding a WAL is the natural upgrade point for v1/v2 stores.
+  copts.compress = copts.snb;
   copts.generation = stats.new_generation;
   const std::string new_base =
       tile::TileStore::generation_base(base, stats.new_generation);

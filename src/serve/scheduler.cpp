@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <array>
 #include <bit>
+#include <exception>
 #include <string>
 #include <unordered_map>
 #include <utility>
@@ -140,17 +141,41 @@ struct SharedScheduler::Runner {
     const tile::TileView v = store.view(layout_idx, data);
     std::span<const tile::SnbEdge> extra;
     if (overlay != nullptr) extra = overlay->tile_edges(layout_idx);
-    tile::TileView ov = v;
-    if (!extra.empty()) {
-      ov.fat = false;  // overlays exist only for SNB stores
-      ov.fat_edges = {};
-      ov.edges = extra;
-    }
+    // splice_view resets the representation to raw in-memory SNB tuples —
+    // overlays exist only for SNB stores, whatever codec the base tile used.
+    const tile::TileView ov =
+        extra.empty() ? v : tile::splice_view(v, extra);
     for_bits(mask, [&](std::size_t k) {
       store::TileAlgorithm& algo = *slots[k].job.algo;
       algo.process_tile(v);
       if (!extra.empty()) algo.process_tile(ov);
     });
+  }
+
+  // An exception cannot unwind through an OpenMP region (the runtime would
+  // terminate the daemon), and since v3 the decode inside dispatch can throw
+  // FormatError on a corrupt payload — as can a job's kernel. Workers capture
+  // the first exception here; the scheduler thread rethrows after the region
+  // joins, and run()'s gang-level catch downs the jobs while the daemon
+  // survives.
+  std::exception_ptr scan_error;
+
+  void dispatch_captured(std::uint64_t layout_idx, const std::uint8_t* data,
+                         Mask mask) noexcept {
+    try {
+      dispatch(layout_idx, data, mask);
+    } catch (...) {
+#ifdef _OPENMP
+#pragma omp critical(gstore_serve_scan_error)
+#endif
+      if (scan_error == nullptr) scan_error = std::current_exception();
+    }
+  }
+
+  void rethrow_scan_error() {
+    if (scan_error == nullptr) return;
+    std::exception_ptr e = std::exchange(scan_error, nullptr);
+    std::rethrow_exception(e);
   }
 
   // Sequentially folds one dispatched batch into per-job and gang counters
@@ -313,8 +338,9 @@ struct SharedScheduler::Runner {
 #endif
     for (std::size_t c = 0; c < chunks.size(); ++c) {
       for (std::size_t k = chunks[c].begin; k < chunks[c].end; ++k)
-        dispatch(sl[k].layout_idx, seg.slot_data(sl[k]), masks[k]);
+        dispatch_captured(sl[k].layout_idx, seg.slot_data(sl[k]), masks[k]);
     }
+    rethrow_scan_error();  // before pinning possibly-corrupt tiles below
     gang.compute_seconds += t.seconds();
     scratch_indices.clear();
     for (const auto& slot : sl) scratch_indices.push_back(slot.layout_idx);
@@ -418,9 +444,10 @@ struct SharedScheduler::Runner {
 #endif
       for (std::size_t c = 0; c < chunks.size(); ++c) {
         for (std::size_t k = chunks[c].begin; k < chunks[c].end; ++k)
-          dispatch(rewind_entries[k].layout_idx, rewind_entries[k].data,
-                   rewind_masks[k]);
+          dispatch_captured(rewind_entries[k].layout_idx,
+                            rewind_entries[k].data, rewind_masks[k]);
       }
+      rethrow_scan_error();
       gang.compute_seconds += t.seconds();
       scratch_indices.clear();
       for (const auto& e : rewind_entries)
@@ -507,8 +534,9 @@ struct SharedScheduler::Runner {
 #endif
       for (std::size_t c = 0; c < chunks.size(); ++c) {
         for (std::size_t k = chunks[c].begin; k < chunks[c].end; ++k)
-          dispatch(delta_only[k], nullptr, delta_masks[k]);
+          dispatch_captured(delta_only[k], nullptr, delta_masks[k]);
       }
+      rethrow_scan_error();
       gang.compute_seconds += t.seconds();
       account_dispatches(delta_only, delta_masks);
     }

@@ -50,10 +50,23 @@ class TileAlgorithm {
   // process_tile_blocked() so both entry points share one kernel.
   virtual void process_block(const tile::EdgeBlock& block) {
     tile::TileView sub = *block.view;
-    if (sub.fat)
+    if (sub.fat) {
       sub.fat_edges = sub.fat_edges.subspan(block.first, block.size);
-    else
+    } else if (sub.codec == tile::TileCodec::kRaw) {
       sub.edges = sub.edges.subspan(block.first, block.size);
+    } else {
+      // Encoded tile: the block's SoA arrays are the only materialized form
+      // (there is no tuple span to slice), so re-narrow the already-decoded
+      // global ids back into a raw SNB slice for the per-edge path.
+      tile::SnbEdge tmp[tile::EdgeBlock::kMaxEdges];
+      for (std::uint32_t k = 0; k < block.size; ++k) {
+        tmp[k].src16 = static_cast<std::uint16_t>(block.src[k] - sub.src_base);
+        tmp[k].dst16 = static_cast<std::uint16_t>(block.dst[k] - sub.dst_base);
+      }
+      sub = tile::splice_view(sub, std::span<const tile::SnbEdge>(tmp, block.size));
+      process_tile(sub);
+      return;
+    }
     process_tile(sub);
   }
 

@@ -1,6 +1,7 @@
 #include "store/scr_engine.h"
 
 #include <algorithm>
+#include <exception>
 #include <string>
 #include <unordered_map>
 #include <utility>
@@ -73,11 +74,36 @@ struct ScrEngine::Runner {
     // view of the same tile: same coordinates, same SNB bases, extra edges.
     const std::span<const tile::SnbEdge> extra = overlay->tile_edges(layout_idx);
     if (extra.empty()) return;
-    tile::TileView ov = v;
-    ov.fat = false;  // overlays exist only for SNB stores
-    ov.fat_edges = {};
-    ov.edges = extra;
-    algo.process_tile(ov);
+    // splice_view resets the representation to raw in-memory SNB tuples —
+    // overlays exist only for SNB stores, whatever codec the base tile used.
+    algo.process_tile(tile::splice_view(v, extra));
+  }
+
+  // An exception cannot unwind through an OpenMP region (the runtime would
+  // terminate the process), and since v3 the decode inside process_one can
+  // throw FormatError on a corrupt payload — as can the algorithm itself.
+  // Workers capture the first exception here; the orchestrating thread
+  // rethrows after the region joins (REWIND and the delta pass have no I/O
+  // in flight, and the SLIDE call sits inside the quiesce-before-throw
+  // frame in run_iteration).
+  std::exception_ptr scan_error;
+
+  void process_one_captured(std::uint64_t layout_idx,
+                            const std::uint8_t* data) noexcept {
+    try {
+      process_one(layout_idx, data);
+    } catch (...) {
+#ifdef _OPENMP
+#pragma omp critical(gstore_scr_scan_error)
+#endif
+      if (scan_error == nullptr) scan_error = std::current_exception();
+    }
+  }
+
+  void rethrow_scan_error() {
+    if (scan_error == nullptr) return;
+    std::exception_ptr e = std::exchange(scan_error, nullptr);
+    std::rethrow_exception(e);
   }
 
   // Greedily packs tiles from fetch[pos..] into `seg` and submits the reads
@@ -240,11 +266,12 @@ struct ScrEngine::Runner {
 #endif
     for (std::size_t c = 0; c < chunks.size(); ++c) {
       for (std::size_t k = chunks[c].begin; k < chunks[c].end; ++k) {
-        process_one(slots[k].layout_idx, seg.slot_data(slots[k]));
+        process_one_captured(slots[k].layout_idx, seg.slot_data(slots[k]));
         edges += slot_costs[k];
         oedges += overlay_count(slots[k].layout_idx);
       }
     }
+    rethrow_scan_error();  // before pinning possibly-corrupt tiles below
     stats.edges_processed += edges;
     stats.overlay_edges += oedges;
     stats.compute_seconds += t.seconds();
@@ -301,11 +328,13 @@ struct ScrEngine::Runner {
 #endif
       for (std::size_t c = 0; c < chunks.size(); ++c) {
         for (std::size_t k = chunks[c].begin; k < chunks[c].end; ++k) {
-          process_one(rewind_entries[k].layout_idx, rewind_entries[k].data);
+          process_one_captured(rewind_entries[k].layout_idx,
+                               rewind_entries[k].data);
           edges += slot_costs[k];
           oedges += overlay_count(rewind_entries[k].layout_idx);
         }
       }
+      rethrow_scan_error();
       for (const auto& e : rewind_entries) pool.touch(e.layout_idx);
       stats.tiles_from_cache += rewind_entries.size();
       stats.edges_processed += edges;
@@ -385,10 +414,11 @@ struct ScrEngine::Runner {
 #endif
       for (std::size_t c = 0; c < chunks.size(); ++c) {
         for (std::size_t k = chunks[c].begin; k < chunks[c].end; ++k) {
-          process_one(delta_only[k], nullptr);
+          process_one_captured(delta_only[k], nullptr);
           oedges += slot_costs[k];
         }
       }
+      rethrow_scan_error();
       stats.edges_processed += oedges;
       stats.overlay_edges += oedges;
       stats.compute_seconds += t.seconds();

@@ -1,31 +1,151 @@
-// Optional intra-tile compression (the paper's §VIII future-work item).
+// Per-tile codecs — the production tile payload format since store v3.
 //
-// Edges inside one tile are sorted by (src16, dst16) and delta-encoded with
-// LEB128 varints: each edge stores (src_delta, dst) where dst is re-based to
-// a delta when the source repeats. Power-law tiles with dense rows compress
-// well; near-empty tiles are stored raw (a 1-byte header selects the codec).
+// Every non-empty tile payload starts with an 8-byte self-describing header
+// (codec byte, per-endpoint bit widths, edge count) followed by the encoded
+// body, zero-padded so the whole payload is a multiple of 4 bytes (keeps
+// every tile's file offset 4-aligned for O_DIRECT-friendly reads and aligned
+// SnbEdge aliasing of raw bodies). Codecs, per Log(Graph) and the
+// compression survey (PAPERS.md):
+//
+//   kRaw    — n SnbEdge tuples verbatim (compat/fallback; the v1/v2 format).
+//   kDelta  — (src_delta, dst|dst_delta) LEB128 varints, the PR-ablation
+//             codec promoted unchanged.
+//   kPacked — planar bit-packing: all src locals at src_bits each, then all
+//             dst locals at dst_bits each, widths = ⌈log2(max local + 1)⌉.
+//             Decodes with flat widening loops (SIMD-friendly).
+//   kRuns   — row/interval encoding: per source row, (gap, run_len) items
+//             over sorted destinations; consecutive dsts collapse to one item.
+//   kHybrid — degree-aware: per row, either gap/run items (sparse rows) or a
+//             bit-packed dst vector at dst_bits (hub rows), whichever is
+//             smaller for that row.
+//
+// All decode arithmetic wraps mod 2^16, so every codec round-trips arbitrary
+// tuple order bit-exactly — sortedness only affects the ratio; writers sort
+// each tile slice before encoding. The header fields are untrusted on-disk
+// data: parse_tile_payload() range-checks every field through util/checked.h
+// once, and everything downstream (TileDecoder, decompress_tile) consumes
+// only the sanitized TileCodecInfo.
 #pragma once
 
 #include <cstdint>
 #include <span>
 #include <vector>
 
+#include "graph/types.h"
 #include "tile/snb.h"
 
 namespace gstore::tile {
 
-enum class TileCodec : std::uint8_t { kRaw = 0, kDelta = 1 };
+enum class TileCodec : std::uint8_t {
+  kRaw = 0,
+  kDelta = 1,
+  kPacked = 2,
+  kRuns = 3,
+  kHybrid = 4,
+};
+inline constexpr std::uint8_t kTileCodecCount = 5;
 
-// Compresses a tile payload. The edges are sorted as a side effect of
-// encoding (order inside a tile is not semantically meaningful). Picks kRaw
-// automatically when delta encoding would not shrink the payload.
-std::vector<std::uint8_t> compress_tile(std::vector<SnbEdge> edges);
+// Fixed payload prologue. Wire struct (GL6-tracked): fields must pass
+// through parse_tile_payload()'s range checks before any arithmetic.
+struct TilePayloadHeader {
+  std::uint8_t codec = 0;
+  std::uint8_t src_bits = 0;  // kPacked only; 0 otherwise
+  std::uint8_t dst_bits = 0;  // kPacked/kHybrid; 0 otherwise
+  std::uint8_t reserved = 0;  // must be 0
+  std::uint32_t edge_count = 0;
+};
+static_assert(sizeof(TilePayloadHeader) == 8);
 
-// Decompresses a payload produced by compress_tile.
+inline constexpr std::size_t kTilePayloadHeaderBytes = sizeof(TilePayloadHeader);
+inline constexpr std::size_t kTilePayloadAlign = 4;
+// Allocation bound for standalone decompression (fuzz/verify): a run item
+// can expand ~20000×, so the declared count — not the payload size — bounds
+// the output. 2^27 edges ≈ 512 MiB decoded, far past any real tile.
+inline constexpr std::uint64_t kMaxTilePayloadEdges = 1ull << 27;
+
+// Header fields after validation, plus the encoded body (payload minus the
+// 8-byte header; still includes the ≤3 zero pad bytes at the tail).
+struct TileCodecInfo {
+  TileCodec codec = TileCodec::kRaw;
+  unsigned src_bits = 0;
+  unsigned dst_bits = 0;
+  std::uint64_t edge_count = 0;
+  std::span<const std::uint8_t> body;
+};
+
+// Validates a payload's header: codec byte, bit widths, reserved byte,
+// declared edge count (against per-codec structural minima and, when
+// `expect_edges` >= 0, against the count the caller knows from the .sei
+// index). Throws FormatError on anything off. This is the single
+// sanitization point for the untrusted header fields.
+TileCodecInfo parse_tile_payload(std::span<const std::uint8_t> payload,
+                                 std::int64_t expect_edges = -1);
+
+// Compresses one tile's edges: encodes with every codec and returns the
+// smallest payload (ties break toward the lower codec id, so incompressible
+// tiles fall back to kRaw). Preserves edge order; callers that want the best
+// ratio sort first. An empty span yields an 8-byte kRaw header.
+std::vector<std::uint8_t> compress_tile(std::span<const SnbEdge> edges);
+
+// Encodes with one specific codec (benchmarks, fuzz seeds, tests).
+std::vector<std::uint8_t> encode_tile_as(TileCodec codec,
+                                         std::span<const SnbEdge> edges);
+
+// Decompresses a payload produced by compress_tile/encode_tile_as. This is
+// the independent scalar oracle: it shares no decode state machine with
+// TileDecoder, and it insists on a fully-consumed body (only zero padding
+// may trail the encoded edges). Throws FormatError on malformed input.
 std::vector<SnbEdge> decompress_tile(std::span<const std::uint8_t> payload);
 
-// Size in bytes that `edges` would occupy after compression (without
-// materializing the output twice).
-std::size_t compressed_size(std::vector<SnbEdge> edges);
+// Size in bytes that `edges` would occupy after compression.
+std::size_t compressed_size(std::span<const SnbEdge> edges);
+
+// Streaming decoder for the EdgeBlock hot path: decodes up to `cap` edges
+// per call directly into SoA vid_t arrays, fusing the tile-base re-attach
+// (global = base + local) into the widening store — no intermediate
+// std::vector<SnbEdge>. The codec branch is taken once per call (once per
+// 512-edge block), hoisted out of the inner loops, which are flat
+// auto-vectorizable widening passes for kRaw/kPacked. Construct from a
+// sanitized TileCodecInfo only.
+class TileDecoder {
+ public:
+  explicit TileDecoder(const TileCodecInfo& info);
+
+  // Decodes min(cap, remaining()) edges; returns how many were produced.
+  // Writes global vertex ids src_base+local / dst_base+local. Throws
+  // FormatError if the body is truncated or structurally invalid. After the
+  // final edge, throws if anything but zero padding trails the body.
+  std::size_t decode(graph::vid_t* src, graph::vid_t* dst, std::size_t cap,
+                     graph::vid_t src_base, graph::vid_t dst_base);
+
+  std::uint64_t produced() const noexcept { return done_; }
+  std::uint64_t remaining() const noexcept { return info_.edge_count - done_; }
+
+ private:
+  std::size_t decode_raw(graph::vid_t* src, graph::vid_t* dst, std::size_t take,
+                         graph::vid_t sb, graph::vid_t db);
+  std::size_t decode_delta(graph::vid_t* src, graph::vid_t* dst,
+                           std::size_t take, graph::vid_t sb, graph::vid_t db);
+  std::size_t decode_packed(graph::vid_t* src, graph::vid_t* dst,
+                            std::size_t take, graph::vid_t sb, graph::vid_t db);
+  std::size_t decode_rowwise(graph::vid_t* src, graph::vid_t* dst,
+                             std::size_t take, graph::vid_t sb,
+                             graph::vid_t db);
+  void check_tail() const;
+
+  TileCodecInfo info_;
+  std::uint64_t done_ = 0;
+  std::size_t pos_ = 0;  // byte cursor (kRaw/kDelta/kRuns/kHybrid)
+  // kPacked plane geometry (validated in the constructor).
+  std::size_t dst_plane_off_ = 0;
+  // kDelta/kRuns/kHybrid row state.
+  std::uint32_t prev_src_ = 0;
+  std::uint32_t prev_dst_ = 0;
+  std::uint64_t row_left_ = 0;      // items (kRuns) or dsts (kHybrid) left
+  bool row_packed_ = false;         // kHybrid: current row is bit-packed
+  std::uint64_t row_bitpos_ = 0;    // kHybrid packed row: absolute bit cursor
+  std::uint32_t run_dst_ = 0;       // kRuns/kHybrid: next dst of current run
+  std::uint64_t run_left_ = 0;      // edges left in the current run item
+};
 
 }  // namespace gstore::tile

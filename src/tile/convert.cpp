@@ -91,24 +91,58 @@ ConvertStats convert_to_tiles(const graph::EdgeList& el, const std::string& base
     }
   }
 
+  // v3 (per-tile codecs) only exists for the SNB format; the fat-tuple
+  // ablation and the compress=false baseline keep writing the v2 layout
+  // bit-identically to older gstores.
+  const bool v3 = options.snb && options.compress;
+  const std::uint32_t version = v3 ? 3 : 2;
+  std::vector<std::uint64_t> start_byte;
   const std::size_t tuple_bytes = options.snb ? sizeof(SnbEdge) : sizeof(graph::Edge);
   {
     io::File tiles(TileStore::tiles_path(base_path), io::OpenMode::kWrite);
     TilesFileHeader th;
+    th.version = version;
     th.edge_count = stats.stored_edges;
     tiles.append(&th, sizeof(th));
-    if (options.snb) {
-      if (!snb_data.empty())
-        tiles.append(snb_data.data(), snb_data.size() * sizeof(SnbEdge));
-    } else if (!fat_data.empty()) {
-      tiles.append(fat_data.data(), fat_data.size() * sizeof(graph::Edge));
+    if (v3) {
+      // Sort each tile slice (order inside a tile is not semantic, sorted
+      // rows are what the run/delta codecs exploit), encode it with the
+      // smallest codec, and record the payload byte offsets.
+      start_byte.assign(grid.tile_count() + 1, 0);
+      std::vector<std::uint8_t> buf;
+      for (std::uint64_t k = 0; k < grid.tile_count(); ++k) {
+        const std::uint64_t lo = start[k], hi = start[k + 1];
+        start_byte[k] = stats.payload_bytes;
+        if (lo == hi) continue;
+        std::sort(snb_data.begin() + lo, snb_data.begin() + hi);
+        const std::vector<std::uint8_t> payload = compress_tile(
+            std::span<const SnbEdge>(snb_data.data() + lo, hi - lo));
+        ++stats.codec_tiles[payload[0]];
+        stats.payload_bytes += payload.size();
+        buf.insert(buf.end(), payload.begin(), payload.end());
+        if (buf.size() >= (4u << 20)) {
+          tiles.append(buf.data(), buf.size());
+          buf.clear();
+        }
+      }
+      start_byte.back() = stats.payload_bytes;
+      if (!buf.empty()) tiles.append(buf.data(), buf.size());
+      stats.bytes_written += sizeof(th) + stats.payload_bytes;
+    } else {
+      if (options.snb) {
+        if (!snb_data.empty())
+          tiles.append(snb_data.data(), snb_data.size() * sizeof(SnbEdge));
+      } else if (!fat_data.empty()) {
+        tiles.append(fat_data.data(), fat_data.size() * sizeof(graph::Edge));
+      }
+      stats.bytes_written += sizeof(th) + stats.stored_edges * tuple_bytes;
     }
     tiles.sync();
-    stats.bytes_written += sizeof(th) + stats.stored_edges * tuple_bytes;
   }
   {
     io::File sei(TileStore::sei_path(base_path), io::OpenMode::kWrite);
     TileStoreMeta meta;
+    meta.version = version;
     const bool directed = el.kind() == graph::GraphKind::kDirected;
     meta.flags = (symmetric ? 1u : 0u) | (directed ? 2u : 0u) |
                  (directed && !options.out_edges ? 4u : 0u) |
@@ -121,8 +155,11 @@ ConvertStats convert_to_tiles(const graph::EdgeList& el, const std::string& base
     meta.generation = options.generation;
     sei.append(&meta, sizeof(meta));
     sei.append(start.data(), start.size() * sizeof(std::uint64_t));
+    if (v3)
+      sei.append(start_byte.data(), start_byte.size() * sizeof(std::uint64_t));
     sei.sync();
-    stats.bytes_written += sizeof(meta) + start.size() * sizeof(std::uint64_t);
+    stats.bytes_written += sizeof(meta) +
+                           (v3 ? 2 : 1) * start.size() * sizeof(std::uint64_t);
   }
   if (options.write_degrees) {
     const std::vector<graph::degree_t> deg = el.degrees();

@@ -25,6 +25,12 @@ struct ConvertOptions {
   // Upper-triangle storage for undirected graphs; false stores both
   // orientations ("no symmetry", the traditional 2D-partitioned layout).
   bool symmetry = true;
+  // Per-tile codec compression (store format v3): each tile slice is sorted
+  // and encoded with the smallest of the tile/compress.h codecs. false (or
+  // snb = false, which has no codec path) writes the uncompressed v2 layout
+  // bit-identically to older gstores — the ablation baseline and the
+  // backward-compat test writer.
+  bool compress = true;
   // Compaction generation stamped into TileStoreMeta. gstore_convert always
   // writes 0; ingest::compact_store reuses the converter with old+1.
   std::uint32_t generation = 0;
@@ -37,6 +43,10 @@ struct ConvertStats {
   std::uint64_t stored_edges = 0;
   std::uint64_t tile_count = 0;
   std::uint64_t bytes_written = 0;
+  // v3 only: total encoded payload bytes (headers + bodies + padding) and
+  // how many tiles each codec won (indexed by tile::TileCodec).
+  std::uint64_t payload_bytes = 0;
+  std::uint64_t codec_tiles[5] = {0, 0, 0, 0, 0};
 };
 
 // Converts and writes <base>.tiles/.sei/.deg. Returns timing/size stats.

@@ -60,13 +60,30 @@ struct EdgeBlock {
 };
 
 // Decodes every edge of `v` into EdgeBlocks and invokes fn(const EdgeBlock&)
-// for each, in storage order. Handles both tuple formats, so callers stay
-// format-agnostic exactly as with visit_edges().
+// for each, in storage order. Handles every tile representation — fat
+// tuples, raw SNB, and the v3 codecs — so callers stay format-agnostic
+// exactly as with visit_edges(). The representation branch is taken once per
+// tile, hoisted out of the block loop; encoded tiles stream through
+// TileDecoder straight into the SoA arrays (global ids fused in) with no
+// intermediate SnbEdge materialization.
 template <typename Fn>
 inline void for_each_block(const TileView& v, Fn&& fn) {
   EdgeBlock b;
   b.view = &v;
   const std::size_t n = v.edge_count();
+  if (!v.fat && v.codec != TileCodec::kRaw) {
+    TileDecoder dec(v.codec_info());
+    std::size_t pos = 0;
+    std::size_t got;
+    while ((got = dec.decode(b.src, b.dst, EdgeBlock::kMaxEdges, v.src_base,
+                             v.dst_base)) > 0) {
+      b.first = pos;
+      b.size = static_cast<std::uint32_t>(got);
+      fn(static_cast<const EdgeBlock&>(b));
+      pos += got;
+    }
+    return;
+  }
   for (std::size_t pos = 0; pos < n; pos += EdgeBlock::kMaxEdges) {
     const std::size_t len = std::min(EdgeBlock::kMaxEdges, n - pos);
     if (v.fat) {

@@ -16,7 +16,9 @@ std::vector<GroupStats> group_stats(const TileStore& store) {
     s.group = g;
     s.tiles = last - first;
     s.edges = store.start_edge()[last] - store.start_edge()[first];
-    s.bytes = s.edges * sizeof(SnbEdge);
+    // Physical payload bytes — under v3 codecs this is no longer
+    // proportional to the edge count.
+    s.bytes = store.bytes_of_range(first, last);
     out.push_back(s);
   }
   return out;

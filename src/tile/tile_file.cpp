@@ -87,15 +87,22 @@ TileStore TileStore::open(const std::string& base_path, io::DeviceConfig config)
       throw FormatError(sei.path() +
                         " start-edge index is not a whole number of entries");
     const std::uint64_t entries = index_bytes / sizeof(std::uint64_t);
-    // The index holds tile_count + 1 offsets; tying the claimed tile count to
-    // the real file size bounds the resize below by bytes that exist on disk.
-    if (entries == 0 || store.meta_.tile_count != entries - 1)
+    // v3 appends a second index of payload byte offsets after the edge
+    // index; earlier versions hold only the edge index.
+    store.packed_payloads_ = store.meta_.version >= 3;
+    const std::uint64_t index_count =
+        checked_add(store.meta_.tile_count, 1, "start-edge index size");
+    const std::uint64_t expect_entries = checked_mul(
+        index_count, store.packed_payloads_ ? 2 : 1, "sei index entries");
+    // The index holds tile_count + 1 offsets per sub-index; tying the claimed
+    // tile count to the real file size bounds the resizes below by bytes that
+    // exist on disk.
+    if (entries != expect_entries)
       throw FormatError(sei.path() + " claims " +
                         std::to_string(store.meta_.tile_count) +
                         " tiles but holds " + std::to_string(entries) +
                         " index entries");
-    store.start_edge_.resize(
-        checked_add(store.meta_.tile_count, 1, "start-edge index size"));
+    store.start_edge_.resize(index_count);
     sei.pread_full(store.start_edge_.data(),
                    store.start_edge_.size() * sizeof(std::uint64_t),
                    sizeof(store.meta_));
@@ -105,6 +112,42 @@ TileStore TileStore::open(const std::string& base_path, io::DeviceConfig config)
     for (std::size_t k = 0; k + 1 < store.start_edge_.size(); ++k)
       if (store.start_edge_[k] > store.start_edge_[k + 1])
         throw FormatError("non-monotone start-edge index in " + sei.path());
+    if (store.packed_payloads_) {
+      if (store.meta_.fat_tuples())
+        throw FormatError(sei.path() +
+                          " is v3 but carries the fat-tuple ablation flag "
+                          "(v3 payloads are SNB codecs only)");
+      store.start_byte_.resize(index_count);
+      sei.pread_full(store.start_byte_.data(),
+                     store.start_byte_.size() * sizeof(std::uint64_t),
+                     sizeof(store.meta_) +
+                         store.start_edge_.size() * sizeof(std::uint64_t));
+      if (store.start_byte_.front() != 0)
+        throw FormatError("inconsistent start-byte index in " + sei.path());
+      for (std::size_t k = 0; k + 1 < store.start_byte_.size(); ++k) {
+        if (store.start_byte_[k] > store.start_byte_[k + 1])
+          throw FormatError("non-monotone start-byte index in " + sei.path());
+        const std::uint64_t bytes =
+            store.start_byte_[k + 1] - store.start_byte_[k];
+        const std::uint64_t edges =
+            store.start_edge_[k + 1] - store.start_edge_[k];
+        // A payload is the 8-byte codec header plus at most the raw tuple
+        // body (the writer picks the smallest codec, raw included), padded
+        // to 4 bytes; empty tiles store nothing.
+        const std::uint64_t cap =
+            edges == 0 ? 0
+                       : checked_add(kTilePayloadHeaderBytes,
+                                     checked_mul(edges, sizeof(SnbEdge),
+                                                 "tile payload cap"),
+                                     "tile payload cap");
+        if (bytes > cap || bytes % kTilePayloadAlign != 0 ||
+            (edges > 0 && bytes < kTilePayloadHeaderBytes + kTilePayloadAlign))
+          throw FormatError(sei.path() + ": tile " + std::to_string(k) +
+                            " payload spans " + std::to_string(bytes) +
+                            " bytes, implausible for " +
+                            std::to_string(edges) + " edges");
+      }
+    }
   }
 
   if ((store.meta_.flags & ~0xFu) != 0)
@@ -180,11 +223,15 @@ TileStore TileStore::open(const std::string& base_path, io::DeviceConfig config)
     throw FormatError(sei_path(store.base_path_) + " names edge count " +
                       std::to_string(store.meta_.edge_count) +
                       ", larger than any representable file");
-  const std::uint64_t expect = checked_add(
-      store.data_offset_,
-      checked_mul(store.meta_.edge_count, store.meta_.tuple_bytes(),
-                  "tile data bytes"),
-      "expected tile file size");
+  const std::uint64_t expect =
+      store.packed_payloads_
+          ? checked_add(store.data_offset_, store.start_byte_.back(),
+                        "expected tile file size")
+          : checked_add(store.data_offset_,
+                        checked_mul(store.meta_.edge_count,
+                                    store.meta_.tuple_bytes(),
+                                    "tile data bytes"),
+                        "expected tile file size");
   if (store.device_->size() != expect)
     throw FormatError(tiles_path(store.base_path_) + " truncated");
   return store;
@@ -251,12 +298,30 @@ TileView TileStore::view(std::uint64_t layout_idx, const std::uint8_t* data) con
   v.src_base = grid_.tile_base(c.i);
   v.dst_base = grid_.tile_base(c.j);
   v.fat = meta_.fat_tuples();
+  const std::uint64_t n = tile_edge_count(layout_idx);
   if (v.fat) {
     v.fat_edges = std::span<const graph::Edge>(
-        reinterpret_cast<const graph::Edge*>(data), tile_edge_count(layout_idx));
-  } else {
+        reinterpret_cast<const graph::Edge*>(data), n);
+  } else if (!packed_payloads_) {
     v.edges = std::span<const SnbEdge>(reinterpret_cast<const SnbEdge*>(data),
-                                       tile_edge_count(layout_idx));
+                                       n);
+  } else if (n > 0) {
+    // v3: parse + sanitize the payload's codec header once per tile; raw
+    // bodies alias the buffer directly (the v1/v2 zero-copy path), encoded
+    // bodies hand the sanitized info to TileDecoder/for_each_block.
+    const std::span<const std::uint8_t> payload(data, tile_bytes(layout_idx));
+    const TileCodecInfo info =
+        parse_tile_payload(payload, static_cast<std::int64_t>(n));
+    if (info.codec == TileCodec::kRaw) {
+      v.edges = std::span<const SnbEdge>(
+          reinterpret_cast<const SnbEdge*>(info.body.data()), n);
+    } else {
+      v.codec = info.codec;
+      v.src_bits = static_cast<std::uint8_t>(info.src_bits);
+      v.dst_bits = static_cast<std::uint8_t>(info.dst_bits);
+      v.coded_edges = n;
+      v.payload = info.body;
+    }
   }
   return v;
 }

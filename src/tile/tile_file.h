@@ -1,11 +1,14 @@
 // On-disk tile store (paper §IV "Implementation" + §V-A).
 //
 // Two files, exactly like the paper:
-//   <base>.tiles — all tiles' SNB edges concatenated in physical-group
-//                  layout order (one file; per-tile files would be millions).
+//   <base>.tiles — all tiles' payloads concatenated in physical-group layout
+//                  order (one file; per-tile files would be millions). v1/v2
+//                  payloads are raw SNB tuples; v3 payloads are per-tile
+//                  codec-encoded (tile/compress.h, docs/FORMAT.md).
 //   <base>.sei   — the "start-edge" file: grid metadata plus one uint64 per
-//                  tile giving the starting edge number (CSR-of-tiles), so
-//                  tile k's bytes are [start[k]*4, start[k+1]*4).
+//                  tile giving the starting edge number (CSR-of-tiles). v3
+//                  appends a second uint64 index of per-tile payload byte
+//                  offsets, since byte size no longer follows from edge count.
 // Plus one auxiliary file the algorithms need:
 //   <base>.deg   — uint32 degrees (out-degree for directed, total degree for
 //                  undirected), loadable into CompressedDegrees.
@@ -20,6 +23,7 @@
 #include "graph/degree.h"
 #include "graph/types.h"
 #include "io/device.h"
+#include "tile/compress.h"
 #include "tile/grid.h"
 #include "tile/snb.h"
 #include "util/dcheck.h"
@@ -31,10 +35,13 @@ inline constexpr std::uint64_t kSeiFileMagic = 0x4753544f52453153ULL;   // "GSTO
 
 // On-disk format versions this reader understands. v2 added the
 // `generation` field (carved out of bytes v1 wrote as zero, so v1 files read
-// back exactly as generation 0). Readers must reject anything newer than
-// kTileStoreVersionCurrent: trusting an unknown layout silently misparses.
+// back exactly as generation 0). v3 made per-tile codecs (tile/compress.h)
+// the production payload format: the .sei grows a second byte-offset index
+// and every non-empty tile payload starts with an 8-byte codec header.
+// Readers must reject anything newer than kTileStoreVersionCurrent: trusting
+// an unknown layout silently misparses.
 inline constexpr std::uint32_t kTileStoreVersionMin = 1;
-inline constexpr std::uint32_t kTileStoreVersionCurrent = 2;
+inline constexpr std::uint32_t kTileStoreVersionCurrent = 3;
 
 struct TileStoreMeta {
   std::uint64_t magic = kSeiFileMagic;
@@ -64,30 +71,67 @@ static_assert(sizeof(TileStoreMeta) == 80);
 
 // A decoded, read-only view over one tile's edges sitting in some buffer.
 // Normal stores carry SNB tuples in `edges`; the non-SNB ablation format
-// carries full-vid tuples in `fat_edges` (exactly one span is populated —
-// iterate with visit_edges() to stay format-agnostic).
+// carries full-vid tuples in `fat_edges`; v3 stores with a non-raw codec
+// carry the encoded body in `payload` (header already parsed and sanitized
+// by TileStore::view()). Exactly one representation is populated — iterate
+// with visit_edges()/for_each_block() to stay format-agnostic.
 struct TileView {
   TileCoord coord;
   graph::vid_t src_base = 0;
   graph::vid_t dst_base = 0;
   bool fat = false;
-  std::span<const SnbEdge> edges;            // when !fat
+  TileCodec codec = TileCodec::kRaw;
+  std::uint8_t src_bits = 0;                 // kPacked only
+  std::uint8_t dst_bits = 0;                 // kPacked/kHybrid
+  std::uint64_t coded_edges = 0;             // when codec != kRaw
+  std::span<const std::uint8_t> payload;     // encoded body, codec != kRaw
+  std::span<const SnbEdge> edges;            // when !fat && codec == kRaw
   std::span<const graph::Edge> fat_edges;    // when fat
 
   std::size_t edge_count() const noexcept {
-    return fat ? fat_edges.size() : edges.size();
+    if (fat) return fat_edges.size();
+    if (codec != TileCodec::kRaw) return static_cast<std::size_t>(coded_edges);
+    return edges.size();
+  }
+
+  // Decoder inputs for an encoded view; fields were sanitized at view() time.
+  TileCodecInfo codec_info() const noexcept {
+    return TileCodecInfo{codec, src_bits, dst_bits, coded_edges, payload};
   }
 };
 
-// Invokes fn(src_vid, dst_vid) for every edge of the tile, whichever tuple
-// format it is stored in.
+// Rebuilds `v` as a raw in-memory view over `extra` (the overlay-splice
+// pattern): same tile coordinates and bases, but raw SNB tuples replace
+// whatever representation the base tile used on disk.
+inline TileView splice_view(const TileView& v, std::span<const SnbEdge> extra) {
+  TileView ov = v;
+  ov.fat = false;
+  ov.fat_edges = {};
+  ov.codec = TileCodec::kRaw;
+  ov.src_bits = 0;
+  ov.dst_bits = 0;
+  ov.coded_edges = 0;
+  ov.payload = {};
+  ov.edges = extra;
+  return ov;
+}
+
+// Invokes fn(src_vid, dst_vid) for every edge of the tile, whichever
+// representation it is stored in. The per-edge fallback and correctness
+// oracle; hot loops use for_each_block() (edge_block.h) instead.
 template <typename Fn>
 inline void visit_edges(const TileView& v, Fn&& fn) {
   if (v.fat) {
     for (const graph::Edge& e : v.fat_edges) fn(e.src, e.dst);
-  } else {
+  } else if (v.codec == TileCodec::kRaw) {
     for (const SnbEdge& e : v.edges)
       fn(v.src_base + e.src16, v.dst_base + e.dst16);
+  } else {
+    TileDecoder dec(v.codec_info());
+    graph::vid_t s[256], d[256];
+    std::size_t got;
+    while ((got = dec.decode(s, d, 256, v.src_base, v.dst_base)) > 0)
+      for (std::size_t k = 0; k < got; ++k) fn(s[k], d[k]);
   }
 }
 
@@ -129,19 +173,29 @@ class TileStore {
     GSTORE_DCHECK_LE(start_edge_[layout_idx], start_edge_[layout_idx + 1]);
     return start_edge_[layout_idx + 1] - start_edge_[layout_idx];
   }
+  // Physical payload bytes of a tile in the .tiles file. v1/v2 derive this
+  // from the edge count; v3 reads the byte index (codecs break the
+  // edges-to-bytes proportionality).
   std::uint64_t tile_bytes(std::uint64_t layout_idx) const {
+    if (packed_payloads_)
+      return start_byte_[layout_idx + 1] - start_byte_[layout_idx];
     return tile_edge_count(layout_idx) * meta_.tuple_bytes();
   }
   // Byte offset of a tile inside the .tiles file (after the header).
   std::uint64_t tile_offset(std::uint64_t layout_idx) const {
     GSTORE_DCHECK_LE(layout_idx, meta_.tile_count);
+    if (packed_payloads_) return data_offset_ + start_byte_[layout_idx];
     GSTORE_DCHECK_LE(start_edge_[layout_idx], meta_.edge_count);
     return data_offset_ + start_edge_[layout_idx] * meta_.tuple_bytes();
   }
   std::uint64_t max_tile_bytes() const noexcept { return max_tile_bytes_; }
+  // Logical (decoded) data bytes — the working-set proxy cache/memory
+  // budgets size against; physical footprint is storage_bytes().
   std::uint64_t data_bytes() const noexcept {
     return meta_.edge_count * meta_.tuple_bytes();
   }
+  // True for v3 stores whose payloads are codec-encoded.
+  bool packed_payloads() const noexcept { return packed_payloads_; }
 
   const std::vector<std::uint64_t>& start_edge() const noexcept {
     return start_edge_;
@@ -150,7 +204,7 @@ class TileStore {
   // Synchronously reads the contiguous byte range covering layout tiles
   // [first, last) into `buf` (must hold bytes_of_range(first,last)).
   std::uint64_t bytes_of_range(std::uint64_t first, std::uint64_t last) const {
-    return (start_edge_[last] - start_edge_[first]) * meta_.tuple_bytes();
+    return tile_offset(last) - tile_offset(first);
   }
   void read_range(std::uint64_t first, std::uint64_t last, std::uint8_t* buf);
 
@@ -200,6 +254,8 @@ class TileStore {
   TileStoreMeta meta_;
   Grid grid_;
   std::vector<std::uint64_t> start_edge_;  // size tile_count+1, in layout order
+  std::vector<std::uint64_t> start_byte_;  // v3: payload byte offsets, same shape
+  bool packed_payloads_ = false;           // v3 codec-encoded payloads
   std::uint64_t data_offset_ = 0;
   std::uint64_t max_tile_bytes_ = 0;
   std::unique_ptr<io::Device> device_;

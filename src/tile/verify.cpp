@@ -39,12 +39,56 @@ VerifyReport verify_store(const std::string& base_path,
     if (bytes == 0) continue;
     buf.resize(bytes);
     store.read_range(k, k + 1, buf.data());
-    const TileView view = store.view(k, buf.data());
-    const TileCoord c = view.coord;
+    const TileCoord c = grid.coord_at(k);
     const graph::vid_t src_lo = grid.tile_base(c.i);
     const graph::vid_t dst_lo = grid.tile_base(c.j);
     const std::uint64_t width = grid.tile_width();
 
+    // v3 payload cross-check with the independent decoder: codec byte and
+    // width header valid, declared count == .sei count, body decodes to
+    // exactly that many edges, every local id inside the tile width. The
+    // streaming path (visit_edges below) is then compared edge-for-edge.
+    std::vector<SnbEdge> oracle;
+    if (store.packed_payloads()) {
+      try {
+        oracle = decompress_tile(
+            std::span<const std::uint8_t>(buf.data(), bytes));
+        if (oracle.size() != store.tile_edge_count(k))
+          report.fail("tile (" + std::to_string(c.i) + "," +
+                      std::to_string(c.j) + "): payload declares " +
+                      std::to_string(oracle.size()) +
+                      " edges, start-edge index requires " +
+                      std::to_string(store.tile_edge_count(k)));
+        for (const SnbEdge& e : oracle) {
+          if (e.src16 >= width || e.dst16 >= width) {
+            report.fail("tile (" + std::to_string(c.i) + "," +
+                        std::to_string(c.j) + "): local id (" +
+                        std::to_string(e.src16) + "," +
+                        std::to_string(e.dst16) +
+                        ") outside the tile width " + std::to_string(width));
+            break;
+          }
+        }
+        ++report.payloads_checked;
+      } catch (const Error& e) {
+        report.fail("tile (" + std::to_string(c.i) + "," + std::to_string(c.j) +
+                    "): payload rejected: " + e.what());
+        continue;
+      }
+      if (!report.ok && report.problems.size() >= max_problems) break;
+    }
+
+    TileView view;
+    try {
+      view = store.view(k, buf.data());
+    } catch (const Error& e) {
+      report.fail("tile (" + std::to_string(c.i) + "," + std::to_string(c.j) +
+                  "): view rejected: " + e.what());
+      continue;
+    }
+
+    std::size_t at = 0;
+    try {
     visit_edges(view, [&](graph::vid_t a, graph::vid_t b) {
       ++report.edges_checked;
       if (report.problems.size() >= max_problems) return;
@@ -59,11 +103,21 @@ VerifyReport verify_store(const std::string& base_path,
       if (symmetric && a > b)
         report.fail("lower-triangle tuple in symmetric store: (" +
                     std::to_string(a) + "," + std::to_string(b) + ")");
+      if (!oracle.empty() && at < oracle.size() &&
+          (a != src_lo + oracle[at].src16 || b != dst_lo + oracle[at].dst16))
+        report.fail("tile (" + std::to_string(c.i) + "," + std::to_string(c.j) +
+                    "): streaming decoder disagrees with the payload oracle "
+                    "at edge " + std::to_string(at));
+      ++at;
       if (a < n && b < n) {
         ++recomputed[a];
         if (symmetric && a != b) ++recomputed[b];
       }
     });
+    } catch (const Error& e) {
+      report.fail("tile (" + std::to_string(c.i) + "," + std::to_string(c.j) +
+                  "): streaming decode failed: " + e.what());
+    }
   }
 
   // Counting symmetry: every stored tuple bumps the recomputed degrees a

@@ -16,6 +16,9 @@ struct VerifyReport {
   std::vector<std::string> problems;
   std::uint64_t tiles_checked = 0;
   std::uint64_t edges_checked = 0;
+  // v3 stores: payloads whose codec header + body passed the independent
+  // (decompress_tile) decode cross-check.
+  std::uint64_t payloads_checked = 0;
   std::uint64_t wal_frames_checked = 0;
   std::uint64_t wal_edges_checked = 0;
 
@@ -30,6 +33,11 @@ struct VerifyReport {
 //  * headers consistent (open-level checks);
 //  * every SNB/fat tuple decodes to vertex ids inside its tile's ranges and
 //    inside the graph;
+//  * v3 stores: every tile payload's codec byte and width header are valid,
+//    the declared edge count matches the .sei index and the body actually
+//    decodes to that many edges with per-codec local ids inside the tile
+//    width, and the streaming (TileDecoder) and oracle (decompress_tile)
+//    decoders agree edge-for-edge;
 //  * symmetric stores hold only upper-triangle tuples;
 //  * counting symmetry: tuple-derived degree sums add up to the header's
 //    edge count (2× for upper-triangle stores, where each tuple stands for

@@ -114,10 +114,10 @@ TEST(Chaos, TransientFaultsPreserveResultsBitForBit) {
 TEST(Chaos, FaultPastEveryBudgetIsOneCleanError) {
   io::TempDir dir;
   const auto el = graph::kronecker(8, 4, GraphKind::kUndirected, 23);
-  // Read 1 serves TileStore::open's header; read 4 (an engine tile read)
-  // then fails with zero retry budget anywhere, making a single blip behave
-  // like a dead sector.
-  io::DeviceConfig dev = fast_backoff("seed=1,eio-nth=4");
+  // Read 1 serves TileStore::open's header; read 2 (an engine tile read —
+  // the codec-compressed store fits a single batch) then fails with zero
+  // retry budget anywhere, making a single blip behave like a dead sector.
+  io::DeviceConfig dev = fast_backoff("seed=1,eio-nth=2");
   dev.retry.max_retries = 0;
   auto store = gstore::testing::make_store(dir, el, small_tiles(), dev);
   EngineConfig cfg = tiny_memory();
@@ -193,6 +193,48 @@ TEST(Chaos, TruncatedTileFileIsRejectedNotProcessed) {
   }
   std::vector<io::Completion> none;
   EXPECT_EQ(store.device().poll(0, 64, none), 0u);
+}
+
+TEST(Chaos, CorruptCodecPayloadIsOneCleanFormatError) {
+  // Regression: a v3 payload header flipped on disk after open throws
+  // FormatError from a decode running *inside* an OpenMP worker region.
+  // The engine must capture it and rethrow on the orchestrating thread
+  // (an exception escaping the region terminates the process), quiesce
+  // in-flight sibling reads, and leave the device reusable.
+  io::TempDir dir;
+  const auto el = graph::kronecker(9, 6, GraphKind::kUndirected, 41);
+  auto store = gstore::testing::make_store(dir, el, small_tiles());
+  std::uint8_t good = 0;
+  {
+    // Flip the first tile's codec byte (payloads start at file offset 64)
+    // to an out-of-range id; parse_tile_payload rejects it on dispatch.
+    io::File f(tile::TileStore::tiles_path(dir.file("g")),
+               io::OpenMode::kReadWrite);
+    f.pread_full(&good, 1, 64);
+    const std::uint8_t bad = 0xff;
+    f.pwrite_full(&bad, 1, 64);
+  }
+  algo::TileWcc wcc;
+  try {
+    ScrEngine(store, tiny_memory()).run(wcc);
+    FAIL() << "expected the corrupt payload to abort the run";
+  } catch (const FormatError& e) {
+    EXPECT_NE(std::string(e.what()).find("codec"), std::string::npos)
+        << e.what();
+  }
+  std::vector<io::Completion> none;
+  EXPECT_EQ(store.device().poll(0, 64, none), 0u);
+
+  // Restore the byte: the same store and device run to completion.
+  {
+    io::File f(tile::TileStore::tiles_path(dir.file("g")),
+               io::OpenMode::kReadWrite);
+    f.pwrite_full(&good, 1, 64);
+  }
+  algo::TileWcc again;
+  const EngineStats s = ScrEngine(store, tiny_memory()).run(again);
+  EXPECT_GT(s.iterations, 0u);
+  EXPECT_GT(again.component_count(), 0u);
 }
 
 TEST(Chaos, SyncBackendHonorsTheSameRetryContract) {

@@ -106,7 +106,9 @@ TEST(ScrEngine, RewindIsZeroCopy) {
   auto store = kron_store(dir, 9, 6);
   EngineConfig c = tiny_memory();
   c.stream_memory_bytes = 64 << 10;
-  c.segment_bytes = 4 << 10;
+  // Small enough that the (codec-compressed) store spans several segment
+  // fills, so at least one refill hits a segment with pinned slices.
+  c.segment_bytes = 1 << 10;
   RecordingAlgo algo(3);
   const auto stats = ScrEngine(store, c).run(algo);
   // Tiles were served from the cache, and none of them was memcpy'd into

@@ -568,6 +568,9 @@ TEST(MetaVersion, LegacyV1StoreOpensAsGenerationZero) {
   graph::EdgeList el({{0, 1}, {1, 2}, {2, 3}}, 8, graph::GraphKind::kUndirected);
   tile::ConvertOptions copt;
   copt.tile_bits = 2;
+  // v1 stores carry a single start-edge index and raw SNB payloads, so the
+  // store being patched below must be written without the v3 codec layer.
+  copt.compress = false;
   std::vector<graph::Edge> want;
   {
     auto s = make_store(dir, el, copt);
@@ -618,6 +621,9 @@ TEST(Verify, CatchesCountingSymmetryBreak) {
   graph::EdgeList el({{0, 1}, {1, 2}, {2, 3}}, 8, graph::GraphKind::kUndirected);
   tile::ConvertOptions copt;
   copt.tile_bits = 3;
+  // Patch raw tuple bytes directly: needs an uncoded (v2) payload — under
+  // v3 codecs the same byte patch would trip the payload cross-check first.
+  copt.compress = false;
   { auto s = make_store(dir, el, copt); }
   // Turn the first tuple (src16, dst16) into a diagonal (src16, src16): it
   // now bumps one degree instead of two, breaking the counting identity.

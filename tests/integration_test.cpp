@@ -152,17 +152,25 @@ TEST(Integration, SpaceSavingShapeOnRealConversion) {
   // undirected edge list, ≈ 2× smaller than CSR.
   io::TempDir dir;
   auto el = graph::kronecker(12, 8, GraphKind::kUndirected, 5);
+  // Raw SNB tuples (v2) reproduce the paper's ratios; the v3 codec layer
+  // then has to beat them by the ≥25% the format change promises.
+  tile::ConvertOptions raw_opts;
+  raw_opts.compress = false;
+  tile::convert_to_tiles(el, dir.file("raw"), raw_opts);
+  auto raw_store = tile::TileStore::open(dir.file("raw"));
   tile::convert_to_tiles(el, dir.file("g"), tile::ConvertOptions{});
   auto store = tile::TileStore::open(dir.file("g"));
 
   const double edge_list = static_cast<double>(el.storage_bytes());
   const graph::Csr csr = graph::Csr::build(el);
   const double csr_bytes = static_cast<double>(csr.storage_bytes());
+  const double raw_bytes = static_cast<double>(raw_store.storage_bytes());
   const double gstore_bytes = static_cast<double>(store.storage_bytes());
 
-  EXPECT_GT(edge_list / gstore_bytes, 3.0);
-  EXPECT_LT(edge_list / gstore_bytes, 5.0);
-  EXPECT_GT(csr_bytes / gstore_bytes, 1.5);
+  EXPECT_GT(edge_list / raw_bytes, 3.0);
+  EXPECT_LT(edge_list / raw_bytes, 5.0);
+  EXPECT_GT(csr_bytes / raw_bytes, 1.5);
+  EXPECT_LT(gstore_bytes, raw_bytes * 0.75);
 }
 
 TEST(Integration, GroupDistributionIsSkewedForTwitterLike) {

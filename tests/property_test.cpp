@@ -147,15 +147,170 @@ TEST(PropertyEdgeBlock, BlockAndPerEdgeVisitIdenticalMultisets) {
       if (delta != nullptr) {
         const std::span<const tile::SnbEdge> extra = delta->tile_edges(k);
         if (extra.empty()) continue;
-        tile::TileView ov = v;
-        ov.fat = false;
-        ov.fat_edges = {};
-        ov.edges = extra;
+        const tile::TileView ov = tile::splice_view(v, extra);
         ASSERT_EQ(block_multiset(ov), per_edge_multiset(ov))
             << "overlay tile_bits " << tb << " tile " << k;
       }
     }
   }
+}
+
+// Every codec — forced, not just whatever compress_tile picked — must push
+// the same edge multiset through the block path, the per-edge path, and an
+// overlay splice, at every tile width the grid supports.
+TEST(PropertyEdgeBlock, EveryCodecMatchesRawBlocksAcrossTileBits) {
+  Xoshiro256 rng(2026);
+  for (unsigned tb = 4; tb <= 16; ++tb) {
+    const std::uint64_t width = std::uint64_t{1} << tb;
+    std::vector<tile::SnbEdge> edges(1 + rng.next_below(700));
+    for (auto& e : edges) {
+      e.src16 = static_cast<std::uint16_t>(rng.next_below(width));
+      e.dst16 = static_cast<std::uint16_t>(rng.next_below(width));
+    }
+    std::sort(edges.begin(), edges.end());
+    const vid_t src_base = static_cast<vid_t>(width * (1 + tb % 3));
+    const vid_t dst_base = static_cast<vid_t>(width * (2 + tb % 5));
+    EdgeMultiset want;
+    for (const auto& e : edges)
+      want.insert({src_base + e.src16, dst_base + e.dst16});
+    std::vector<tile::SnbEdge> extra(edges.begin(),
+                                     edges.begin() + edges.size() / 2);
+    EdgeMultiset overlay_want;
+    for (const auto& e : extra)
+      overlay_want.insert({src_base + e.src16, dst_base + e.dst16});
+
+    for (unsigned c = 0; c < tile::kTileCodecCount; ++c) {
+      const auto codec = static_cast<tile::TileCodec>(c);
+      const auto payload = tile::encode_tile_as(codec, edges);
+      const tile::TileCodecInfo info = tile::parse_tile_payload(payload);
+      ASSERT_EQ(info.codec, codec);
+      ASSERT_EQ(info.edge_count, edges.size());
+
+      tile::TileView v;
+      v.src_base = src_base;
+      v.dst_base = dst_base;
+      v.codec = info.codec;
+      v.src_bits = static_cast<std::uint8_t>(info.src_bits);
+      v.dst_bits = static_cast<std::uint8_t>(info.dst_bits);
+      v.coded_edges = info.edge_count;
+      v.payload = info.body;
+      if (info.codec == tile::TileCodec::kRaw)
+        v.edges = std::span<const tile::SnbEdge>(
+            reinterpret_cast<const tile::SnbEdge*>(info.body.data()),
+            static_cast<std::size_t>(info.edge_count));
+
+      ASSERT_EQ(block_multiset(v), want)
+          << "codec " << c << " tile_bits " << tb;
+      ASSERT_EQ(per_edge_multiset(v), want)
+          << "codec " << c << " tile_bits " << tb;
+      if (!extra.empty()) {
+        const tile::TileView ov = tile::splice_view(v, extra);
+        ASSERT_EQ(block_multiset(ov), overlay_want)
+            << "overlay codec " << c << " tile_bits " << tb;
+      }
+    }
+  }
+}
+
+// The v3 store and an uncompressed v2 store of the same graph must be
+// indistinguishable through the block path — with and without an attached
+// overlay — at every tile width.
+TEST(PropertyEdgeBlock, CompressedStoreMatchesRawStoreWithOverlay) {
+  for (unsigned tb = 4; tb <= 16; tb += 3) {
+    const vid_t n = static_cast<vid_t>((3u << tb) + 17);
+    const std::uint64_t m = std::min<std::uint64_t>(2 * n, 60'000);
+    auto el = graph::uniform_random(n, m, GraphKind::kDirected, 1300 + tb);
+    io::TempDir dir;
+    tile::ConvertOptions o;
+    o.tile_bits = tb;
+    auto coded = gstore::testing::make_store(dir, el, o, {}, "coded");
+    tile::ConvertOptions rawo = o;
+    rawo.compress = false;
+    auto raw = gstore::testing::make_store(dir, el, rawo, {}, "raw");
+    ASSERT_EQ(coded.meta().version, 3u);
+    ASSERT_TRUE(coded.packed_payloads());
+    ASSERT_EQ(raw.meta().version, 2u);
+    ASSERT_FALSE(raw.packed_payloads());
+
+    auto extra = graph::uniform_random(n, 500, GraphKind::kDirected, 1700 + tb);
+    ingest::DeltaBuffer dc(coded.grid(), coded.meta(), 1 << 20);
+    dc.add_batch(extra.edges());
+    coded.attach_overlay(&dc);
+    ingest::DeltaBuffer dr(raw.grid(), raw.meta(), 1 << 20);
+    dr.add_batch(extra.edges());
+    raw.attach_overlay(&dr);
+
+    ASSERT_EQ(coded.grid().tile_count(), raw.grid().tile_count());
+    std::vector<std::uint8_t> cbuf, rbuf;
+    for (std::uint64_t k = 0; k < coded.grid().tile_count(); ++k) {
+      ASSERT_EQ(coded.tile_edge_count(k), raw.tile_edge_count(k));
+      const std::uint64_t cb = coded.tile_bytes(k);
+      const std::uint64_t rb = raw.tile_bytes(k);
+      if (cb > 0) {
+        cbuf.resize(cb);
+        coded.read_range(k, k + 1, cbuf.data());
+      }
+      if (rb > 0) {
+        rbuf.resize(rb);
+        raw.read_range(k, k + 1, rbuf.data());
+      }
+      const tile::TileView cv = coded.view(k, cb > 0 ? cbuf.data() : nullptr);
+      const tile::TileView rv = raw.view(k, rb > 0 ? rbuf.data() : nullptr);
+      ASSERT_EQ(block_multiset(cv), block_multiset(rv))
+          << "tile_bits " << tb << " tile " << k;
+      const std::span<const tile::SnbEdge> ce = dc.tile_edges(k);
+      const std::span<const tile::SnbEdge> re = dr.tile_edges(k);
+      ASSERT_EQ(ce.size(), re.size());
+      if (!ce.empty()) {
+        ASSERT_EQ(block_multiset(tile::splice_view(cv, ce)),
+                  block_multiset(tile::splice_view(rv, re)))
+            << "overlay tile_bits " << tb << " tile " << k;
+      }
+    }
+  }
+}
+
+// Backward compat: stores written under the v1/v2 formats (single start-edge
+// index, raw SNB payloads) still open and decode the same multiset the v3
+// writer produces for the same graph.
+TEST(PropertyFormatCompat, LegacyStoresDecodeIdenticallyToV3) {
+  auto el = graph::uniform_random(900, 4'000, GraphKind::kDirected, 77);
+  io::TempDir dir;
+  tile::ConvertOptions o;
+  o.tile_bits = 8;
+  auto v3 = gstore::testing::make_store(dir, el, o, {}, "v3");
+  tile::ConvertOptions rawo = o;
+  rawo.compress = false;
+  auto v2 = gstore::testing::make_store(dir, el, rawo, {}, "v2");
+  // A v1 store is a v2 store whose headers predate the generation field:
+  // version byte 1, generation bytes zero (they were reserved zeros).
+  tile::convert_to_tiles(el, dir.file("v1"), rawo);
+  auto patch32 = [](const std::string& path, std::uint64_t off,
+                    std::uint32_t val) {
+    io::File f(path, io::OpenMode::kReadWrite);
+    f.pwrite_full(&val, sizeof(val), off);
+  };
+  patch32(tile::TileStore::sei_path(dir.file("v1")), 8, 1);
+  patch32(tile::TileStore::sei_path(dir.file("v1")), 48, 0);
+  patch32(tile::TileStore::tiles_path(dir.file("v1")), 8, 1);
+  auto v1 = tile::TileStore::open(dir.file("v1"));
+
+  ASSERT_EQ(v3.meta().version, 3u);
+  ASSERT_EQ(v2.meta().version, 2u);
+  ASSERT_EQ(v1.meta().version, 1u);
+
+  auto edges_of = [](tile::TileStore& s) {
+    auto v = gstore::testing::decode_all_edges(s);
+    std::sort(v.begin(), v.end(), [](const graph::Edge& a,
+                                     const graph::Edge& b) {
+      return a.src != b.src ? a.src < b.src : a.dst < b.dst;
+    });
+    return v;
+  };
+  const auto want = edges_of(v3);
+  ASSERT_FALSE(want.empty());
+  EXPECT_EQ(edges_of(v2), want);
+  EXPECT_EQ(edges_of(v1), want);
 }
 
 // ---- conversion round-trip over random graphs -------------------------------
@@ -229,7 +384,7 @@ TEST(PropertyCompress, RoundTripsArbitraryTiles) {
     }
     auto payload = tile::compress_tile(edges);
     auto back = tile::decompress_tile(payload);
-    std::sort(edges.begin(), edges.end());
+    // Order-preserving round trip: compress_tile never reorders.
     ASSERT_EQ(back, edges) << "trial " << trial;
   }
 }

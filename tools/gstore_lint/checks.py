@@ -65,7 +65,7 @@ SYNC_PREFIXES = (
 )
 SYNC_COMPONENT = ("src/util/sync.h", "src/util/sync.cpp")
 
-GL4_DEFAULT_FILES = {"tile_file.cpp", "wal.cpp", "fault.cpp"}
+GL4_DEFAULT_FILES = {"tile_file.cpp", "wal.cpp", "fault.cpp", "compress.cpp"}
 GL4_EXEMPT_FILES = {"checked.h"}
 GL5_ROOT_NAMES = {"quiesce", "quiesce_all"}
 

@@ -36,7 +36,7 @@ CONTAINER_STORE_METHODS = {
 }
 WIRE_RECORDS = {
     "TilesFileHeader", "WalFileHeader", "WalFrameHeader", "FaultSpec",
-    "TileStoreMeta",
+    "TileStoreMeta", "TilePayloadHeader",
 }
 # GL6 field-level tracking. Wire records are *intrinsically* untrusted
 # (their bytes come straight off disk/socket); derived records (JobSpec)

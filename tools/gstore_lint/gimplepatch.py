@@ -49,7 +49,7 @@ from .model import AcquireEvent, ArithEvent, CallEvent, CompletionEvent, \
 GUARD_CLASSES = {"MutexLock", "WriterMutexLock", "ReaderMutexLock"}
 WIRE_RECORDS = {
     "TilesFileHeader", "WalFileHeader", "WalFrameHeader", "FaultSpec",
-    "TileStoreMeta",
+    "TileStoreMeta", "TilePayloadHeader",
 }
 # Member names whose declared type is a wire record: GIMPLE text types
 # only block-local decls, so `store.meta_.tile_count` is recognized by the

@@ -75,3 +75,12 @@ if [[ ${GSTORE_SKIP_SERVE:-0} != 1 ]]; then
   (cd "$repo_root" && "$serve_bench")
   stamp "$repo_root/BENCH_serve.json"
 fi
+
+# Tile-format space baseline (v2 raw SNB vs v3 codecs, bytes/edge). Writes
+# BENCH_tab2_space.json into its cwd, so run it from the repo root.
+if [[ ${GSTORE_SKIP_TAB2:-0} != 1 ]]; then
+  tab2_bench="$build_dir/bench/bench_tab2_space"
+  [[ -x "$tab2_bench" ]] || die "$tab2_bench not built; run: cmake --build $build_dir --target bench_tab2_space -j"
+  (cd "$repo_root" && "$tab2_bench")
+  stamp "$repo_root/BENCH_tab2_space.json"
+fi
