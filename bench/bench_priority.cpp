@@ -1,0 +1,295 @@
+// bench_priority — grid-order vs priority-driven selective tile scheduling
+// (docs/SCHEDULING.md; ISSUE 10).
+//
+// On a skewed (R-MAT) graph behind the emulated one-SSD device profile,
+// runs BFS, delta-stepping SSSP and push-based PageRank-delta under both
+// schedules and records, per algorithm:
+//   * sweeps        — grid iterations vs worklist rounds to convergence
+//   * bytes fetched — total tile payload read from the device
+//   * wasted bytes  — priority-round fetches that produced zero updates
+//   * wall seconds  — end-to-end engine time
+//   * identical     — BFS/SSSP results compared bit-for-bit across schedules
+//
+// What the numbers show (and why): on a COLD run the grid sweep with
+// selective fetch is already a near-optimal byte amortizer — one fetch per
+// active tile per sweep drains every pending row at once — so priority
+// mode's exact worklist fetches match BFS byte-for-byte and sit within a
+// few percent of grid on SSSP at a coarse delta, while fine deltas trade
+// extra refetches for fewer wasted relaxations (PageRank-delta converts
+// that into a wall-clock win when compute-bound). The decisive byte win of
+// the worklist machinery is the INCREMENTAL path, measured last: resuming
+// a converged SSSP over a small WAL delta re-fetches only the perturbed
+// neighbourhood instead of re-streaming the graph (~3x fewer bytes here,
+// and the gap widens with graph size at fixed delta-batch size). Prints a
+// table and writes BENCH_priority.json for machine consumption.
+#include <algorithm>
+#include <array>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <utility>
+
+#include "algo/bfs.h"
+#include "algo/pagerank_delta.h"
+#include "algo/sssp.h"
+#include "bench_common.h"
+#include "ingest/delta.h"
+
+namespace gstore::bench {
+namespace {
+
+struct Run {
+  std::uint64_t sweeps = 0;  // iterations (grid) or rounds (priority)
+  std::uint64_t bytes_read = 0;
+  std::uint64_t wasted_bytes = 0;
+  double seconds = 0;
+};
+
+Run fold(const store::EngineStats& s, double seconds) {
+  Run r;
+  r.sweeps = s.rounds > 0 ? s.rounds : s.iterations;
+  r.bytes_read = s.bytes_read;
+  r.wasted_bytes = s.wasted_fetch_bytes;
+  r.seconds = seconds;
+  return r;
+}
+
+store::EngineConfig sched_config(const tile::TileStore& store,
+                                 store::ScheduleMode mode) {
+  store::EngineConfig cfg = engine_config_fraction(store, 0.2);
+  cfg.schedule = mode;
+  return cfg;
+}
+
+// Runs `make()`'s algorithm under both schedules on a fresh engine each and
+// returns {grid, priority, results_identical}.
+template <typename Algo, typename Make, typename Fingerprint>
+std::pair<std::array<Run, 2>, bool> compare(tile::TileStore& store,
+                                            const Make& make,
+                                            const Fingerprint& fp) {
+  std::array<Run, 2> out;
+  Algo grid_algo = make();
+  {
+    store::ScrEngine engine(store,
+                            sched_config(store, store::ScheduleMode::kGrid));
+    Timer t;
+    const store::EngineStats s = engine.run(grid_algo);
+    out[0] = fold(s, t.seconds());
+  }
+  Algo prio_algo = make();
+  {
+    store::ScrEngine engine(
+        store, sched_config(store, store::ScheduleMode::kPriority));
+    Timer t;
+    const store::EngineStats s = engine.run(prio_algo);
+    out[1] = fold(s, t.seconds());
+  }
+  return {out, fp(grid_algo, prio_algo)};
+}
+
+int run() {
+  banner("bench_priority: grid vs priority-driven tile scheduling",
+         "delta-stepping worklists (no paper counterpart; docs/SCHEDULING.md)");
+
+  // Skewed band graph: unscrambled, heavily diagonal R-MAT (the "subdomain
+  // web" profile — dense communities with id locality) with every edge
+  // folded into a band |u-v| <= W around the diagonal, plus a backbone
+  // chain for connectivity. The band keeps the skew but gives the graph a
+  // real diameter (~n/W hops instead of a small-world ~6), which is the
+  // regime priority scheduling targets: a grid Bellman-Ford sweep
+  // re-fetches every wavefront tile once per sweep for dozens of sweeps,
+  // while bucket draining settles each tile in a few rounds. Small-world
+  // graphs (Graph500 Kronecker) converge in so few sweeps that both
+  // schedules fetch the same bytes — this bench measures the regime where
+  // the schedule matters.
+  graph::EdgeList skew =
+      graph::rmat(scale(), edge_factor(), graph::GraphKind::kUndirected,
+                  graph::RmatParams{0.65, 0.15, 0.15}, 42,
+                  /*scramble=*/false);
+  const graph::vid_t n = skew.vertex_count();
+  const graph::vid_t band = n >> 5;
+  std::vector<graph::Edge> edges;
+  edges.reserve(skew.edge_count() + n);
+  for (const graph::Edge& e : skew.edges()) {
+    // Fold the far endpoint to the same offset within the source's band:
+    // degree skew and within-community structure survive, long-range jumps
+    // don't.
+    const graph::vid_t span =
+        e.src > e.dst ? e.src - e.dst : e.dst - e.src;
+    graph::Edge f = e;
+    if (span > band) f.dst = e.src ^ std::max<graph::vid_t>(span & (band - 1), 1);
+    edges.push_back(f);
+  }
+  for (graph::vid_t u = 0; u + 1 < n; ++u) edges.push_back({u, u + 1});
+  graph::EdgeList el(std::move(edges), n, graph::GraphKind::kUndirected);
+  el.normalize();
+  io::TempDir dir;
+  tile::TileStore store = open_store(dir, el, default_tile_opts(), one_ssd());
+  const graph::vid_t root = hub_root(el);
+
+  const auto [bfs, bfs_same] = compare<algo::TileBfs>(
+      store, [&] { return algo::TileBfs(root); },
+      [](const algo::TileBfs& a, const algo::TileBfs& b) {
+        return a.depth() == b.depth();
+      });
+  // Coarse default: buckets of ~delta/mean-weight hops keep the round
+  // count near the sweep count, so each fetch drains as many rows as a
+  // grid sweep would. Finer deltas (e.g. 8) order relaxations strictly —
+  // fewer wasted relaxations, but each tile is refetched once per bucket
+  // its rows span, which costs bytes at tile granularity.
+  const float sssp_delta =
+      static_cast<float>(env_int("GSTORE_BENCH_DELTA", 256));
+  const auto [sssp, sssp_same] = compare<algo::TileSssp>(
+      store,
+      [&] {
+        algo::TileSssp s(root);
+        s.set_delta(sssp_delta);
+        return s;
+      },
+      [](const algo::TileSssp& a, const algo::TileSssp& b) {
+        const auto& da = a.distances();
+        const auto& db = b.distances();
+        return da.size() == db.size() &&
+               std::memcmp(da.data(), db.data(),
+                           da.size() * sizeof(float)) == 0;
+      });
+  const auto [pr, pr_converged] = compare<algo::TilePageRankDelta>(
+      store, [] { return algo::TilePageRankDelta(algo::PageRankDeltaOptions{}); },
+      [](const algo::TilePageRankDelta& a, const algo::TilePageRankDelta& b) {
+        // Float ranks are epsilon-, not bit-comparable across schedules
+        // (tests/property_test.cpp pins the epsilon); here record that both
+        // drained their residual below tolerance.
+        return a.residual_mass() < 1e-6 && b.residual_mass() < 1e-6;
+      });
+
+  // --- incremental recompute: resume over a WAL delta vs cold rerun ------
+  // Converge SSSP once, splice a small batch of new band edges in as a
+  // delta overlay, then resume from the converged state: the worklist is
+  // seeded from only the delta-touched tiles and the cascade re-fetches
+  // just the perturbed neighbourhood. The cold rerun over the same
+  // base ∪ overlay view is the byte baseline it replaces.
+  store::EngineStats resume_stats, rerun_stats;
+  bool resume_same = false;
+  {
+    algo::TileSssp inc(root);
+    inc.set_delta(sssp_delta);
+    store::ScrEngine engine(
+        store, sched_config(store, store::ScheduleMode::kPriority));
+    engine.run(inc);
+
+    std::vector<graph::Edge> batch;
+    for (graph::vid_t k = 0; k < 24; ++k) {
+      const graph::vid_t u = (root + k * 8191) % n;
+      const graph::vid_t v = u ^ (1u + k % (band - 1));
+      if (u != v && v < n) batch.push_back({u, v});
+    }
+    ingest::DeltaBuffer dbuf(store.grid(), store.meta(), 1 << 20);
+    dbuf.add_batch(batch);
+    const auto dirty = dbuf.take_dirty_tiles();
+    store.attach_overlay(&dbuf);
+    resume_stats = engine.resume(inc, dirty);
+
+    algo::TileSssp ref(root);
+    ref.set_delta(sssp_delta);
+    store::ScrEngine rerun(
+        store, sched_config(store, store::ScheduleMode::kPriority));
+    rerun_stats = rerun.run(ref);
+    resume_same =
+        inc.distances().size() == ref.distances().size() &&
+        std::memcmp(inc.distances().data(), ref.distances().data(),
+                    inc.distances().size() * sizeof(float)) == 0;
+    store.attach_overlay(nullptr);
+  }
+
+  struct NamedPair {
+    const char* name;
+    const std::array<Run, 2>& runs;
+    bool same;
+  };
+  const NamedPair rows[] = {{"bfs", bfs, bfs_same},
+                            {"sssp", sssp, sssp_same},
+                            {"pagerank-delta", pr, pr_converged}};
+
+  Table table({"algo", "schedule", "sweeps", "bytes read", "wasted",
+               "seconds", "identical"});
+  for (const auto& r : rows) {
+    table.row({r.name, "grid", std::to_string(r.runs[0].sweeps),
+               fmt_bytes(r.runs[0].bytes_read), "-",
+               fmt(r.runs[0].seconds, 3), "-"});
+    table.row({"", "priority", std::to_string(r.runs[1].sweeps),
+               fmt_bytes(r.runs[1].bytes_read),
+               fmt_bytes(r.runs[1].wasted_bytes), fmt(r.runs[1].seconds, 3),
+               r.same ? "yes" : "NO"});
+  }
+  table.row({"sssp +delta", "cold rerun",
+             std::to_string(rerun_stats.iterations),
+             fmt_bytes(rerun_stats.bytes_read), "-", "-", "-"});
+  table.row({"", "resume", std::to_string(resume_stats.rounds),
+             fmt_bytes(resume_stats.bytes_read),
+             fmt_bytes(resume_stats.wasted_fetch_bytes), "-",
+             resume_same ? "yes" : "NO"});
+  table.print();
+
+  std::FILE* json = std::fopen("BENCH_priority.json", "w");
+  if (json != nullptr) {
+    std::fprintf(json,
+                 "{\n"
+                 "  \"bench\": \"priority\",\n"
+                 "  \"vertices\": %llu,\n"
+                 "  \"edges\": %llu,\n",
+                 static_cast<unsigned long long>(el.vertex_count()),
+                 static_cast<unsigned long long>(el.edge_count()));
+    for (std::size_t k = 0; k < 3; ++k) {
+      const auto& r = rows[k];
+      const double ratio =
+          static_cast<double>(r.runs[1].bytes_read) /
+          std::max<double>(static_cast<double>(r.runs[0].bytes_read), 1.0);
+      std::fprintf(
+          json,
+          "  \"%s\": {\n"
+          "    \"grid_sweeps\": %llu,\n"
+          "    \"grid_bytes_read\": %llu,\n"
+          "    \"grid_seconds\": %.4f,\n"
+          "    \"priority_rounds\": %llu,\n"
+          "    \"priority_bytes_read\": %llu,\n"
+          "    \"priority_wasted_bytes\": %llu,\n"
+          "    \"priority_seconds\": %.4f,\n"
+          "    \"priority_byte_ratio\": %.4f,\n"
+          "    \"identical\": %s\n"
+          "  }%s\n",
+          r.name, static_cast<unsigned long long>(r.runs[0].sweeps),
+          static_cast<unsigned long long>(r.runs[0].bytes_read),
+          r.runs[0].seconds,
+          static_cast<unsigned long long>(r.runs[1].sweeps),
+          static_cast<unsigned long long>(r.runs[1].bytes_read),
+          static_cast<unsigned long long>(r.runs[1].wasted_bytes),
+          r.runs[1].seconds, ratio, r.same ? "true" : "false",
+          ",");
+    }
+    const double inc_ratio =
+        static_cast<double>(resume_stats.bytes_read) /
+        std::max<double>(static_cast<double>(rerun_stats.bytes_read), 1.0);
+    std::fprintf(
+        json,
+        "  \"sssp_incremental\": {\n"
+        "    \"cold_rerun_bytes_read\": %llu,\n"
+        "    \"resume_bytes_read\": %llu,\n"
+        "    \"resume_rounds\": %llu,\n"
+        "    \"resume_byte_ratio\": %.4f,\n"
+        "    \"identical\": %s\n"
+        "  }\n",
+        static_cast<unsigned long long>(rerun_stats.bytes_read),
+        static_cast<unsigned long long>(resume_stats.bytes_read),
+        static_cast<unsigned long long>(resume_stats.rounds), inc_ratio,
+        resume_same ? "true" : "false");
+    std::fprintf(json, "}\n");
+    std::fclose(json);
+    std::printf("\nwrote BENCH_priority.json\n");
+  }
+  return (bfs_same && sssp_same && resume_same) ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace gstore::bench
+
+int main() { return gstore::bench::run(); }

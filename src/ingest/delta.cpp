@@ -36,6 +36,14 @@ void DeltaBuffer::push_tuple(graph::vid_t src, graph::vid_t dst) {
                                         grid_.tile_base(c.j)));
   memory_bytes_ += sizeof(tile::SnbEdge);
   ++tuple_count_;
+  dirty_tiles_.insert(idx);
+}
+
+std::vector<std::uint64_t> DeltaBuffer::take_dirty_tiles() {
+  std::vector<std::uint64_t> out(dirty_tiles_.begin(), dirty_tiles_.end());
+  dirty_tiles_.clear();
+  std::sort(out.begin(), out.end());
+  return out;
 }
 
 bool DeltaBuffer::add(graph::Edge e) {
@@ -86,6 +94,7 @@ std::uint64_t DeltaBuffer::add_batch(std::span<const graph::Edge> edges) {
 void DeltaBuffer::clear() {
   tiles_.clear();
   degree_delta_.clear();
+  dirty_tiles_.clear();
   memory_bytes_ = 0;
   tuple_count_ = 0;
   ingested_ = 0;

@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <span>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "graph/types.h"
@@ -55,6 +56,12 @@ class DeltaBuffer final : public tile::TileOverlay {
   // the store format needs for it).
   std::uint64_t ingested_edges() const noexcept { return ingested_; }
 
+  // Incremental-recompute hook (ScrEngine::resume): the layout indices of
+  // tiles touched by add()/add_batch() since the last take, sorted
+  // ascending, clearing the set. A follow-up analytics pass re-activates
+  // exactly these tiles instead of rerunning from scratch.
+  std::vector<std::uint64_t> take_dirty_tiles();
+
   // ---- tile::TileOverlay ----
   std::span<const tile::SnbEdge> tile_edges(
       std::uint64_t layout_idx) const override;
@@ -76,6 +83,7 @@ class DeltaBuffer final : public tile::TileOverlay {
   std::uint64_t ingested_ = 0;
   std::unordered_map<std::uint64_t, std::vector<tile::SnbEdge>> tiles_;
   std::unordered_map<graph::vid_t, graph::degree_t> degree_delta_;
+  std::unordered_set<std::uint64_t> dirty_tiles_;  // touched since last take
 };
 
 }  // namespace gstore::ingest

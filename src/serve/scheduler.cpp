@@ -360,9 +360,16 @@ struct SharedScheduler::Runner {
       if (slot.bytes > pool.free_bytes()) continue;  // no forced eviction
       const auto subs = static_cast<std::uint64_t>(std::popcount(nm));
       const std::uint64_t charge = slot.bytes / subs;
+      // Admit while any subscriber still has quota headroom *before* the
+      // charge lands. Requiring the full charge to fit under the quota
+      // (charged[j] + charge <= quota) starved hot tiles whose split charge
+      // exceeds every job's remaining allowance — they were re-fetched
+      // every round even with free pool headroom (the free_bytes check
+      // above already guards capacity; the quota is a fairness knob, so a
+      // job's last admission may overshoot it by one tile).
       bool under_quota = false;
       for_bits(nm, [&](std::size_t j) {
-        if (charged[j] + charge <= quota) under_quota = true;
+        if (charged[j] < quota) under_quota = true;
       });
       if (!under_quota) continue;
       if (!pool.insert_pinned(slot.layout_idx, seg.pin_slot(slot),

@@ -10,6 +10,7 @@
 #include "store/cache_pool.h"
 #include "store/chunking.h"
 #include "store/segment.h"
+#include "store/worklist.h"
 #include "tile/overlay.h"
 #include "util/dcheck.h"
 #include "util/logging.h"
@@ -60,6 +61,11 @@ struct ScrEngine::Runner {
     if (!config.selective_fetch) return true;
     const tile::TileCoord c = grid.coord_at(layout_idx);
     return algo.tile_needed(c.i, c.j);
+  }
+
+  std::uint32_t priority_of(std::uint64_t layout_idx) const {
+    const tile::TileCoord c = grid.coord_at(layout_idx);
+    return algo.tile_priority(c.i, c.j);
   }
 
   std::uint64_t overlay_count(std::uint64_t layout_idx) const {
@@ -153,6 +159,8 @@ struct ScrEngine::Runner {
     if (!slots.empty()) flush_run(slots.size());
 
     stats.tiles_from_disk += slots.size();
+    for (const auto& slot : slots) bytes_fetched_total += slot.bytes;
+    for (auto& req : batch) req.priority = fetch_priority;
     if (batch.empty()) return 0;
     ++stats.io_batches;
     if (config.overlap_io) {
@@ -295,7 +303,8 @@ struct ScrEngine::Runner {
   bool run_iteration(std::uint32_t iter) {
     const Timer iter_timer;
     const IterationStats before{stats.tiles_from_disk, stats.tiles_from_cache,
-                                stats.tiles_skipped, stats.edges_processed, 0};
+                                stats.tiles_skipped, stats.edges_processed,
+                                bytes_fetched_total};
     algo.begin_iteration(iter);
 
     // REWIND: consume the cache pool first, no I/O (paper §VI-D).
@@ -430,15 +439,251 @@ struct ScrEngine::Runner {
     // frontier flags) to current.
     if (pool.budget() > 0) policy->analyze(pool, grid, algo);
 
+    const bool more = algo.end_iteration(iter);
+    const std::uint64_t fetched = bytes_fetched_total - before.bytes_fetched;
+    // last_round_updates() holds the iteration's update count until the next
+    // begin hook resets it, so it is still valid here.
+    if (algo.last_round_updates() == 0) stats.wasted_fetch_bytes += fetched;
     stats.per_iteration.push_back(IterationStats{
         stats.tiles_from_disk - before.tiles_from_disk,
         stats.tiles_from_cache - before.tiles_from_cache,
         stats.tiles_skipped - before.tiles_skipped,
-        stats.edges_processed - before.edges_processed, iter_timer.seconds()});
-    return algo.end_iteration(iter);
+        stats.edges_processed - before.edges_processed, fetched,
+        IterationStats::kNoBucket, iter_timer.seconds()});
+    return more;
+  }
+
+  // ---- priority mode (docs/SCHEDULING.md) --------------------------------
+
+  // Registers every tile carrying data (base bytes or overlay edges) under
+  // both of its tile rows, so a dirty row maps back to the tiles whose
+  // priority it can change. Both rows, not just the algorithm's source row:
+  // tile_priority(i,j) may consult either range (symmetric stores do), and
+  // over-approximating costs one oracle call per refresh, never correctness.
+  void build_row_tiles() {
+    row_tiles.assign(grid.p(), {});
+    row_mark.assign(grid.p(), 0);
+    for (std::uint64_t idx = 0; idx < grid.tile_count(); ++idx) {
+      if (store.tile_bytes(idx) == 0 && overlay_count(idx) == 0) continue;
+      const tile::TileCoord c = grid.coord_at(idx);
+      row_tiles[c.i].push_back(idx);
+      if (c.j != c.i) row_tiles[c.j].push_back(idx);
+    }
+  }
+
+  // Re-files one tile under its current oracle priority (kPriorityIdle
+  // unfiles it).
+  void refresh_tile(std::uint64_t layout_idx) {
+    worklist.push(layout_idx, priority_of(layout_idx));
+  }
+
+  void seed_worklist_full() {
+    for (std::uint64_t idx = 0; idx < grid.tile_count(); ++idx) {
+      if (store.tile_bytes(idx) == 0 && overlay_count(idx) == 0) continue;
+      refresh_tile(idx);
+    }
+  }
+
+  // Re-evaluates only the tiles touching `rows` (deduplicated via row_mark).
+  void refresh_rows(const std::vector<std::uint32_t>& rows) {
+    for (const std::uint32_t r : rows) {
+      GSTORE_DCHECK_LT(r, row_tiles.size());
+      if (r >= row_tiles.size() || row_mark[r]) continue;
+      row_mark[r] = 1;
+      for (const std::uint64_t idx : row_tiles[r]) refresh_tile(idx);
+    }
+    for (const std::uint32_t r : rows)
+      if (r < row_mark.size()) row_mark[r] = 0;
+  }
+
+  // One worklist round: drain the minimum bucket, process its cached tiles
+  // first (no I/O), SLIDE the rest from disk at the bucket's fetch priority,
+  // then splice delta-only overlay tiles. Returns end_round()'s verdict.
+  bool run_round(std::uint32_t round) {
+    const Timer round_timer;
+    const IterationStats before{stats.tiles_from_disk, stats.tiles_from_cache,
+                                stats.tiles_skipped, stats.edges_processed,
+                                bytes_fetched_total};
+    const std::uint32_t bucket = worklist.drain_min(round_tiles);
+    GSTORE_DCHECK(bucket != TileWorklist::kIdle);
+    algo.begin_round(round, bucket);
+    stats.max_bucket = std::max(stats.max_bucket, bucket);
+    fetch_priority = bucket;
+
+    // Partition the round: tiles already in the pool are processed in place
+    // (the REWIND idea applied per round), the rest are streamed. Overlay
+    // tiles with no base bytes never hit the fetch path.
+    round_fetch.clear();
+    round_delta_only.clear();
+    rewind_entries.clear();
+    if (config.rewind && pool.tile_count() > 0) {
+      pool.for_each_entry(
+          [&](const CachePool::Entry& e) { rewind_entries.push_back(e); });
+    } else if (!config.rewind) {
+      pool.clear();  // base policy keeps nothing across rounds
+    }
+    {
+      // Both lists are ascending in layout index (pool iterates its sorted
+      // map; drain_min sorts), so one merge pass splits the round.
+      std::size_t ci = 0;
+      std::vector<CachePool::Entry> cached;
+      for (const std::uint64_t idx : round_tiles) {
+        while (ci < rewind_entries.size() &&
+               rewind_entries[ci].layout_idx < idx)
+          ++ci;
+        if (ci < rewind_entries.size() &&
+            rewind_entries[ci].layout_idx == idx) {
+          cached.push_back(rewind_entries[ci]);
+          continue;
+        }
+        if (store.tile_bytes(idx) != 0)
+          round_fetch.push_back(idx);
+        else if (overlay_count(idx) != 0)
+          round_delta_only.push_back(idx);
+      }
+      rewind_entries.swap(cached);
+    }
+
+    // Cached tiles first — dispatch before any I/O is issued.
+    if (!rewind_entries.empty()) {
+      Timer t;
+      slot_costs.clear();
+      slot_costs.reserve(rewind_entries.size());
+      for (const auto& e : rewind_entries)
+        slot_costs.push_back(store.tile_edge_count(e.layout_idx) +
+                             overlay_count(e.layout_idx));
+      cost_chunks(slot_costs, chunks);
+      std::uint64_t edges = 0;
+      std::uint64_t oedges = 0;
+#ifdef _OPENMP
+#pragma omp parallel for schedule(dynamic) reduction(+ : edges, oedges)
+#endif
+      for (std::size_t c = 0; c < chunks.size(); ++c) {
+        for (std::size_t k = chunks[c].begin; k < chunks[c].end; ++k) {
+          process_one_captured(rewind_entries[k].layout_idx,
+                               rewind_entries[k].data);
+          edges += slot_costs[k];
+          oedges += overlay_count(rewind_entries[k].layout_idx);
+        }
+      }
+      rethrow_scan_error();
+      for (const auto& e : rewind_entries) pool.touch(e.layout_idx);
+      stats.tiles_from_cache += rewind_entries.size();
+      stats.edges_processed += edges;
+      stats.overlay_edges += oedges;
+      stats.compute_seconds += t.seconds();
+    }
+
+    // SLIDE over the round's fetch list (same quiesce-before-throw frame as
+    // the grid path: nothing may unwind while reads are in flight).
+    std::size_t pos = 0;
+    int cur = 0;
+    pending[0] = pending[1] = 0;
+    try {
+      pending[cur] = fill_and_submit(cur, round_fetch, pos);
+      while (!segments[cur].empty()) {
+        const int nxt = cur ^ 1;
+        GSTORE_DCHECK_EQ(pending[nxt], 0);
+        pending[nxt] = fill_and_submit(nxt, round_fetch, pos);
+        wait_segment(cur);
+        process_segment(cur);
+        cur = nxt;
+      }
+    } catch (...) {
+      quiesce_all();
+      throw;
+    }
+    GSTORE_DCHECK_EQ(pos, round_fetch.size());
+    GSTORE_DCHECK_EQ(pending[0], 0);
+    GSTORE_DCHECK_EQ(pending[1], 0);
+
+    if (!round_delta_only.empty()) {
+      Timer t;
+      slot_costs.clear();
+      slot_costs.reserve(round_delta_only.size());
+      for (const std::uint64_t idx : round_delta_only)
+        slot_costs.push_back(overlay_count(idx));
+      cost_chunks(slot_costs, chunks);
+      std::uint64_t oedges = 0;
+#ifdef _OPENMP
+#pragma omp parallel for schedule(dynamic) reduction(+ : oedges)
+#endif
+      for (std::size_t c = 0; c < chunks.size(); ++c) {
+        for (std::size_t k = chunks[c].begin; k < chunks[c].end; ++k) {
+          process_one_captured(round_delta_only[k], nullptr);
+          oedges += slot_costs[k];
+        }
+      }
+      rethrow_scan_error();
+      stats.edges_processed += oedges;
+      stats.overlay_edges += oedges;
+      stats.compute_seconds += t.seconds();
+    }
+
+    // Round-boundary cache analysis, before end_round for the same reason
+    // the grid path runs it before end_iteration (tile_useful_next refers
+    // to upcoming work; end_round promotes next-state metadata).
+    if (pool.budget() > 0) policy->analyze(pool, grid, algo);
+
+    const bool more = algo.end_round(round, bucket);
+    const std::uint64_t fetched = bytes_fetched_total - before.bytes_fetched;
+    if (algo.last_round_updates() == 0) stats.wasted_fetch_bytes += fetched;
+    stats.per_iteration.push_back(IterationStats{
+        stats.tiles_from_disk - before.tiles_from_disk,
+        stats.tiles_from_cache - before.tiles_from_cache,
+        0,  // priority mode has no grid scan, hence nothing was "skipped"
+        stats.edges_processed - before.edges_processed, fetched, bucket,
+        round_timer.seconds()});
+    ++stats.rounds;
+
+    // Re-file tiles whose priority inputs the round changed. An algorithm
+    // that cannot name its dirty rows gets a full oracle sweep (the same
+    // per-iteration cost the grid scan pays).
+    dirty_rows_scratch.clear();
+    if (algo.dirty_rows(dirty_rows_scratch))
+      refresh_rows(dirty_rows_scratch);
+    else
+      seed_worklist_full();
+    return more;
+  }
+
+  // Drives worklist rounds to completion. `cold` runs algo.init first; a
+  // non-empty `seed_tiles` (incremental resume) seeds the worklist from the
+  // rows those tiles touch instead of a full grid sweep.
+  EngineStats run_priority(bool cold,
+                           std::span<const std::uint64_t> seed_tiles) {
+    Timer total;
+    if (cold) algo.init(store);
+    store.device().reset_stats();
+    build_row_tiles();
+    worklist.reset(grid.tile_count());
+    if (seed_tiles.empty()) {
+      seed_worklist_full();
+    } else {
+      std::vector<std::uint32_t> rows;
+      rows.reserve(seed_tiles.size() * 2);
+      for (const std::uint64_t idx : seed_tiles) {
+        const tile::TileCoord c = grid.coord_at(idx);
+        rows.push_back(c.i);
+        if (c.j != c.i) rows.push_back(c.j);
+      }
+      refresh_rows(rows);
+    }
+    bool more = true;
+    std::uint32_t round = 0;
+    while (more && !worklist.empty() && round < config.max_iterations) {
+      more = run_round(round);
+      ++round;
+    }
+    GS_CHECK_MSG(!more || worklist.empty(),
+                 "algorithm did not converge within max_iterations");
+    stats.iterations = round;
+    return finish(total);
   }
 
   EngineStats run() {
+    if (config.schedule == ScheduleMode::kPriority)
+      return run_priority(/*cold=*/true, {});
     Timer total;
     algo.init(store);
     store.device().reset_stats();
@@ -450,6 +695,10 @@ struct ScrEngine::Runner {
     }
     GS_CHECK_MSG(!more, "algorithm did not converge within max_iterations");
     stats.iterations = iter;
+    return finish(total);
+  }
+
+  EngineStats finish(Timer& total) {
     const io::DeviceStats dev = store.device().stats();
     stats.bytes_read = dev.bytes_read;
     stats.retries = dev.retries;
@@ -489,6 +738,20 @@ struct ScrEngine::Runner {
   std::vector<std::uint64_t> slot_costs;
   std::vector<Chunk> chunks;
   std::vector<CachePool::Entry> rewind_entries;
+  // Priority-mode state: the bucketed worklist, the row→tiles adjacency it
+  // is refreshed through, and per-round scratch.
+  TileWorklist worklist;
+  std::vector<std::vector<std::uint64_t>> row_tiles;
+  std::vector<std::uint8_t> row_mark;
+  std::vector<std::uint64_t> round_tiles;
+  std::vector<std::uint64_t> round_fetch;
+  std::vector<std::uint64_t> round_delta_only;
+  std::vector<std::uint32_t> dirty_rows_scratch;
+  // Priority stamped onto this round's ReadRequests (the async engine
+  // serves lower values first when requests from several rounds or engines
+  // share a queue). Grid mode leaves it 0.
+  std::uint32_t fetch_priority = 0;
+  std::uint64_t bytes_fetched_total = 0;
   EngineStats stats;
 };
 
@@ -505,6 +768,23 @@ EngineStats ScrEngine::run(TileAlgorithm& algo) {
                << s.edges_processed << " edges processed, "
                << s.bytes_read / (1 << 20) << " MiB read, "
                << s.tiles_from_cache << " tiles from cache";
+  return s;
+}
+
+EngineStats ScrEngine::resume(TileAlgorithm& algo,
+                              std::span<const std::uint64_t> delta_tiles) {
+  Runner runner(store_, config_, budget_, algo);
+  if (delta_tiles.empty() || !algo.reactivate(store_, delta_tiles)) {
+    // No prior state to resume from (or nothing to resume onto): the cold
+    // run is the correct — and only — answer.
+    GS_LOG(Info) << algo.name()
+                 << ": reactivate declined, falling back to a cold run";
+    return runner.run();
+  }
+  EngineStats s = runner.run_priority(/*cold=*/false, delta_tiles);
+  GS_LOG(Info) << algo.name() << ": incremental resume over "
+               << delta_tiles.size() << " delta tiles, " << s.rounds
+               << " rounds, " << s.bytes_read / (1 << 20) << " MiB read";
   return s;
 }
 

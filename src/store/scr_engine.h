@@ -9,10 +9,16 @@
 //   CACHE  — each processed segment offers its tiles to the cache pool under
 //            the configured policy; proactive analysis evicts tiles the
 //            algorithm's metadata rules out for the next iteration.
+//
+// ScheduleMode::kPriority replaces the grid-order iteration with bucketed
+// worklist rounds (docs/SCHEDULING.md): each round drains the minimum
+// priority bucket of tiles — cached ones first, then a SLIDE over the rest —
+// and re-files tiles whose priority the algorithm's updates changed.
 #pragma once
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "store/algorithm.h"
@@ -22,10 +28,20 @@
 
 namespace gstore::store {
 
+// How the engine orders tile work within a run.
+//   kGrid     — the paper's scheme: every iteration scans needed tiles in
+//               physical layout order.
+//   kPriority — delta-stepping worklist: tiles carry algorithm-assigned
+//               priorities and rounds drain the minimum bucket first. The
+//               worklist subsumes selective fetch (an idle tile is simply
+//               never filed), so EngineConfig::selective_fetch is ignored.
+enum class ScheduleMode { kGrid, kPriority };
+
 struct EngineConfig {
   std::uint64_t stream_memory_bytes = 64ull << 20;
   std::uint64_t segment_bytes = 8ull << 20;
   CachePolicyKind policy = CachePolicyKind::kProactive;
+  ScheduleMode schedule = ScheduleMode::kGrid;
   bool rewind = true;           // off = "base policy" of the Fig 13 ablation
   bool selective_fetch = true;  // honour algo.tile_needed when fetching
   bool overlap_io = true;       // double-buffer I/O with compute
@@ -39,16 +55,33 @@ struct EngineConfig {
 
 // Per-iteration breakdown: how the working set and I/O evolve as frontiers
 // grow/shrink and the cache warms (what the paper's Figure 8 timeline shows).
+// In priority mode one entry covers one worklist *round* (one drained
+// bucket), not one grid sweep: `bucket` records which bucket it drained and
+// tiles_skipped stays 0 — tiles the worklist never filed were not "scanned
+// and skipped", they were never candidates (satellite 3 of ISSUE 10).
 struct IterationStats {
+  static constexpr std::uint32_t kNoBucket = 0xffffffffu;  // grid-mode entry
   std::uint64_t tiles_from_disk = 0;
   std::uint64_t tiles_from_cache = 0;
   std::uint64_t tiles_skipped = 0;
   std::uint64_t edges_processed = 0;
+  std::uint64_t bytes_fetched = 0;   // base-tile bytes read this round/iter
+  std::uint32_t bucket = kNoBucket;  // drained worklist bucket (priority mode)
   double seconds = 0;
 };
 
 struct EngineStats {
+  // Grid mode: grid sweeps. Priority mode: worklist rounds (same value as
+  // `rounds`), so convergence comparisons read one field in both modes.
   std::uint32_t iterations = 0;
+  // Worklist rounds executed (0 in grid mode). A round drains one bucket.
+  std::uint64_t rounds = 0;
+  // Highest bucket any round drained (0 when rounds == 0).
+  std::uint32_t max_bucket = 0;
+  // Base-tile bytes fetched in rounds/iterations whose processing produced
+  // zero label updates (last_round_updates() == 0) — I/O that bought no
+  // progress. Convergence-tail waste the priority mode exists to remove.
+  std::uint64_t wasted_fetch_bytes = 0;
   std::uint64_t bytes_read = 0;
   std::uint64_t tiles_from_disk = 0;
   std::uint64_t tiles_from_cache = 0;
@@ -89,6 +122,17 @@ class ScrEngine {
 
   // Runs the algorithm to completion and returns run statistics.
   EngineStats run(TileAlgorithm& algo);
+
+  // Incremental recompute: re-activates only the tiles a WAL delta touched
+  // (`delta_tiles`, layout indices from TileOverlay::nonempty_tiles) and
+  // drives priority rounds until the re-armed work drains, instead of
+  // rerunning from scratch. `algo` must hold the converged state of a prior
+  // run over the same store, and the overlay carrying the new edges must be
+  // attached to the store before the call. Falls back to a cold run() when
+  // the algorithm's reactivate() declines. Always uses priority scheduling —
+  // the worklist is what makes "only the affected tiles" expressible.
+  EngineStats resume(TileAlgorithm& algo,
+                     std::span<const std::uint64_t> delta_tiles);
 
   const EngineConfig& config() const noexcept { return config_; }
   const MemoryBudget& budget() const noexcept { return budget_; }

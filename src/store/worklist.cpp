@@ -1,0 +1,67 @@
+#include "store/worklist.h"
+
+#include <algorithm>
+
+#include "util/dcheck.h"
+
+namespace gstore::store {
+
+void TileWorklist::reset(std::uint64_t tile_count) {
+  prio_.assign(tile_count, kIdle);
+  buckets_.clear();
+  live_ = 0;
+  cursor_ = 0;
+}
+
+void TileWorklist::push(std::uint64_t layout_idx, std::uint32_t priority) {
+  GSTORE_DCHECK_LT(layout_idx, prio_.size());
+  if (priority == kIdle) {
+    deactivate(layout_idx);
+    return;
+  }
+  const std::uint32_t p = std::min(priority, kMaxBucket);
+  const std::uint32_t old = prio_[layout_idx];
+  if (old == p) return;  // already filed there
+  if (old == kIdle) ++live_;
+  prio_[layout_idx] = p;  // the entry in bucket `old` (if any) goes stale
+  if (p >= buckets_.size()) buckets_.resize(p + 1);
+  buckets_[p].push_back(layout_idx);
+  cursor_ = std::min(cursor_, p);
+}
+
+void TileWorklist::deactivate(std::uint64_t layout_idx) {
+  GSTORE_DCHECK_LT(layout_idx, prio_.size());
+  if (prio_[layout_idx] == kIdle) return;
+  prio_[layout_idx] = kIdle;  // bucket entry goes stale
+  GSTORE_DCHECK_GT(live_, 0);
+  --live_;
+}
+
+std::uint32_t TileWorklist::drain_min(std::vector<std::uint64_t>& out) {
+  out.clear();
+  if (live_ == 0) return kIdle;
+  while (cursor_ < buckets_.size()) {
+    std::vector<std::uint64_t>& b = buckets_[cursor_];
+    for (const std::uint64_t idx : b) {
+      // Stale entries (re-filed or deactivated since they were appended)
+      // no longer match the authoritative priority.
+      if (prio_[idx] != cursor_) continue;
+      prio_[idx] = kIdle;
+      out.push_back(idx);
+    }
+    b.clear();
+    if (!out.empty()) {
+      live_ -= out.size();
+      // Appends arrive in push order, which refiling scrambles; the engine
+      // wants ascending layout order for coalesced sequential reads.
+      std::sort(out.begin(), out.end());
+      return cursor_;
+    }
+    ++cursor_;
+  }
+  GSTORE_DCHECK_EQ(live_, 0);  // unreachable with a consistent live_ count
+  live_ = 0;
+  return kIdle;
+}
+
+}  // namespace gstore::store

@@ -1,0 +1,66 @@
+// Bucketed tile worklist for priority-driven scheduling (ROADMAP item 2).
+//
+// Delta-stepping over tiles, in the Galois worklist style: every tile with
+// pending work is filed under an integer bucket (its priority; smaller =
+// more urgent), and the engine drains the minimum nonempty bucket per round
+// instead of sliding the whole grid in row order. For SSSP the bucket is
+// floor(min pending distance / delta); for BFS it is the frontier level;
+// for PageRank-delta it is the exponent of the pending residual mass.
+//
+// Refiling is lazy: push() with a new priority just appends to the new
+// bucket and flips the authoritative per-tile priority — the entry left in
+// the old bucket is recognized as stale during drain (its recorded bucket
+// no longer matches prio_[idx]) and skipped. This keeps push() O(1) and
+// avoids scanning buckets on every priority change, at the cost of at most
+// one dead slot per refile (reclaimed as soon as its bucket is drained).
+//
+// Not thread-safe: the engine mutates the worklist only between rounds, on
+// the orchestrating thread (same single-writer contract as the overlay).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace gstore::store {
+
+class TileWorklist {
+ public:
+  // Matches TileAlgorithm::kPriorityIdle: "no pending work for this tile".
+  static constexpr std::uint32_t kIdle = 0xffffffffu;
+  // Priorities at or above this are clamped into one overflow bucket, so a
+  // pathological oracle (e.g. huge SSSP distances) cannot allocate millions
+  // of empty bucket vectors. Tiles in the overflow bucket drain together
+  // and are re-filed with finer priorities as the wave approaches them.
+  static constexpr std::uint32_t kMaxBucket = 1u << 16;
+
+  // Resets to an empty worklist over `tile_count` layout indices.
+  void reset(std::uint64_t tile_count);
+
+  // Files (or re-files) a tile under `priority`; kIdle removes it.
+  void push(std::uint64_t layout_idx, std::uint32_t priority);
+
+  // Removes a tile from the worklist (its bucket entry goes stale).
+  void deactivate(std::uint64_t layout_idx);
+
+  // The authoritative priority of one tile (kIdle when unfiled).
+  std::uint32_t priority_of(std::uint64_t layout_idx) const {
+    return prio_[layout_idx];
+  }
+
+  bool empty() const noexcept { return live_ == 0; }
+  std::uint64_t size() const noexcept { return live_; }
+
+  // Pops every tile filed in the minimum nonempty bucket into `out`
+  // (ascending layout order, so the fetch path keeps sequential I/O), and
+  // returns that bucket. Popped tiles become unfiled; the caller re-pushes
+  // any that still have work after the round. Returns kIdle when empty.
+  std::uint32_t drain_min(std::vector<std::uint64_t>& out);
+
+ private:
+  std::vector<std::uint32_t> prio_;  // per layout index; kIdle = unfiled
+  std::vector<std::vector<std::uint64_t>> buckets_;
+  std::uint64_t live_ = 0;   // tiles currently filed (stale entries excluded)
+  std::uint32_t cursor_ = 0; // no nonempty bucket below this index
+};
+
+}  // namespace gstore::store

@@ -370,3 +370,220 @@ TEST(ScrEngine, CacheWarmupVisibleInPerIterationStats) {
 
 }  // namespace
 }  // namespace gstore::store
+// Appended: priority-driven selective scheduling (ISSUE 10).
+#include "store/worklist.h"
+
+namespace gstore::store {
+namespace {
+
+TEST(TileWorklist, DrainsBucketsAscendingAndTilesInLayoutOrder) {
+  TileWorklist wl;
+  wl.reset(16);
+  wl.push(3, 5);
+  wl.push(7, 2);
+  wl.push(1, 2);
+  wl.push(11, 9);
+  EXPECT_EQ(wl.size(), 4u);
+  EXPECT_EQ(wl.priority_of(7), 2u);
+  std::vector<std::uint64_t> out;
+  EXPECT_EQ(wl.drain_min(out), 2u);
+  EXPECT_EQ(out, (std::vector<std::uint64_t>{1, 7}));
+  EXPECT_EQ(wl.drain_min(out), 5u);
+  EXPECT_EQ(out, (std::vector<std::uint64_t>{3}));
+  EXPECT_EQ(wl.drain_min(out), 9u);
+  EXPECT_EQ(out, (std::vector<std::uint64_t>{11}));
+  EXPECT_TRUE(wl.empty());
+  EXPECT_EQ(wl.drain_min(out), TileWorklist::kIdle);
+}
+
+TEST(TileWorklist, LazyRefileDeliversEachTileOnce) {
+  TileWorklist wl;
+  wl.reset(8);
+  wl.push(4, 8);
+  wl.push(4, 3);  // improve: the bucket-8 entry goes stale
+  EXPECT_EQ(wl.size(), 1u);
+  std::vector<std::uint64_t> out;
+  EXPECT_EQ(wl.drain_min(out), 3u);
+  EXPECT_EQ(out, (std::vector<std::uint64_t>{4}));
+  // The stale bucket-8 entry must not resurface.
+  EXPECT_EQ(wl.drain_min(out), TileWorklist::kIdle);
+  EXPECT_TRUE(out.empty());
+  // Worsening a priority also refiles (engine re-pushes after each round).
+  wl.push(4, 2);
+  wl.push(4, 6);
+  EXPECT_EQ(wl.size(), 1u);
+  EXPECT_EQ(wl.drain_min(out), 6u);
+  EXPECT_EQ(out, (std::vector<std::uint64_t>{4}));
+}
+
+TEST(TileWorklist, IdlePushAndDeactivateUnfile) {
+  TileWorklist wl;
+  wl.reset(8);
+  wl.push(2, 4);
+  wl.push(5, 4);
+  wl.push(2, TileWorklist::kIdle);
+  wl.deactivate(5);
+  wl.deactivate(5);  // idempotent
+  EXPECT_TRUE(wl.empty());
+  std::vector<std::uint64_t> out;
+  EXPECT_EQ(wl.drain_min(out), TileWorklist::kIdle);
+  EXPECT_EQ(wl.priority_of(2), TileWorklist::kIdle);
+}
+
+TEST(TileWorklist, PathologicalPrioritiesShareTheOverflowBucket) {
+  TileWorklist wl;
+  wl.reset(4);
+  wl.push(0, TileWorklist::kMaxBucket + 1000);
+  wl.push(1, 0xfffffffeu);  // kIdle - 1, the largest non-idle priority
+  wl.push(2, 1);
+  std::vector<std::uint64_t> out;
+  EXPECT_EQ(wl.drain_min(out), 1u);
+  EXPECT_EQ(out, (std::vector<std::uint64_t>{2}));
+  // Both clamped tiles drain together from the single overflow bucket.
+  EXPECT_EQ(wl.drain_min(out), TileWorklist::kMaxBucket);
+  EXPECT_EQ(out, (std::vector<std::uint64_t>{0, 1}));
+  EXPECT_TRUE(wl.empty());
+}
+
+// Orders tiles by their row index and records which bucket each round
+// drained — the engine must deliver rounds in ascending bucket order, each
+// containing exactly that row's tiles.
+class RowPriorityAlgo final : public TileAlgorithm {
+ public:
+  std::string name() const override { return "row-priority"; }
+  void init(const tile::TileStore& store) override { grid_ = &store.grid(); }
+  void begin_round(std::uint32_t, std::uint32_t bucket) override {
+    bucket_ = bucket;
+    round_buckets_.push_back(bucket);
+  }
+  void process_tile(const tile::TileView& view) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    EXPECT_EQ(view.coord.i, bucket_);
+    ++tiles_seen_;
+  }
+  bool end_round(std::uint32_t, std::uint32_t) override { return true; }
+  void begin_iteration(std::uint32_t) override {}
+  bool end_iteration(std::uint32_t) override { return true; }
+  std::uint32_t tile_priority(std::uint32_t i, std::uint32_t) const override {
+    return i;
+  }
+  // Nothing ever changes priority: drained tiles stay drained, so the run
+  // ends when the seeded worklist empties.
+  bool dirty_rows(std::vector<std::uint32_t>&) const override { return true; }
+
+  std::vector<std::uint32_t> round_buckets_;
+  std::uint64_t tiles_seen_ = 0;
+
+ private:
+  const tile::Grid* grid_ = nullptr;
+  std::uint32_t bucket_ = 0;
+  std::mutex mu_;
+};
+
+TEST(ScrEngine, PriorityRoundsDrainAscendingBuckets) {
+  io::TempDir dir;
+  auto store = kron_store(dir);
+  EngineConfig cfg = tiny_memory();
+  cfg.schedule = ScheduleMode::kPriority;
+  RowPriorityAlgo algo;
+  const auto stats = ScrEngine(store, cfg).run(algo);
+  ASSERT_FALSE(algo.round_buckets_.size() == 0);
+  for (std::size_t k = 1; k < algo.round_buckets_.size(); ++k)
+    EXPECT_LT(algo.round_buckets_[k - 1], algo.round_buckets_[k]);
+  std::uint64_t nonempty = 0;
+  for (std::uint64_t k = 0; k < store.grid().tile_count(); ++k)
+    if (store.tile_edge_count(k) > 0) ++nonempty;
+  EXPECT_EQ(algo.tiles_seen_, nonempty);  // every tile exactly once
+  EXPECT_EQ(stats.rounds, algo.round_buckets_.size());
+  EXPECT_EQ(stats.max_bucket, algo.round_buckets_.back());
+}
+
+TEST(ScrEngine, PriorityModeCoversSameTilesAsGrid) {
+  io::TempDir dir;
+  auto store = kron_store(dir);
+  RecordingAlgo grid_algo(3), prio_algo(3);
+  ScrEngine(store, tiny_memory()).run(grid_algo);
+  EngineConfig cfg = tiny_memory();
+  cfg.schedule = ScheduleMode::kPriority;
+  const auto stats = ScrEngine(store, cfg).run(prio_algo);
+  // Default oracle files every needed tile at priority 0, so one round is
+  // one full sweep: coverage is identical to the grid schedule.
+  ASSERT_EQ(prio_algo.per_iter_.size(), grid_algo.per_iter_.size());
+  for (std::size_t k = 0; k < grid_algo.per_iter_.size(); ++k)
+    EXPECT_EQ(prio_algo.per_iter_[k], grid_algo.per_iter_[k]);
+  EXPECT_EQ(prio_algo.edges_seen_, grid_algo.edges_seen_);
+  EXPECT_EQ(stats.rounds, 3u);
+  EXPECT_EQ(stats.iterations, 3u);
+}
+
+TEST(ScrEngine, PriorityStatsAreCoherent) {
+  io::TempDir dir;
+  auto store = kron_store(dir);
+  EngineConfig cfg = tiny_memory();
+  cfg.schedule = ScheduleMode::kPriority;
+  RecordingAlgo algo(4);
+  const auto stats = ScrEngine(store, cfg).run(algo);
+  EXPECT_EQ(stats.rounds, 4u);
+  EXPECT_EQ(stats.iterations, 4u);
+  ASSERT_EQ(stats.per_iteration.size(), 4u);
+  IterationStats sum;
+  std::uint64_t fetched = 0;
+  for (const auto& it : stats.per_iteration) {
+    EXPECT_NE(it.bucket, IterationStats::kNoBucket);
+    EXPECT_LE(it.bucket, stats.max_bucket);
+    // Priority mode never "skips" — unfiled tiles were never candidates.
+    EXPECT_EQ(it.tiles_skipped, 0u);
+    sum.tiles_from_disk += it.tiles_from_disk;
+    sum.tiles_from_cache += it.tiles_from_cache;
+    sum.edges_processed += it.edges_processed;
+    fetched += it.bytes_fetched;
+  }
+  EXPECT_EQ(sum.tiles_from_disk, stats.tiles_from_disk);
+  EXPECT_EQ(sum.tiles_from_cache, stats.tiles_from_cache);
+  EXPECT_EQ(sum.edges_processed, stats.edges_processed);
+  EXPECT_EQ(sum.edges_processed, algo.edges_seen_);
+  // Per-round fetch accounting reconciles with the device's byte counter.
+  EXPECT_EQ(fetched, stats.bytes_read);
+  EXPECT_EQ(stats.tiles_skipped, 0u);
+  // RecordingAlgo always reports progress, so nothing was wasted.
+  EXPECT_EQ(stats.wasted_fetch_bytes, 0u);
+}
+
+TEST(ScrEngine, PriorityModeHonorsMaxIterations) {
+  io::TempDir dir;
+  auto store = kron_store(dir, 7, 4);
+  class NeverDone final : public TileAlgorithm {
+   public:
+    std::string name() const override { return "never"; }
+    void init(const tile::TileStore&) override {}
+    void begin_iteration(std::uint32_t) override {}
+    void process_tile(const tile::TileView&) override {}
+    bool end_iteration(std::uint32_t) override { return true; }
+  } algo;
+  EngineConfig cfg = tiny_memory();
+  cfg.schedule = ScheduleMode::kPriority;
+  cfg.max_iterations = 5;
+  EXPECT_THROW(ScrEngine(store, cfg).run(algo), Error);
+}
+
+TEST(ScrEngine, PriorityModeCachesAcrossRounds) {
+  io::TempDir dir;
+  auto store = kron_store(dir, 8, 4);
+  EngineConfig cfg;
+  cfg.stream_memory_bytes = 64 << 20;  // whole graph fits the pool
+  cfg.segment_bytes = 1 << 20;
+  cfg.schedule = ScheduleMode::kPriority;
+  RecordingAlgo algo(3);
+  const auto stats = ScrEngine(store, cfg).run(algo);
+  // Round 0 fetches, rounds 1-2 run entirely out of the pool.
+  ASSERT_EQ(stats.per_iteration.size(), 3u);
+  EXPECT_GT(stats.per_iteration[0].tiles_from_disk, 0u);
+  EXPECT_EQ(stats.per_iteration[1].tiles_from_disk, 0u);
+  EXPECT_EQ(stats.per_iteration[2].tiles_from_disk, 0u);
+  EXPECT_GT(stats.per_iteration[1].tiles_from_cache, 0u);
+  EXPECT_EQ(stats.bytes_read,
+            store.bytes_of_range(0, store.grid().tile_count()));
+}
+
+}  // namespace
+}  // namespace gstore::store

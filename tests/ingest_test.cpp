@@ -668,3 +668,161 @@ TEST(Verify, ChecksWalFrames) {
 
 }  // namespace
 }  // namespace gstore
+// Appended: incremental recompute + codec-aware compaction (ISSUE 10).
+#include "algo/sssp.h"
+#include "tile/compress.h"
+
+namespace gstore {
+namespace {
+
+tile::TileCodec codec_of(tile::TileStore& s, std::uint64_t k) {
+  std::vector<std::uint8_t> buf(s.tile_bytes(k));
+  s.read_range(k, k + 1, buf.data());
+  return s.view(k, buf.data()).codec;
+}
+
+// The WAL delta arrives, and instead of rerunning SSSP from scratch the
+// engine re-activates only the tiles the delta touched (ScrEngine::resume).
+// New edges can only shorten paths, so resuming from the converged
+// distances must reach the same fixpoint as a cold run over base ∪ delta.
+TEST(IncrementalRecompute, SsspResumeMatchesColdRerun) {
+  io::TempDir dir;
+  const graph::EdgeList full = strip_self_loops(
+      graph::kronecker(11, 6, graph::GraphKind::kUndirected, 77));
+  graph::EdgeList base;
+  std::vector<graph::Edge> batch;
+  split(full, 0.995, base, batch);
+  ASSERT_GT(batch.size(), 5u);
+  batch.resize(std::min<std::size_t>(batch.size(), 12));  // few touched tiles
+
+  tile::ConvertOptions copt;
+  copt.tile_bits = 5;
+  copt.group_side = 2;
+  tile::convert_to_tiles(base, dir.file("g"), copt);
+  auto store = tile::TileStore::open(dir.file("g"));
+
+  store::EngineConfig cfg;
+  cfg.stream_memory_bytes = 96 << 10;
+  cfg.segment_bytes = 8 << 10;
+
+  // Converged cold state on the base graph, no overlay.
+  algo::TileSssp sssp(0);
+  store::ScrEngine engine(store, cfg);
+  const auto cold_stats = engine.run(sssp);
+
+  // Deliver the batch; the dirty-tile set drives the re-activation.
+  ingest::DeltaBuffer delta(store.grid(), store.meta(), 1 << 20);
+  delta.add_batch(batch);
+  const auto dirty = delta.take_dirty_tiles();
+  EXPECT_EQ(dirty, delta.nonempty_tiles());
+  EXPECT_TRUE(delta.take_dirty_tiles().empty());  // take clears the set
+  store.attach_overlay(&delta);
+
+  const auto resume_stats = engine.resume(sssp, dirty);
+
+  // Reference: a from-scratch run over the same base ∪ overlay view.
+  algo::TileSssp ref(0);
+  store::ScrEngine(store, cfg).run(ref);
+  const auto& have = sssp.distances();
+  const auto& want = ref.distances();
+  ASSERT_EQ(have.size(), want.size());
+  for (std::size_t v = 0; v < have.size(); ++v)
+    ASSERT_EQ(have[v], want[v]) << "vertex " << v;
+
+  // The resume touched only the delta's neighbourhood — far less I/O than
+  // the converged cold run it replaces.
+  EXPECT_GT(resume_stats.rounds, 0u);
+  EXPECT_LT(resume_stats.bytes_read, cold_stats.bytes_read);
+}
+
+TEST(IncrementalRecompute, BfsDeclinesAndFallsBackToColdRun) {
+  io::TempDir dir;
+  const graph::EdgeList full = strip_self_loops(
+      graph::kronecker(9, 6, graph::GraphKind::kUndirected, 31));
+  graph::EdgeList base;
+  std::vector<graph::Edge> batch;
+  split(full, 0.95, base, batch);
+
+  tile::ConvertOptions copt;
+  copt.tile_bits = 5;
+  tile::convert_to_tiles(base, dir.file("g"), copt);
+  auto store = tile::TileStore::open(dir.file("g"));
+
+  algo::TileBfs bfs(0);
+  store::ScrEngine engine(store);
+  engine.run(bfs);
+
+  ingest::DeltaBuffer delta(store.grid(), store.meta(), 1 << 20);
+  delta.add_batch(batch);
+  store.attach_overlay(&delta);
+
+  // BFS cannot lower already-assigned depths in place (its visited CAS is
+  // one-shot), so reactivate() declines and resume() reruns cold — the
+  // fallback must still produce the union graph's answer.
+  engine.resume(bfs, delta.nonempty_tiles());
+  algo::TileBfs ref(0);
+  store::ScrEngine(store).run(ref);
+  EXPECT_EQ(bfs.depth(), ref.depth());
+}
+
+TEST(IncrementalRecompute, EmptyDeltaFallsBackToColdRun) {
+  io::TempDir dir;
+  graph::EdgeList el({{0, 1}, {1, 2}, {2, 3}}, 8,
+                     graph::GraphKind::kUndirected);
+  tile::ConvertOptions copt;
+  copt.tile_bits = 2;
+  auto store = make_store(dir, el, copt);
+  algo::TileSssp sssp(0);
+  store::ScrEngine engine(store);
+  engine.resume(sssp, {});  // no prior run, no delta: plain cold run
+  algo::TileSssp ref(0);
+  store::ScrEngine(store).run(ref);
+  EXPECT_EQ(sssp.distances(), ref.distances());
+}
+
+// Satellite: codec-aware compaction. A tile whose base payload encodes as
+// row runs must be re-encoded under whichever codec wins for the *merged*
+// edge set once a dense scattered overlay is folded in — compaction always
+// re-runs codec selection, it never keeps the old tile's choice.
+TEST(Compaction, RunsFriendlyTileFlipsCodecAfterDenseOverlayMerge) {
+  io::TempDir dir;
+  // One 32×32 tile. Base rows are complete contiguous ranges — the runs
+  // codec encodes each row in a couple of bytes and wins outright.
+  std::vector<graph::Edge> base_edges;
+  for (graph::vid_t s = 0; s < 8; ++s)
+    for (graph::vid_t d = 8; d < 32; ++d) base_edges.push_back({s, d});
+  graph::EdgeList base(std::move(base_edges), 32, graph::GraphKind::kDirected);
+  tile::ConvertOptions copt;
+  copt.tile_bits = 5;
+  tile::convert_to_tiles(base, dir.file("g"), copt);
+
+  ingest::EdgeIngestor ingestor(dir.file("g"));
+  const auto before = codec_of(ingestor.store(), 0);
+  EXPECT_TRUE(before == tile::TileCodec::kRuns ||
+              before == tile::TileCodec::kHybrid)
+      << "base tile should be runs-friendly, got " << int(before);
+
+  // Scatter pseudo-random edges over the whole tile: runs break apart.
+  std::vector<graph::Edge> scattered;
+  for (std::uint32_t k = 0; k < 300; ++k) {
+    const auto s = static_cast<graph::vid_t>((k * 17 + 5) % 32);
+    const auto d = static_cast<graph::vid_t>((k * k * 13 + 7) % 32);
+    if (s != d) scattered.push_back({s, d});
+  }
+  ingestor.ingest(scattered);
+  ingestor.compact();
+
+  const auto after = codec_of(ingestor.store(), 0);
+  EXPECT_NE(after, before)
+      << "compaction kept codec " << int(before)
+      << " for a tile whose merged payload is no longer runs-friendly";
+
+  // And the re-encoded tile still decodes to exactly base ∪ delta.
+  auto union_el = base.edges();
+  std::vector<graph::Edge> all(union_el.begin(), union_el.end());
+  for (const graph::Edge& e : scattered) all.push_back(e);
+  EXPECT_EQ(sorted(decode_all_edges(ingestor.store())), sorted(all));
+}
+
+}  // namespace
+}  // namespace gstore

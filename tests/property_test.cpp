@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 #include <map>
 #include <memory>
 #include <set>
@@ -596,6 +597,150 @@ TEST(PropertyDegrees, OverflowFlagRoundTrips) {
   const auto fallback = CompressedDegrees::build(heavy);
   ASSERT_FALSE(fallback.compressed());
   for (vid_t v = 0; v < fallback.size(); ++v) ASSERT_EQ(fallback[v], heavy[v]);
+}
+
+}  // namespace
+}  // namespace gstore
+// Appended: priority-schedule equivalence (ISSUE 10).
+//
+// The worklist scheduler changes WHICH tiles are fetched WHEN — never what
+// the algorithms compute. BFS and SSSP converge to order-independent
+// fixpoints, so priority mode must be bit-identical to grid order at every
+// tile width, with and without an overlay, on v2 and v3 stores. PageRank-
+// delta's fixed-point truncation lands at different drain times across
+// schedules, so it agrees to within the tolerance instead.
+#include "algo/pagerank_delta.h"
+#include "algo/sssp.h"
+
+namespace gstore {
+namespace {
+
+store::EngineConfig schedule_cfg(store::ScheduleMode mode) {
+  store::EngineConfig cfg;
+  cfg.stream_memory_bytes = 96 << 10;  // several slide phases per round
+  cfg.segment_bytes = 8 << 10;
+  cfg.schedule = mode;
+  return cfg;
+}
+
+void expect_bfs_sssp_schedule_identical(tile::TileStore& store,
+                                        const std::string& label) {
+  const auto grid = schedule_cfg(store::ScheduleMode::kGrid);
+  const auto prio = schedule_cfg(store::ScheduleMode::kPriority);
+  {
+    algo::TileBfs a(0), b(0);
+    store::ScrEngine(store, grid).run(a);
+    const auto stats = store::ScrEngine(store, prio).run(b);
+    ASSERT_EQ(a.depth(), b.depth()) << label;
+    EXPECT_GT(stats.rounds, 0u) << label;
+  }
+  {
+    algo::TileSssp a(0), b(0);
+    store::ScrEngine(store, grid).run(a);
+    store::ScrEngine(store, prio).run(b);
+    const auto& da = a.distances();
+    const auto& db = b.distances();
+    ASSERT_EQ(da.size(), db.size()) << label;
+    for (std::size_t v = 0; v < da.size(); ++v)
+      ASSERT_EQ(da[v], db[v]) << label << " vertex " << v;
+  }
+}
+
+TEST(PropertyPriority, BfsSsspBitIdenticalToGridAcrossTileBits) {
+  for (unsigned tb = 4; tb <= 16; tb += 2) {
+    const vid_t n = static_cast<vid_t>((3u << tb) + 17);
+    const std::uint64_t m = std::min<std::uint64_t>(2 * n, 50'000);
+    auto el = graph::uniform_random(n, m, GraphKind::kUndirected, 8100 + tb);
+    io::TempDir dir;
+    tile::ConvertOptions o;
+    o.tile_bits = tb;
+    auto store = gstore::testing::make_store(dir, el, o);
+    expect_bfs_sssp_schedule_identical(store, "v3 tb=" + std::to_string(tb));
+
+    // Same store with a WAL-style overlay spliced in.
+    ingest::DeltaBuffer delta(store.grid(), store.meta(), 1 << 20);
+    auto extra =
+        graph::uniform_random(n, 600, GraphKind::kUndirected, 9100 + tb);
+    delta.add_batch(extra.edges());
+    store.attach_overlay(&delta);
+    expect_bfs_sssp_schedule_identical(
+        store, "v3+overlay tb=" + std::to_string(tb));
+  }
+}
+
+TEST(PropertyPriority, BfsSsspBitIdenticalOnUncompressedV2Stores) {
+  for (const unsigned tb : {5u, 9u, 13u}) {
+    const vid_t n = static_cast<vid_t>((3u << tb) + 17);
+    const std::uint64_t m = std::min<std::uint64_t>(2 * n, 40'000);
+    auto el = graph::uniform_random(n, m, GraphKind::kUndirected, 5400 + tb);
+    io::TempDir dir;
+    tile::ConvertOptions o;
+    o.tile_bits = tb;
+    o.compress = false;
+    auto store = gstore::testing::make_store(dir, el, o);
+    ASSERT_EQ(store.meta().version, 2u);
+    expect_bfs_sssp_schedule_identical(store, "v2 tb=" + std::to_string(tb));
+
+    ingest::DeltaBuffer delta(store.grid(), store.meta(), 1 << 20);
+    auto extra =
+        graph::uniform_random(n, 400, GraphKind::kUndirected, 6400 + tb);
+    delta.add_batch(extra.edges());
+    store.attach_overlay(&delta);
+    expect_bfs_sssp_schedule_identical(
+        store, "v2+overlay tb=" + std::to_string(tb));
+  }
+}
+
+TEST(PropertyPriority, DirectedAndInEdgeStoresMatchAcrossSchedules) {
+  auto el = graph::uniform_random(3000, 12'000, GraphKind::kDirected, 321);
+  for (const bool in_edges : {false, true}) {
+    io::TempDir dir;
+    tile::ConvertOptions o;
+    o.tile_bits = 6;
+    o.out_edges = !in_edges;
+    auto store = gstore::testing::make_store(dir, el, o);
+    expect_bfs_sssp_schedule_identical(
+        store, in_edges ? "in-edges" : "out-edges");
+  }
+}
+
+TEST(PropertyPriority, PageRankDeltaAgreesAcrossSchedulesAndWithPowerIteration) {
+  auto el = graph::kronecker(10, 6, GraphKind::kUndirected, 99);
+  el.normalize();
+  io::TempDir dir;
+  tile::ConvertOptions o;
+  o.tile_bits = 6;
+  auto store = gstore::testing::make_store(dir, el, o);
+
+  algo::PageRankDeltaOptions dopt;
+  dopt.tolerance = 1e-9;
+  algo::TilePageRankDelta grid_pr(dopt), prio_pr(dopt);
+  store::ScrEngine(store, schedule_cfg(store::ScheduleMode::kGrid))
+      .run(grid_pr);
+  const auto stats =
+      store::ScrEngine(store, schedule_cfg(store::ScheduleMode::kPriority))
+          .run(prio_pr);
+  EXPECT_GT(stats.rounds, 0u);
+  EXPECT_LT(grid_pr.residual_mass(), 1e-8);
+  EXPECT_LT(prio_pr.residual_mass(), 1e-8);
+
+  // Cross-schedule agreement: truncation order differs, the fixpoint not.
+  const auto ga = grid_pr.ranks();
+  const auto pa = prio_pr.ranks();
+  ASSERT_EQ(ga.size(), pa.size());
+  for (std::size_t v = 0; v < ga.size(); ++v)
+    ASSERT_NEAR(ga[v], pa[v], 1e-6) << "vertex " << v;
+
+  // Against the converged pull-based power iteration: same linear system
+  // (dangling mass evaporates in both formulations).
+  algo::TilePageRank power(algo::PageRankOptions{0.85, 300, 1e-10});
+  store::ScrEngine(store).run(power);
+  const auto& wa = power.ranks();
+  double drift = 0;
+  for (std::size_t v = 0; v < ga.size(); ++v)
+    drift = std::max(drift, std::abs(double(ga[v]) - double(wa[v])));
+  EXPECT_LT(drift, 1e-5) << "pagerank-delta fixpoint drifted from power "
+                            "iteration";
 }
 
 }  // namespace

@@ -575,5 +575,93 @@ TEST(ServeChaos, JobsReachTerminalStatesUnderIoFaults) {
   manager.stop(true);
 }
 
+// ---- cache admission fairness (ISSUE 10 bugfix regression) -----------------
+
+// Subscribes every tile every round, for a fixed number of rounds. The
+// graph under test has a single non-empty tile, so this job re-reads one
+// hot tile per round — the workload the cache pool exists for.
+class HotTileAlgo final : public store::TileAlgorithm {
+ public:
+  explicit HotTileAlgo(std::uint32_t rounds) : rounds_(rounds) {}
+  std::string name() const override { return "hot-tile"; }
+  void init(const tile::TileStore&) override {}
+  void begin_iteration(std::uint32_t) override {}
+  void process_tile(const tile::TileView&) override {}
+  bool end_iteration(std::uint32_t) override { return ++done_ < rounds_; }
+
+ private:
+  std::uint32_t rounds_;
+  std::uint32_t done_ = 0;
+};
+
+// Occupies a gang slot for the same number of rounds but never subscribes
+// a tile — it exists to keep active_jobs at 2 so the per-job fairness
+// quota (budget / active_jobs) stays below the hot tile's size.
+class IdleBystanderAlgo final : public store::TileAlgorithm {
+ public:
+  explicit IdleBystanderAlgo(std::uint32_t rounds) : rounds_(rounds) {}
+  std::string name() const override { return "idle-bystander"; }
+  void init(const tile::TileStore&) override {}
+  void begin_iteration(std::uint32_t) override {}
+  void process_tile(const tile::TileView&) override {}
+  bool end_iteration(std::uint32_t) override { return ++done_ < rounds_; }
+  bool tile_needed(std::uint32_t, std::uint32_t) const override {
+    return false;
+  }
+  bool tile_useful_next(std::uint32_t, std::uint32_t) const override {
+    return false;
+  }
+
+ private:
+  std::uint32_t rounds_;
+  std::uint32_t done_ = 0;
+};
+
+// Regression for the admission bug at src/serve/scheduler.cpp: a tile whose
+// split charge exceeds every subscriber's REMAINING quota was never admitted
+// even with free pool headroom, so a hot tile larger than one job's quota
+// was re-fetched from disk every round. The pool here holds 1.5 tiles, the
+// per-job quota (two active jobs) is 0.75 tiles, and the single subscriber's
+// charge is a full tile: pre-fix the tile is fetched every round; post-fix
+// it is fetched once and served from cache thereafter.
+TEST(SharedScheduler, AdmitsTileLargerThanPerJobQuotaOnPoolHeadroom) {
+  io::TempDir dir;
+  const std::string base = convert(dir, single_tile_graph());
+  ingest::EdgeIngestor ingestor(base);
+  SnapshotManager snaps(ingestor);
+  serve::SnapshotRef pinned = snaps.acquire();
+
+  const std::uint64_t tile_bytes = pinned->store().max_tile_bytes();
+  ASSERT_GT(tile_bytes, 0u);
+  serve::SchedulerConfig cfg;
+  cfg.segment_bytes = 64 << 10;
+  cfg.stream_memory_bytes =
+      2 * cfg.segment_bytes + tile_bytes + tile_bytes / 2;
+
+  constexpr std::uint32_t kRounds = 6;
+  HotTileAlgo hot(kRounds);
+  IdleBystanderAlgo idle(kRounds);
+  serve::SharedScheduler sched(*pinned, cfg);
+  std::vector<serve::JobState> states;
+  const serve::GangStats gang = sched.run(
+      {serve::GangJob{1, &hot, {}}, serve::GangJob{2, &idle, {}}}, nullptr,
+      [&](const serve::GangJob&, serve::JobState st, const serve::JobStats&,
+          const std::string&) { states.push_back(st); });
+
+  ASSERT_EQ(states.size(), 2u);
+  EXPECT_EQ(states[0], JobState::kDone);
+  EXPECT_EQ(states[1], JobState::kDone);
+  EXPECT_EQ(gang.rounds, kRounds);
+  // One disk fetch for the first round; every later round is a cache hit.
+  EXPECT_EQ(gang.tiles_fetched, 1u);
+  EXPECT_EQ(gang.tiles_from_cache, kRounds - 1);
+  // Dedup ratio (kernel deliveries per unique payload fetch) stays high:
+  // pre-fix it collapses to 1.0 because each round re-materializes the tile.
+  const double dedup = static_cast<double>(gang.tile_dispatches) /
+                       static_cast<double>(gang.tiles_fetched);
+  EXPECT_GE(dedup, static_cast<double>(kRounds));
+  EXPECT_LT(gang.bytes_read, static_cast<std::uint64_t>(kRounds) * tile_bytes);
+}
+
 }  // namespace
 }  // namespace gstore

@@ -4,9 +4,13 @@
 //   gstore_run --store=/data/kron20 --algo=pagerank --iterations=20
 //   gstore_run --store=/data/kron20 --algo=wcc --memory-mb=256
 //   gstore_run --store=/data/kron20 --algo=kcore --k=8
+//   gstore_run --store=/data/kron20 --algo=sssp --schedule=priority
+//   gstore_run --store=/data/kron20 --algo=sssp --follow-wal --incremental
 //
 // Prints run statistics (iterations, bytes read, cache hits, timings) and an
-// algorithm-specific summary.
+// algorithm-specific summary. --schedule=priority drives the worklist
+// scheduler (docs/SCHEDULING.md); --incremental runs cold without the
+// overlay first, then resumes over only the WAL delta's tiles.
 #include <algorithm>
 #include <cstdio>
 #include <memory>
@@ -20,6 +24,7 @@
 #include "algo/cc.h"
 #include "algo/kcore.h"
 #include "algo/pagerank.h"
+#include "algo/pagerank_delta.h"
 #include "algo/scc.h"
 #include "algo/sssp.h"
 #include "io/fault.h"
@@ -34,28 +39,58 @@ namespace {
 bool g_trace = false;
 
 void print_stats(const gstore::store::EngineStats& s, double secs) {
+  const bool priority = s.rounds > 0;
   if (g_trace) {
-    std::printf("iter  disk-tiles  cache-tiles  skipped  edges        sec\n");
+    if (priority)
+      std::printf(
+          "round bucket  disk-tiles  cache-tiles  fetched-kb  edges        "
+          "sec\n");
+    else
+      std::printf("iter  disk-tiles  cache-tiles  skipped  edges        sec\n");
     for (std::size_t k = 0; k < s.per_iteration.size(); ++k) {
       const auto& it = s.per_iteration[k];
-      std::printf("%-5zu %-11llu %-12llu %-8llu %-12llu %.4f\n", k,
-                  static_cast<unsigned long long>(it.tiles_from_disk),
-                  static_cast<unsigned long long>(it.tiles_from_cache),
-                  static_cast<unsigned long long>(it.tiles_skipped),
-                  static_cast<unsigned long long>(it.edges_processed),
-                  it.seconds);
+      if (priority)
+        std::printf("%-5zu %-7u %-11llu %-12llu %-11llu %-12llu %.4f\n", k,
+                    it.bucket,
+                    static_cast<unsigned long long>(it.tiles_from_disk),
+                    static_cast<unsigned long long>(it.tiles_from_cache),
+                    static_cast<unsigned long long>(it.bytes_fetched >> 10),
+                    static_cast<unsigned long long>(it.edges_processed),
+                    it.seconds);
+      else
+        std::printf("%-5zu %-11llu %-12llu %-8llu %-12llu %.4f\n", k,
+                    static_cast<unsigned long long>(it.tiles_from_disk),
+                    static_cast<unsigned long long>(it.tiles_from_cache),
+                    static_cast<unsigned long long>(it.tiles_skipped),
+                    static_cast<unsigned long long>(it.edges_processed),
+                    it.seconds);
     }
   }
-  std::printf("run: %.3fs | %u iterations | %.1f MiB read in %llu batches | "
-              "%llu tiles from disk, %llu from cache, %llu skipped\n",
-              secs, s.iterations, s.bytes_read / double(1 << 20),
-              static_cast<unsigned long long>(s.io_batches),
-              static_cast<unsigned long long>(s.tiles_from_disk),
-              static_cast<unsigned long long>(s.tiles_from_cache),
-              static_cast<unsigned long long>(s.tiles_skipped));
+  if (priority)
+    std::printf(
+        "run: %.3fs | %llu rounds (max bucket %u) | %.1f MiB read in %llu "
+        "batches | %llu tiles from disk, %llu from cache\n",
+        secs, static_cast<unsigned long long>(s.rounds), s.max_bucket,
+        s.bytes_read / double(1 << 20),
+        static_cast<unsigned long long>(s.io_batches),
+        static_cast<unsigned long long>(s.tiles_from_disk),
+        static_cast<unsigned long long>(s.tiles_from_cache));
+  else
+    std::printf(
+        "run: %.3fs | %u iterations | %.1f MiB read in %llu batches | "
+        "%llu tiles from disk, %llu from cache, %llu skipped\n",
+        secs, s.iterations, s.bytes_read / double(1 << 20),
+        static_cast<unsigned long long>(s.io_batches),
+        static_cast<unsigned long long>(s.tiles_from_disk),
+        static_cast<unsigned long long>(s.tiles_from_cache),
+        static_cast<unsigned long long>(s.tiles_skipped));
   std::printf("     io-wait %.3fs | compute %.3fs | %llu edges processed\n",
               s.io_wait_seconds, s.compute_seconds,
               static_cast<unsigned long long>(s.edges_processed));
+  if (s.wasted_fetch_bytes)
+    std::printf("     wasted fetches: %.1f MiB read in rounds with zero "
+                "updates\n",
+                s.wasted_fetch_bytes / double(1 << 20));
   if (s.retries || s.short_reads || s.failed_reads || s.tile_resubmits)
     std::printf("     recovery: %llu retries, %llu short reads, %llu failed "
                 "reads, %llu tile resubmits, %.3fs backoff\n",
@@ -73,7 +108,8 @@ int main(int argc, char** argv) {
   Options opts;
   opts.add("store", "", "tile-store base path (from gstore_convert)");
   opts.add("algo", "bfs",
-           "bfs | bfs-async | pagerank | wcc | sssp | kcore | scc");
+           "bfs | bfs-async | pagerank | pagerank-delta | wcc | sssp | kcore | "
+           "scc");
   opts.add("in-store", "",
            "scc: base path of the matching in-edge store (convert with "
            "--in-edges)");
@@ -92,6 +128,13 @@ int main(int argc, char** argv) {
            "eintr=0.1,latency=0.01:5,torn-tail=64 (see io/fault.h)");
   opts.add_flag("follow-wal",
                 "overlay un-compacted edges from <store>.wal onto the run");
+  opts.add("schedule", "grid",
+           "tile schedule: grid (row-order slide) | priority (bucketed "
+           "worklist, highest-priority tiles first)");
+  opts.add_flag("incremental",
+                "with --follow-wal: run cold without the overlay, then attach "
+                "it and resume over only the delta's tiles (bfs/sssp/"
+                "pagerank-delta)");
   opts.add_flag("trace", "print per-iteration engine statistics");
 
   try {
@@ -111,7 +154,11 @@ int main(int argc, char** argv) {
     auto store = tile::TileStore::open(opts.get("store"), dev);
 
     // --follow-wal: replay un-compacted edges into a read-only overlay so
-    // the run observes them without waiting for a compaction.
+    // the run observes them without waiting for a compaction. With
+    // --incremental the attach is deferred: the cold run sees the base store
+    // only, then resume() re-activates just the delta's tiles.
+    const bool incremental =
+        opts.get_bool("incremental") && opts.get_bool("follow-wal");
     std::unique_ptr<ingest::DeltaBuffer> overlay;
     if (opts.get_bool("follow-wal")) {
       const auto wal =
@@ -120,9 +167,10 @@ int main(int argc, char** argv) {
           store.grid(), store.meta(), ~std::uint64_t{0});
       if (wal.exists && wal.generation == store.meta().generation)
         overlay->add_batch(wal.edges);
-      store.attach_overlay(overlay.get());
-      std::printf("wal: generation %u, %llu edges overlaid\n", wal.generation,
-                  static_cast<unsigned long long>(overlay->ingested_edges()));
+      if (!incremental) store.attach_overlay(overlay.get());
+      std::printf("wal: generation %u, %llu edges %s\n", wal.generation,
+                  static_cast<unsigned long long>(overlay->ingested_edges()),
+                  incremental ? "pending (incremental resume)" : "overlaid");
     }
 
     std::printf("store: %u vertices, %llu stored edges, %llu tiles, "
@@ -145,17 +193,37 @@ int main(int argc, char** argv) {
                  : policy == "none" ? store::CachePolicyKind::kNone
                                     : store::CachePolicyKind::kProactive;
     cfg.rewind = !opts.get_bool("no-rewind");
+    const std::string schedule = opts.get("schedule");
+    if (schedule == "priority")
+      cfg.schedule = store::ScheduleMode::kPriority;
+    else if (schedule != "grid")
+      throw InvalidArgument("unknown schedule: " + schedule);
 
     g_trace = opts.get_bool("trace");
     store::ScrEngine engine(store, cfg);
     const std::string algo = opts.get("algo");
     const auto root = static_cast<graph::vid_t>(opts.get_int("root"));
+
+    // --incremental epilogue: attach the deferred overlay and re-run over
+    // only the tiles the WAL delta touched. Algorithms that cannot resume
+    // from prior state (see docs/SCHEDULING.md) fall back to a cold rerun
+    // inside resume().
+    auto resume_delta = [&](store::TileAlgorithm& a) {
+      if (!incremental || !overlay) return;
+      store.attach_overlay(overlay.get());
+      const auto delta = overlay->nonempty_tiles();
+      std::printf("incremental: resuming over %zu delta tiles\n", delta.size());
+      Timer rt;
+      const auto rs = engine.resume(a, delta);
+      print_stats(rs, rt.seconds());
+    };
     Timer t;
 
     if (algo == "bfs") {
       algo::TileBfs bfs(root);
       const auto s = engine.run(bfs);
       print_stats(s, t.seconds());
+      resume_delta(bfs);
       std::printf("bfs: visited %llu vertices, max depth %d\n",
                   static_cast<unsigned long long>(bfs.visited_count()),
                   bfs.max_depth());
@@ -179,6 +247,19 @@ int main(int argc, char** argv) {
                   "(rank %.3e)\n",
                   pr.iterations_run(), pr.last_delta(),
                   static_cast<long long>(it - pr.ranks().begin()), *it);
+    } else if (algo == "pagerank-delta") {
+      algo::PageRankDeltaOptions popt;
+      popt.tolerance = opts.get_double("tolerance");
+      algo::TilePageRankDelta pr(popt);
+      const auto s = engine.run(pr);
+      print_stats(s, t.seconds());
+      resume_delta(pr);
+      const auto ranks = pr.ranks();
+      const auto it = std::max_element(ranks.begin(), ranks.end());
+      std::printf("pagerank-delta: %u rounds, residual mass %.2e, top vertex "
+                  "%lld (rank %.3e)\n",
+                  pr.rounds_run(), pr.residual_mass(),
+                  static_cast<long long>(it - ranks.begin()), *it);
     } else if (algo == "wcc") {
       algo::TileWcc wcc;
       const auto s = engine.run(wcc);
@@ -189,6 +270,7 @@ int main(int argc, char** argv) {
       algo::TileSssp sssp(root);
       const auto s = engine.run(sssp);
       print_stats(s, t.seconds());
+      resume_delta(sssp);
       std::uint64_t reached = 0;
       for (float d : sssp.distances())
         if (d != algo::TileSssp::kInf) ++reached;

@@ -84,3 +84,14 @@ if [[ ${GSTORE_SKIP_TAB2:-0} != 1 ]]; then
   (cd "$repo_root" && "$tab2_bench")
   stamp "$repo_root/BENCH_tab2_space.json"
 fi
+
+# Scheduling baseline (grid vs priority worklists: sweeps-to-convergence and
+# bytes fetched for BFS/SSSP/PageRank-delta on a skewed graph). Writes
+# BENCH_priority.json into its cwd, so run it from the repo root. The binary
+# exits non-zero if the two schedules disagree bit-for-bit on BFS/SSSP.
+if [[ ${GSTORE_SKIP_PRIORITY:-0} != 1 ]]; then
+  prio_bench="$build_dir/bench/bench_priority"
+  [[ -x "$prio_bench" ]] || die "$prio_bench not built; run: cmake --build $build_dir --target bench_priority -j"
+  (cd "$repo_root" && "$prio_bench")
+  stamp "$repo_root/BENCH_priority.json"
+fi
